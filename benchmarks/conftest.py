@@ -1,0 +1,59 @@
+"""Session-scoped fixtures shared by every benchmark.
+
+The expensive work — generating the corpus and training all seven Table IV
+models — happens exactly once per ``pytest benchmarks/`` invocation; the
+individual benchmarks then time the (cheap) regeneration of each table/figure
+from those results and assert that the *shape* of the paper's findings holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_config import (
+    BENCH_SCALE,
+    BENCH_SEED,
+    STATISTICAL_KWARGS,
+    lstm_config,
+    transformer_config,
+)
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.data.splits import train_val_test_split
+from repro.models.registry import MODEL_NAMES
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The benchmark corpus (Table I-III substrate)."""
+    return RecipeDBGenerator(GeneratorConfig(scale=BENCH_SCALE, seed=BENCH_SEED)).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_splits(bench_corpus):
+    """7:1:2 splits of the benchmark corpus."""
+    return train_val_test_split(bench_corpus, seed=BENCH_SEED)
+
+
+@pytest.fixture(scope="session")
+def bench_runner(bench_corpus):
+    """An experiment runner bound to the benchmark corpus and model configs."""
+    config = ExperimentConfig(
+        models=MODEL_NAMES,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        lstm_config=lstm_config(),
+        transformer_config=transformer_config(),
+        statistical_kwargs=STATISTICAL_KWARGS,
+    )
+    return ExperimentRunner(config, corpus=bench_corpus)
+
+
+@pytest.fixture(scope="session")
+def table_iv_result(bench_runner):
+    """The full Table IV experiment: train and evaluate all seven models.
+
+    This is the single most expensive fixture of the benchmark suite (several
+    minutes at the default scale); every Table IV / figure benchmark reuses it.
+    """
+    return bench_runner.run()

@@ -1,0 +1,36 @@
+"""Benchmark F5 — architecture/flow figures (``flow`` / ``lstm`` / ``final_edit``).
+
+The paper's remaining figures are architecture diagrams (the preprocessing /
+classification flow and the LSTM cell).  They carry no measured data, so the
+reproduction renders them as textual architecture summaries; the benchmark
+checks that a summary exists for every Table IV model and that it names the
+components the paper describes.
+"""
+
+from __future__ import annotations
+
+from repro.models.registry import MODEL_NAMES, describe_architecture
+
+
+def test_fig_architecture_summaries(benchmark):
+    summaries = benchmark(lambda: {name: describe_architecture(name) for name in MODEL_NAMES})
+
+    print()
+    for name, summary in summaries.items():
+        print(f"  {name:<14} {summary}")
+
+    assert set(summaries) == set(MODEL_NAMES)
+    # The flow the paper describes: preprocessing -> TF-IDF for statistical models.
+    for name in ("logreg", "naive_bayes", "svm_linear", "random_forest"):
+        assert "TF-IDF" in summaries[name]
+        assert "lemmatize" in summaries[name]
+    # The LSTM figure: gated 2-layer recurrent network over the item sequence.
+    assert "2-layer LSTM" in summaries["lstm"]
+    assert "forget" in summaries["lstm"]
+    # The transformer flow: bidirectional encoder with MLM pretraining and [CLS] head.
+    for name in ("bert", "roberta"):
+        assert "bidirectional Transformer" in summaries[name]
+        assert "MLM" in summaries[name]
+        assert "[CLS]" in summaries[name]
+    # The BERT/RoBERTa difference the paper cites is visible in the summaries.
+    assert "static" in summaries["bert"] and "dynamic" in summaries["roberta"]

@@ -1,0 +1,57 @@
+"""Benchmark F4 — feature-frequency figures (``feat`` / ``feature`` / ``fig1``).
+
+The paper's dataset figures show the frequency distribution of recipe features
+(ingredients, processes, utensils).  The benchmark regenerates the top-feature
+rankings and log-spaced frequency histograms per substructure and checks the
+long-tail shape: ``add`` dominates the processes, a handful of staple
+ingredients dominate the ingredient distribution, and most features live in
+the lowest-frequency bins.
+"""
+
+from __future__ import annotations
+
+from repro.data.schema import TokenKind
+from repro.evaluation.figures import feature_frequency_histogram
+from repro.evaluation.reports import render_ascii_chart
+
+
+def test_fig_feature_frequency_all(benchmark, bench_corpus):
+    figure = benchmark(feature_frequency_histogram, bench_corpus)
+
+    top = {entry["feature"]: entry["count"] for entry in figure["top_features"][:10]}
+    print()
+    print(render_ascii_chart(top, title="Most frequent features (all substructures)"))
+
+    # "add" is the single most frequent feature, as the paper reports.
+    assert figure["top_features"][0]["feature"] == "add"
+    # The histogram covers the whole vocabulary.
+    assert sum(entry["features"] for entry in figure["histogram"]) == figure["total_features"]
+    # Long tail: the lowest-frequency bins hold the majority of features.
+    low_bins = figure["histogram"][:3]
+    assert sum(entry["features"] for entry in low_bins) > 0.4 * figure["total_features"]
+
+
+def test_fig_feature_frequency_per_substructure(benchmark, bench_corpus):
+    def per_substructure():
+        return {
+            kind: feature_frequency_histogram(bench_corpus, kind=kind)
+            for kind in (TokenKind.INGREDIENT, TokenKind.PROCESS, TokenKind.UTENSIL)
+        }
+
+    figures = benchmark(per_substructure)
+
+    for kind, figure in figures.items():
+        top = {entry["feature"]: entry["count"] for entry in figure["top_features"][:6]}
+        print()
+        print(render_ascii_chart(top, title=f"Most frequent {kind.value}s"))
+
+    # Substructure vocabulary sizes follow the paper's relative sizes:
+    # ingredients >> processes > utensils (20,280 vs 256 vs 69 at full scale).
+    n_ingredients = figures[TokenKind.INGREDIENT]["total_features"]
+    n_processes = figures[TokenKind.PROCESS]["total_features"]
+    n_utensils = figures[TokenKind.UTENSIL]["total_features"]
+    assert n_ingredients > n_processes > n_utensils
+    assert n_processes <= 256
+    assert n_utensils <= 69
+    # The dominant process is "add".
+    assert figures[TokenKind.PROCESS]["top_features"][0]["feature"] == "add"

@@ -1,0 +1,55 @@
+"""Benchmarks F2/F3 — figures ``loss_training`` and ``loss_val``.
+
+The paper plots the per-epoch training and validation loss of the neural
+models.  The benchmark regenerates both curves from the training histories
+collected during the Table IV run and checks the expected shape: losses are
+finite, curves exist for every neural model, and training loss decreases from
+the first to the best epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.figures import accuracy_curves, loss_curves
+from repro.evaluation.reports import render_ascii_chart
+
+
+def test_fig_training_loss_curves(benchmark, table_iv_result):
+    curves = benchmark(loss_curves, table_iv_result, "train")
+
+    print()
+    print(render_ascii_chart(curves, title="Training loss per epoch (figure: loss_training)"))
+
+    # Curves exist exactly for the neural models (statistical models have no epochs).
+    assert set(curves) == {"LSTM", "BERT", "RoBERTa"}
+    for name, series in curves.items():
+        assert len(series) >= 2, f"{name} trained for fewer than 2 epochs"
+        assert all(np.isfinite(value) for value in series)
+        # Training loss improves over the run.
+        assert min(series) < series[0], f"{name} training loss never improved"
+
+
+def test_fig_validation_loss_curves(benchmark, table_iv_result):
+    curves = benchmark(loss_curves, table_iv_result, "val")
+
+    print()
+    print(render_ascii_chart(curves, title="Validation loss per epoch (figure: loss_val)"))
+
+    assert set(curves) == {"LSTM", "BERT", "RoBERTa"}
+    for name, series in curves.items():
+        assert all(np.isfinite(value) for value in series)
+        # The best validation loss is not at a degenerate value.
+        assert min(series) < series[0] * 1.5
+
+
+def test_fig_validation_accuracy_curves(benchmark, table_iv_result):
+    """Companion accuracy curves: the transformers' validation accuracy improves."""
+    curves = benchmark(accuracy_curves, table_iv_result, "val")
+
+    print()
+    print(render_ascii_chart(curves, title="Validation accuracy per epoch"))
+
+    for name in ("BERT", "RoBERTa"):
+        series = curves[name]
+        assert max(series) > series[0], f"{name} validation accuracy never improved"

@@ -1,0 +1,124 @@
+"""Component micro-benchmarks.
+
+These time the individual substrate operations the experiments are built from
+(corpus generation, preprocessing, TF-IDF vectorization, classical training,
+neural forward/backward passes), so a regression in any layer is visible
+without re-running the full Table IV experiment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_config import BENCH_SEED
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.features.tfidf import TfidfVectorizer
+from repro.ml.logistic_regression import LogisticRegressionClassifier
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.nn.losses import cross_entropy_logits
+from repro.nn.optim import AdamW
+from repro.nn.transformer import TransformerConfig, TransformerForSequenceClassification
+from repro.text.pipeline import default_statistical_pipeline
+
+
+def test_perf_corpus_generation(benchmark):
+    def generate():
+        return RecipeDBGenerator(GeneratorConfig(scale=0.005, seed=BENCH_SEED)).generate()
+
+    corpus = benchmark(generate)
+    assert len(corpus) > 200
+
+
+def test_perf_preprocessing_pipeline(benchmark, bench_corpus):
+    pipeline = default_statistical_pipeline()
+    subset = bench_corpus.subset(range(min(500, len(bench_corpus))))
+    documents = benchmark(pipeline.documents, subset)
+    assert len(documents) == len(subset)
+
+
+def test_perf_tfidf_vectorization(benchmark, bench_corpus):
+    pipeline = default_statistical_pipeline()
+    documents = pipeline.documents(bench_corpus.subset(range(min(1000, len(bench_corpus)))))
+
+    def vectorize():
+        return TfidfVectorizer(min_df=2).fit_transform(documents)
+
+    matrix = benchmark(vectorize)
+    assert matrix.shape[0] == len(documents)
+
+
+def test_perf_naive_bayes_training(benchmark, bench_corpus):
+    pipeline = default_statistical_pipeline()
+    documents = pipeline.documents(bench_corpus)
+    features = TfidfVectorizer(min_df=2).fit_transform(documents)
+    labels = np.asarray(bench_corpus.labels(bench_corpus.present_cuisines()))
+
+    def train():
+        return MultinomialNaiveBayes(alpha=0.3).fit(features, labels)
+
+    model = benchmark(train)
+    assert model.score(features, labels) > 0.3
+
+
+def test_perf_logistic_regression_epoch(benchmark, bench_corpus):
+    pipeline = default_statistical_pipeline()
+    documents = pipeline.documents(bench_corpus.subset(range(min(1000, len(bench_corpus)))))
+    features = TfidfVectorizer(min_df=2).fit_transform(documents)
+    labels = np.asarray(
+        bench_corpus.subset(range(min(1000, len(bench_corpus)))).labels(
+            bench_corpus.present_cuisines()
+        )
+    )
+
+    def train_short():
+        return LogisticRegressionClassifier(
+            multi_class="multinomial", max_iter=25, C=50.0
+        ).fit(features, labels)
+
+    model = benchmark(train_short)
+    assert hasattr(model, "coef_")
+
+
+def test_perf_transformer_forward_backward(benchmark):
+    config = TransformerConfig(
+        vocab_size=2000, max_length=48, dim=64, num_heads=4, num_layers=2, ffn_dim=128, seed=0
+    )
+    model = TransformerForSequenceClassification(config, num_classes=26)
+    optimizer = AdamW(model.parameters(), lr=1e-3)
+    rng = np.random.default_rng(0)
+    ids = rng.integers(4, 2000, size=(32, 48))
+    mask = np.ones((32, 48))
+    labels = rng.integers(0, 26, size=32)
+
+    def step():
+        model.zero_grad()
+        logits = model(ids, mask=mask)
+        loss = cross_entropy_logits(logits, labels)
+        loss.backward()
+        optimizer.step()
+        return loss.item()
+
+    loss = benchmark(step)
+    assert np.isfinite(loss)
+
+
+def test_perf_transformer_inference(benchmark):
+    config = TransformerConfig(
+        vocab_size=2000, max_length=48, dim=64, num_heads=4, num_layers=2, ffn_dim=128, seed=0
+    )
+    model = TransformerForSequenceClassification(config, num_classes=26)
+    model.eval()
+    rng = np.random.default_rng(1)
+    ids = rng.integers(4, 2000, size=(64, 48))
+    mask = np.ones((64, 48))
+
+    from repro.nn.tensor import no_grad
+
+    def infer():
+        with no_grad():
+            return model(ids, mask=mask).data
+
+    logits = benchmark(infer)
+    assert logits.shape == (64, 26)
+    assert np.isfinite(logits).all()

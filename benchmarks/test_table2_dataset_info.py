@@ -1,0 +1,49 @@
+"""Benchmark E2 — Table II: recipes per cuisine.
+
+Regenerates the paper's Table II from the benchmark corpus and checks that the
+class distribution is the paper's distribution (scaled): 26 cuisines, Italian
+and Mexican the largest classes, Central American and Korean the smallest,
+and per-cuisine proportions matching Table II.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_config import BENCH_SCALE
+from repro.data.cuisines import CUISINE_RECIPE_COUNTS, TABLE_II_TOTAL_RECIPES
+from repro.evaluation.reports import format_table
+from repro.evaluation.tables import table_ii
+
+
+def test_table2_dataset_info(benchmark, bench_corpus):
+    rows = benchmark(table_ii, bench_corpus)
+
+    print()
+    print(format_table(rows, title="TABLE II - DATASET INFORMATION (measured vs paper)"))
+
+    assert len(rows) == 26
+    measured = {row["Cuisine"]: row["Number of Recipes"] for row in rows}
+    paper = {row["Cuisine"]: row["Paper Count"] for row in rows}
+    assert paper == CUISINE_RECIPE_COUNTS
+
+    # Every cuisine is present.
+    assert all(count > 0 for count in measured.values())
+
+    # The biggest and smallest classes match the paper.
+    assert max(measured, key=measured.get) == "Italian"
+    top_four = sorted(measured, key=measured.get, reverse=True)[:4]
+    assert "Mexican" in top_four
+    bottom_two = sorted(measured, key=measured.get)[:2]
+    assert "Central American" in bottom_two
+
+    # Proportions follow Table II (within rounding induced by the small scale).
+    for cuisine, count in measured.items():
+        expected = CUISINE_RECIPE_COUNTS[cuisine] * BENCH_SCALE
+        assert count == pytest.approx(expected, abs=max(4.0, 0.1 * expected))
+
+
+def test_table2_total_matches_scaled_paper_total(benchmark, bench_corpus):
+    total = benchmark(lambda: len(bench_corpus))
+    expected = TABLE_II_TOTAL_RECIPES * BENCH_SCALE
+    assert total == pytest.approx(expected, rel=0.05)

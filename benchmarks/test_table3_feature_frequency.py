@@ -1,0 +1,57 @@
+"""Benchmark E3 — Table III: cumulative feature-frequency distribution.
+
+Regenerates the paper's Table III (number of features above/below occurrence
+thresholds) plus the corpus sparsity and vocabulary statistics the Dataset
+section quotes (20,280 ingredients / 256 processes / 69 utensils, 99.5 %
+sparsity, ``add`` as the most frequent item, a huge hapax tail).
+
+Absolute counts depend on the corpus scale; the assertions check the *shape*:
+monotone cumulative counts, a dominant head ("add"), and a long tail of
+rare features.
+"""
+
+from __future__ import annotations
+
+from repro.data.statistics import compute_corpus_statistics
+from repro.evaluation.reports import format_table
+from repro.evaluation.tables import table_iii
+
+
+def test_table3_frequency_distribution(benchmark, bench_corpus):
+    rows = benchmark(table_iii, bench_corpus)
+
+    print()
+    print(format_table(rows, title="TABLE III - FREQUENCY DISTRIBUTION OF FEATURES"))
+
+    assert len(rows) == 20
+    high = [row for row in rows if row["Threshold"].startswith(">")]
+    low = [row for row in rows if row["Threshold"].startswith("<")]
+
+    # Cumulative counts must be monotone: fewer features exceed higher
+    # thresholds; more features fall below higher thresholds.
+    high_values = [row["Number of Features"] for row in high]
+    low_values = [row["Number of Features"] for row in low]
+    assert high_values == sorted(high_values, reverse=True)
+    assert low_values == sorted(low_values)
+
+    # The long-tail shape of the paper: far more rare features than frequent ones.
+    assert low_values[-1] > high_values[0]
+
+
+def test_table3_corpus_statistics_shape(benchmark, bench_corpus):
+    statistics = benchmark(compute_corpus_statistics, bench_corpus)
+
+    print()
+    print(f"sparsity={statistics.sparsity:.4f} (paper 0.9950)  "
+          f"most_frequent={statistics.most_frequent_feature!r} x{statistics.most_frequent_count}  "
+          f"hapax={statistics.hapax_count}/{statistics.n_unique_features}")
+
+    # "add" is the most frequent item, as in the paper.
+    assert statistics.most_frequent_feature == "add"
+    # The matrix is highly sparse (paper: 99.5 % at full scale).
+    assert statistics.sparsity > 0.95
+    # Substructure vocabulary sizes are bounded by the paper's counts.
+    assert statistics.n_unique_processes <= 256
+    assert statistics.n_unique_utensils <= 69
+    # A large hapax tail exists (paper: 11,738 of 20,400 entities occur at most once).
+    assert statistics.hapax_count > 0.2 * statistics.n_unique_features

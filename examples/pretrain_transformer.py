@@ -1,0 +1,81 @@
+"""Walkthrough: masked-language-model pretraining on recipes (BERT vs RoBERTa).
+
+The paper attributes RoBERTa's edge over BERT to its pretraining recipe
+(longer training, dynamic masking).  This example makes that mechanism
+visible: it pretrains the same transformer encoder on the recipe corpus with
+the BERT-style static masking and the RoBERTa-style dynamic masking, shows the
+MLM loss curves, then fine-tunes both for cuisine classification and compares
+against a transformer trained from scratch (no pretraining at all).
+
+Run with:  python examples/pretrain_transformer.py [--scale 0.015]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.evaluation.reports import format_table, render_ascii_chart
+from repro.models.transformer_classifier import (
+    TransformerClassifierConfig,
+    TransformerCuisineClassifier,
+)
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.015)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=4)
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    runner = ExperimentRunner(ExperimentConfig(models=("logreg",), scale=args.scale, seed=args.seed))
+    splits = runner.prepare_splits()
+    label_space = splits.train.present_cuisines()
+    print(
+        f"Corpus: {sum(splits.sizes)} recipes "
+        f"(train {splits.sizes[0]} / val {splits.sizes[1]} / test {splits.sizes[2]})"
+    )
+
+    variants = {
+        "no pretraining": TransformerClassifierConfig(
+            epochs=args.epochs, pretrain_epochs=0, seed=args.seed
+        ),
+        "BERT-style (static mask, short)": TransformerClassifierConfig(
+            epochs=args.epochs, pretrain_epochs=1, pretrain_dynamic_masking=False, seed=args.seed
+        ),
+        "RoBERTa-style (dynamic mask, long)": TransformerClassifierConfig(
+            epochs=args.epochs, pretrain_epochs=3, pretrain_dynamic_masking=True, seed=args.seed
+        ),
+    }
+
+    rows = []
+    mlm_curves: dict[str, list[float]] = {}
+    for label, config in variants.items():
+        print(f"\nTraining transformer [{label}] ...")
+        model = TransformerCuisineClassifier(label_space=label_space, config=config)
+        model.fit(splits.train, splits.validation)
+        metrics = model.evaluate(splits.test)
+        if model.pretraining_result is not None and model.pretraining_result.losses_per_epoch:
+            mlm_curves[label] = model.pretraining_result.losses_per_epoch
+        rows.append(
+            {
+                "Variant": label,
+                "Test accuracy (%)": round(metrics.accuracy * 100, 2),
+                "Test loss": round(metrics.loss, 3),
+                "F1": round(metrics.f1, 3),
+            }
+        )
+
+    print()
+    if mlm_curves:
+        print(render_ascii_chart(mlm_curves, title="MLM pretraining loss per epoch"))
+        print()
+    print(format_table(rows, title="Effect of in-domain MLM pretraining"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Ablation: does the order of recipe steps actually matter?
+
+The paper's central claim is that the *order* of cooking processes carries
+cuisine signal that bag-of-words models cannot see.  This example tests that
+claim directly: it trains the same transformer classifier twice — once on the
+original sequential recipes and once on recipes whose items have been randomly
+shuffled (destroying order while keeping the exact same bag of items) — and a
+TF-IDF Logistic Regression as the order-blind reference.
+
+Expected outcome: the transformer loses accuracy when sequences are shuffled,
+while Logistic Regression is (by construction) unaffected up to noise.
+
+Run with:  python examples/sequence_order_ablation.py [--scale 0.02]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.evaluation.reports import format_table
+from repro.models.transformer_classifier import TransformerClassifierConfig
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--epochs", type=int, default=5)
+    return parser.parse_args()
+
+
+def run(shuffled: bool, args: argparse.Namespace) -> dict[str, float]:
+    config = ExperimentConfig(
+        models=("logreg", "roberta"),
+        scale=args.scale,
+        seed=args.seed,
+        shuffle_sequences=shuffled,
+        transformer_config=TransformerClassifierConfig(
+            epochs=args.epochs, pretrain_epochs=2, seed=args.seed
+        ),
+    )
+    result = ExperimentRunner(config).run()
+    return {
+        name: model_result.metrics.accuracy
+        for name, model_result in result.model_results.items()
+    }
+
+
+def main() -> None:
+    args = parse_args()
+    print("Training on ORDERED recipes...")
+    ordered = run(shuffled=False, args=args)
+    print("Training on SHUFFLED recipes (same items, random order)...")
+    shuffled = run(shuffled=True, args=args)
+
+    rows = []
+    for name in ("logreg", "roberta"):
+        rows.append(
+            {
+                "Model": name,
+                "Ordered accuracy": round(ordered[name] * 100, 2),
+                "Shuffled accuracy": round(shuffled[name] * 100, 2),
+                "Drop (points)": round((ordered[name] - shuffled[name]) * 100, 2),
+            }
+        )
+    print()
+    print(format_table(rows, title="Sequence-order ablation"))
+    print()
+    transformer_drop = ordered["roberta"] - shuffled["roberta"]
+    logreg_drop = ordered["logreg"] - shuffled["logreg"]
+    if transformer_drop > logreg_drop:
+        print(
+            "The transformer loses more accuracy than Logistic Regression when order is "
+            "destroyed - the sequential structure carries real cuisine signal, as the paper argues."
+        )
+    else:
+        print(
+            "No clear order effect at this scale; increase --scale or --epochs for a "
+            "sharper comparison."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+"""repro — reproduction of "Classification of Cuisines from Sequentially
+Structured Recipes" (Sharma, Upadhyay & Bagler, 2020).
+
+The library treats cuisine classification as text classification over the
+*sequential* structure of recipes (ingredients, cooking processes and utensils
+in cooking order) and provides:
+
+* a synthetic RecipeDB corpus generator calibrated to the paper's statistics
+  (:mod:`repro.data`);
+* the Section IV preprocessing and vectorization pipelines (:mod:`repro.text`,
+  :mod:`repro.features`);
+* the seven Table IV models — Logistic Regression, Naive Bayes, linear SVM,
+  Random Forest+AdaBoost, a 2-layer LSTM and BERT/RoBERTa-style transformers
+  with in-domain MLM pretraining — built on from-scratch NumPy substrates
+  (:mod:`repro.ml`, :mod:`repro.nn`, :mod:`repro.models`);
+* the experiment harness and metrics that regenerate the paper's tables and
+  figures (:mod:`repro.core`, :mod:`repro.evaluation`).
+
+Quickstart::
+
+    from repro.data import generate_recipedb
+    from repro.core import CuisineClassifier
+
+    corpus = generate_recipedb(scale=0.02, seed=7)
+    classifier = CuisineClassifier("logreg").fit(corpus)
+    print(classifier.evaluate_holdout().as_dict())
+    print(classifier.classify(["basmati rice", "turmeric", "simmer", "add", "pot"]))
+"""
+
+from repro.core.classifier import CuisineClassifier
+from repro.core.experiment import ExperimentConfig, ExperimentRunner, run_table_iv_experiment
+from repro.data.generator import generate_recipedb
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CuisineClassifier",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_table_iv_experiment",
+    "generate_recipedb",
+    "__version__",
+]

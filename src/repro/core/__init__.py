@@ -1,0 +1,38 @@
+"""Core public API of the reproduction.
+
+* :class:`~repro.core.classifier.CuisineClassifier` — the high-level
+  "fit a named model on a corpus and classify recipes" entry point;
+* :class:`~repro.core.experiment.ExperimentConfig` /
+  :class:`~repro.core.experiment.ExperimentRunner` — the Table IV experiment
+  harness (generate corpus, split 7:1:2, train every requested model, collect
+  metrics);
+* :mod:`~repro.core.metrics` — the Table IV metric set;
+* :mod:`~repro.core.results` — serialisable result records.
+"""
+
+from repro.core.classifier import CuisineClassifier
+from repro.core.experiment import ExperimentConfig, ExperimentRunner, run_table_iv_experiment
+from repro.core.metrics import (
+    ClassificationMetrics,
+    accuracy_score,
+    confusion_matrix,
+    evaluate_predictions,
+    log_loss,
+    precision_recall_f1,
+)
+from repro.core.results import ExperimentResult, ModelResult
+
+__all__ = [
+    "CuisineClassifier",
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_table_iv_experiment",
+    "ClassificationMetrics",
+    "accuracy_score",
+    "confusion_matrix",
+    "evaluate_predictions",
+    "log_loss",
+    "precision_recall_f1",
+    "ExperimentResult",
+    "ModelResult",
+]

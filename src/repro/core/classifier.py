@@ -1,0 +1,145 @@
+"""High-level cuisine classification API.
+
+:class:`CuisineClassifier` is the entry point a downstream user of the library
+works with: pick a model by name (any Table IV column), fit it on a corpus,
+then classify new recipes given as raw item sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.metrics import ClassificationMetrics
+from repro.data.cuisines import CONTINENT_OF_CUISINE, CUISINES
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe
+from repro.data.splits import DatasetSplits, train_val_test_split
+from repro.models.base import CuisineModel
+from repro.models.lstm_classifier import LSTMClassifierConfig
+from repro.models.registry import MODEL_NAMES, create_model
+from repro.models.transformer_classifier import TransformerClassifierConfig
+
+
+class CuisineClassifier:
+    """Train a named model and classify recipes.
+
+    Example:
+        >>> from repro.data import generate_recipedb
+        >>> from repro.core import CuisineClassifier
+        >>> corpus = generate_recipedb(scale=0.01, seed=1)
+        >>> clf = CuisineClassifier("logreg")
+        >>> clf.fit(corpus)                                   # doctest: +ELLIPSIS
+        <repro.core.classifier.CuisineClassifier object at ...>
+        >>> isinstance(clf.classify(["onion", "garlic", "stir", "add", "wok"]), str)
+        True
+    """
+
+    def __init__(
+        self,
+        model_name: str = "roberta",
+        label_space: Sequence[str] = CUISINES,
+        lstm_config: LSTMClassifierConfig | None = None,
+        transformer_config: TransformerClassifierConfig | None = None,
+        **model_kwargs,
+    ) -> None:
+        if model_name not in MODEL_NAMES:
+            raise KeyError(f"unknown model {model_name!r}; choose one of {MODEL_NAMES}")
+        self.model_name = model_name
+        self.label_space = tuple(label_space)
+        self._lstm_config = lstm_config
+        self._transformer_config = transformer_config
+        self._model_kwargs = model_kwargs
+        self.model: CuisineModel | None = None
+        self.splits: DatasetSplits | None = None
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        corpus: RecipeDB,
+        validation: RecipeDB | None = None,
+        holdout: bool = True,
+        seed: int = 13,
+    ) -> "CuisineClassifier":
+        """Fit the configured model on *corpus*.
+
+        Args:
+            corpus: Training corpus.  When *validation* is not given and
+                *holdout* is true, the corpus is split 7:1:2 and the train /
+                validation parts are used (the test part is kept for
+                :meth:`evaluate_holdout`).
+            validation: Explicit validation corpus.
+            holdout: Whether to carve out validation/test splits.
+            seed: Split seed.
+        """
+        self.model = create_model(
+            self.model_name,
+            label_space=self.label_space,
+            lstm_config=self._lstm_config,
+            transformer_config=self._transformer_config,
+            **self._model_kwargs,
+        )
+        if validation is not None or not holdout:
+            self.splits = None
+            self.model.fit(corpus, validation)
+        else:
+            self.splits = train_val_test_split(corpus, seed=seed)
+            self.model.fit(self.splits.train, self.splits.validation)
+        return self
+
+    def _require_fitted(self) -> CuisineModel:
+        if self.model is None:
+            raise RuntimeError("CuisineClassifier is not fitted; call fit() first")
+        return self.model
+
+    # ------------------------------------------------------------------
+    def classify(self, sequence: Iterable[str]) -> str:
+        """Predict the cuisine of a single recipe item sequence."""
+        return self.classify_many([sequence])[0]
+
+    def classify_many(self, sequences: Iterable[Iterable[str]]) -> list[str]:
+        """Predict cuisines for several raw recipe sequences."""
+        model = self._require_fitted()
+        corpus = self._as_corpus(sequences)
+        return model.predict(corpus)
+
+    def predict_proba(self, sequences: Iterable[Iterable[str]]) -> np.ndarray:
+        """Class-probability matrix for raw recipe sequences."""
+        model = self._require_fitted()
+        return model.predict_proba(self._as_corpus(sequences))
+
+    def top_cuisines(self, sequence: Iterable[str], k: int = 3) -> list[tuple[str, float]]:
+        """The *k* most probable cuisines for one recipe, with probabilities."""
+        model = self._require_fitted()
+        probabilities = model.predict_proba(self._as_corpus([sequence]))[0]
+        order = np.argsort(probabilities)[::-1][:k]
+        return [(model.label_space[i], float(probabilities[i])) for i in order]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, corpus: RecipeDB) -> ClassificationMetrics:
+        """Table IV metrics of the fitted model on *corpus*."""
+        return self._require_fitted().evaluate(corpus)
+
+    def evaluate_holdout(self) -> ClassificationMetrics:
+        """Metrics on the internally held-out test split (requires ``holdout=True``)."""
+        if self.splits is None:
+            raise RuntimeError("no holdout split available; fit() was called with holdout=False")
+        return self.evaluate(self.splits.test)
+
+    # ------------------------------------------------------------------
+    def _as_corpus(self, sequences: Iterable[Iterable[str]]) -> RecipeDB:
+        """Wrap raw sequences into a throwaway corpus for prediction."""
+        placeholder = self.label_space[0]
+        recipes = [
+            Recipe(
+                recipe_id=index + 1,
+                cuisine=placeholder,
+                continent=CONTINENT_OF_CUISINE.get(placeholder, "Unknown"),
+                sequence=tuple(sequence),
+            )
+            for index, sequence in enumerate(sequences)
+        ]
+        if not recipes:
+            raise ValueError("no sequences to classify")
+        return RecipeDB(recipes=recipes)

@@ -1,0 +1,215 @@
+"""The Table IV experiment harness.
+
+An experiment is: generate (or accept) a RecipeDB corpus, split it 7:1:2 as
+the paper does, train every requested model on the training split, and collect
+the Table IV metric set on the test split.  Two ablation knobs reproduce the
+discussion in the paper's conclusions: ``shuffle_sequences`` destroys the
+sequential order (isolating how much of the sequence models' advantage comes
+from order), and ``min_cuisine_recipes`` drops rare cuisines (the class
+imbalance trade-off).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.results import ExperimentResult, ModelResult
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe
+from repro.data.splits import DatasetSplits, train_val_test_split
+from repro.models.registry import MODEL_NAMES, create_model
+from repro.models.lstm_classifier import LSTMClassifierConfig
+from repro.models.transformer_classifier import TransformerClassifierConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Configuration of one experiment run.
+
+    Attributes:
+        models: Registry names of the models to train (default: all seven
+            Table IV models).
+        scale: Synthetic-corpus scale when no corpus is supplied.
+        seed: Seed for generation, splitting and model initialisation.
+        shuffle_sequences: If true, every recipe sequence is shuffled (with a
+            per-recipe deterministic permutation) before training and
+            evaluation — the sequence-order ablation.
+        min_cuisine_recipes: Drop cuisines with fewer recipes than this
+            before splitting — the class-imbalance ablation (0 keeps all).
+        lstm_config / transformer_config: Optional model-size overrides.
+        statistical_kwargs: Extra constructor arguments per statistical model.
+    """
+
+    models: tuple[str, ...] = MODEL_NAMES
+    scale: float = 0.02
+    seed: int = 7
+    shuffle_sequences: bool = False
+    min_cuisine_recipes: int = 0
+    lstm_config: LSTMClassifierConfig | None = None
+    transformer_config: TransformerClassifierConfig | None = None
+    statistical_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.models) - set(MODEL_NAMES)
+        if unknown:
+            raise ValueError(f"unknown models requested: {sorted(unknown)}")
+        if not self.models:
+            raise ValueError("at least one model must be requested")
+
+
+def shuffle_recipe_sequences(corpus: RecipeDB, seed: int = 0) -> RecipeDB:
+    """Return a corpus whose recipe sequences are randomly permuted.
+
+    Used by the sequence-order ablation: bag-of-words content is preserved
+    exactly, only the order information is destroyed.
+    """
+    rng = np.random.default_rng(seed)
+    shuffled: list[Recipe] = []
+    for recipe in corpus:
+        permutation = rng.permutation(len(recipe.sequence))
+        sequence = tuple(recipe.sequence[i] for i in permutation)
+        kinds = tuple(recipe.kinds[i] for i in permutation) if recipe.kinds else ()
+        shuffled.append(
+            Recipe(
+                recipe_id=recipe.recipe_id,
+                cuisine=recipe.cuisine,
+                continent=recipe.continent,
+                sequence=sequence,
+                kinds=kinds,
+            )
+        )
+    return RecipeDB(recipes=shuffled, generator_config=corpus.generator_config)
+
+
+class ExperimentRunner:
+    """Runs the Table IV experiment end to end."""
+
+    def __init__(self, config: ExperimentConfig | None = None, corpus: RecipeDB | None = None) -> None:
+        self.config = config or ExperimentConfig()
+        self._corpus = corpus
+        self.splits: DatasetSplits | None = None
+
+    # ------------------------------------------------------------------
+    def prepare_corpus(self) -> RecipeDB:
+        """Generate (or reuse) the corpus and apply the ablation transforms."""
+        corpus = self._corpus
+        if corpus is None:
+            generator_config = GeneratorConfig(scale=self.config.scale, seed=self.config.seed)
+            corpus = RecipeDBGenerator(generator_config).generate()
+        if self.config.min_cuisine_recipes > 0:
+            corpus = corpus.drop_rare_cuisines(self.config.min_cuisine_recipes)
+        if self.config.shuffle_sequences:
+            corpus = shuffle_recipe_sequences(corpus, seed=self.config.seed)
+        return corpus
+
+    def prepare_splits(self) -> DatasetSplits:
+        """The 7:1:2 stratified splits of the prepared corpus."""
+        if self.splits is None:
+            corpus = self.prepare_corpus()
+            self.splits = train_val_test_split(corpus, seed=self.config.seed)
+        return self.splits
+
+    # ------------------------------------------------------------------
+    def run(self, label_space: Sequence[str] | None = None) -> ExperimentResult:
+        """Train and evaluate every requested model.
+
+        Args:
+            label_space: Cuisine label space; defaults to the cuisines present
+                in the prepared corpus.
+
+        Returns:
+            The collected :class:`~repro.core.results.ExperimentResult`.
+        """
+        splits = self.prepare_splits()
+        if label_space is None:
+            present = set(splits.train.cuisines) | set(splits.validation.cuisines) | set(
+                splits.test.cuisines
+            )
+            label_space = tuple(sorted(present))
+
+        result = ExperimentResult(
+            config={
+                "models": list(self.config.models),
+                "scale": self.config.scale,
+                "seed": self.config.seed,
+                "shuffle_sequences": self.config.shuffle_sequences,
+                "min_cuisine_recipes": self.config.min_cuisine_recipes,
+                "n_classes": len(label_space),
+            },
+            split_sizes=splits.summary(),
+        )
+        for name in self.config.models:
+            result.add(self.run_model(name, splits, label_space))
+        return result
+
+    def run_model(
+        self, name: str, splits: DatasetSplits, label_space: Sequence[str]
+    ) -> ModelResult:
+        """Train and evaluate a single named model."""
+        kwargs = dict(self.config.statistical_kwargs.get(name, {}))
+        model = create_model(
+            name,
+            label_space=label_space,
+            lstm_config=self.config.lstm_config,
+            transformer_config=self.config.transformer_config,
+            **kwargs,
+        )
+        start = time.perf_counter()
+        model.fit(splits.train, splits.validation)
+        elapsed = time.perf_counter() - start
+
+        metrics = model.evaluate(splits.test)
+        validation_metrics = (
+            model.evaluate(splits.validation) if len(splits.validation) else None
+        )
+        history = {}
+        extra: dict = {}
+        if getattr(model, "history", None) is not None:
+            history = model.history.as_dict()
+        pretraining = getattr(model, "pretraining_result", None)
+        if pretraining is not None:
+            extra["mlm_losses"] = list(pretraining.losses_per_epoch)
+            extra["mlm_steps"] = pretraining.total_steps
+        return ModelResult(
+            model_name=name,
+            metrics=metrics,
+            validation_metrics=validation_metrics,
+            history=history,
+            train_seconds=elapsed,
+            extra=extra,
+        )
+
+
+def run_table_iv_experiment(
+    models: Sequence[str] = MODEL_NAMES,
+    scale: float = 0.02,
+    seed: int = 7,
+    corpus: RecipeDB | None = None,
+    lstm_config: LSTMClassifierConfig | None = None,
+    transformer_config: TransformerClassifierConfig | None = None,
+) -> ExperimentResult:
+    """Convenience wrapper running the full Table IV experiment.
+
+    Args:
+        models: Which Table IV models to include.
+        scale: Synthetic-corpus scale (ignored when *corpus* is given).
+        seed: PRNG seed.
+        corpus: Pre-built corpus to use instead of generating one.
+        lstm_config / transformer_config: Optional model-size overrides.
+
+    Returns:
+        The experiment result with one :class:`ModelResult` per model.
+    """
+    config = ExperimentConfig(
+        models=tuple(models),
+        scale=scale,
+        seed=seed,
+        lstm_config=lstm_config,
+        transformer_config=transformer_config,
+    )
+    return ExperimentRunner(config, corpus=corpus).run()

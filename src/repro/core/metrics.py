@@ -1,0 +1,148 @@
+"""Evaluation metrics reported in Table IV of the paper.
+
+For every model the paper reports accuracy, loss (cross-entropy), precision,
+recall and F1 score.  Precision/recall/F1 are macro-averaged over classes,
+which matches the magnitude relationship between the paper's accuracy and
+P/R/F1 columns on the imbalanced 26-class problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClassificationMetrics:
+    """The five Table IV metrics plus the confusion matrix."""
+
+    accuracy: float
+    loss: float
+    precision: float
+    recall: float
+    f1: float
+    confusion: np.ndarray
+
+    def as_dict(self) -> dict[str, float]:
+        """The scalar metrics as a plain dict (confusion matrix excluded)."""
+        return {
+            "accuracy": self.accuracy,
+            "loss": self.loss,
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+        }
+
+    def table_row(self) -> dict[str, float]:
+        """Row formatted like Table IV (accuracy in percent)."""
+        return {
+            "Accuracy": round(self.accuracy * 100.0, 2),
+            "Loss": round(self.loss, 2),
+            "Precision": round(self.precision, 2),
+            "Recall": round(self.recall, 2),
+            "F1 Score": round(self.f1, 2),
+        }
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    _check_lengths(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> np.ndarray:
+    """Confusion matrix with rows = true class, columns = predicted class."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    _check_lengths(y_true, y_pred)
+    if n_classes < 1:
+        raise ValueError("n_classes must be positive")
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int, average: str = "macro"
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 with macro or weighted averaging.
+
+    Classes absent from ``y_true`` are excluded from macro averaging (their
+    recall is undefined), matching scikit-learn's behaviour with
+    ``zero_division=0`` in the cases exercised here.
+    """
+    if average not in ("macro", "weighted"):
+        raise ValueError(f"average must be 'macro' or 'weighted', got {average!r}")
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        f1 = np.where(
+            precision + recall > 0, 2 * precision * recall / (precision + recall), 0.0
+        )
+
+    present = actual > 0
+    if not present.any():
+        return 0.0, 0.0, 0.0
+    if average == "macro":
+        return (
+            float(precision[present].mean()),
+            float(recall[present].mean()),
+            float(f1[present].mean()),
+        )
+    weights = actual[present] / actual[present].sum()
+    return (
+        float((precision[present] * weights).sum()),
+        float((recall[present] * weights).sum()),
+        float((f1[present] * weights).sum()),
+    )
+
+
+def log_loss(y_true: np.ndarray, probabilities: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean categorical cross-entropy of predicted *probabilities*."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if probabilities.ndim != 2:
+        raise ValueError("probabilities must be 2-D (n_samples, n_classes)")
+    _check_lengths(y_true, probabilities)
+    clipped = np.clip(probabilities, eps, 1.0)
+    clipped = clipped / clipped.sum(axis=1, keepdims=True)
+    picked = clipped[np.arange(len(y_true)), y_true]
+    return float(-np.mean(np.log(picked)))
+
+
+def evaluate_predictions(
+    y_true: np.ndarray,
+    probabilities: np.ndarray,
+    n_classes: int | None = None,
+    average: str = "macro",
+) -> ClassificationMetrics:
+    """Compute the full Table IV metric set from predicted probabilities."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if n_classes is None:
+        n_classes = probabilities.shape[1]
+    y_pred = probabilities.argmax(axis=1)
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, n_classes, average=average)
+    return ClassificationMetrics(
+        accuracy=accuracy_score(y_true, y_pred),
+        loss=log_loss(y_true, probabilities),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        confusion=confusion_matrix(y_true, y_pred, n_classes),
+    )
+
+
+def _check_lengths(y_true: np.ndarray, other: np.ndarray) -> None:
+    if len(y_true) != len(other):
+        raise ValueError(f"length mismatch: {len(y_true)} != {len(other)}")
+    if len(y_true) == 0:
+        raise ValueError("cannot evaluate empty predictions")

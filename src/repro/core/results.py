@@ -1,0 +1,92 @@
+"""Serialisable result records for experiments."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.metrics import ClassificationMetrics
+
+
+@dataclass
+class ModelResult:
+    """Result of training and evaluating one model.
+
+    Attributes:
+        model_name: Registry name of the model.
+        metrics: Test-set metrics (the Table IV row).
+        validation_metrics: Validation-set metrics, when computed.
+        history: Per-epoch training history of neural models (empty for the
+            statistical models).
+        train_seconds: Wall-clock training time.
+        extra: Free-form extras (e.g. MLM pretraining losses).
+    """
+
+    model_name: str
+    metrics: ClassificationMetrics
+    validation_metrics: ClassificationMetrics | None = None
+    history: dict[str, list[float]] = field(default_factory=dict)
+    train_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view (confusion matrices as nested lists)."""
+        payload = {
+            "model_name": self.model_name,
+            "metrics": self.metrics.as_dict(),
+            "confusion": self.metrics.confusion.tolist(),
+            "history": self.history,
+            "train_seconds": self.train_seconds,
+            "extra": self.extra,
+        }
+        if self.validation_metrics is not None:
+            payload["validation_metrics"] = self.validation_metrics.as_dict()
+        return payload
+
+
+@dataclass
+class ExperimentResult:
+    """Results of a full experiment run (one corpus, several models)."""
+
+    config: dict
+    split_sizes: dict[str, int]
+    model_results: dict[str, ModelResult] = field(default_factory=dict)
+
+    def add(self, result: ModelResult) -> None:
+        """Record *result* under its model name."""
+        self.model_results[result.model_name] = result
+
+    def accuracy_ranking(self) -> list[tuple[str, float]]:
+        """Models sorted by descending test accuracy."""
+        pairs = [
+            (name, result.metrics.accuracy) for name, result in self.model_results.items()
+        ]
+        return sorted(pairs, key=lambda pair: -pair[1])
+
+    def best_model(self) -> str:
+        """Name of the model with the highest test accuracy."""
+        ranking = self.accuracy_ranking()
+        if not ranking:
+            raise ValueError("experiment has no model results")
+        return ranking[0][0]
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view of the whole experiment."""
+        return {
+            "config": self.config,
+            "split_sizes": self.split_sizes,
+            "models": {name: result.to_dict() for name, result in self.model_results.items()},
+        }
+
+    def save_json(self, path: str | Path) -> Path:
+        """Write the experiment result to *path* as JSON."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> dict:
+        """Load a previously saved result as a plain dict."""
+        return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,54 @@
+"""Recipe data substrate.
+
+This package provides the data layer of the reproduction: the recipe and
+cuisine schema, the synthetic RecipeDB generator calibrated to the statistics
+reported in the paper (Tables I-III), corpus statistics, stratified splitting
+and on-disk storage.
+
+The real RecipeDB corpus (118,071 recipes scraped from AllRecipes, Epicurious,
+Food Network and TarlaDalal) is not redistributable and is served from an
+online resource, so the reproduction ships a generator that produces a corpus
+with the same cuisine distribution, vocabulary sizes, sparsity and sequential
+structure.  See ``DESIGN.md`` for the substitution rationale.
+"""
+
+from repro.data.cuisines import (
+    CONTINENT_OF_CUISINE,
+    CUISINE_RECIPE_COUNTS,
+    CUISINES,
+    PAPER_TOTAL_RECIPES,
+    continent_of,
+)
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator, generate_recipedb
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe, TokenKind
+from repro.data.splits import DatasetSplits, train_val_test_split
+from repro.data.statistics import (
+    CorpusStatistics,
+    compute_corpus_statistics,
+    cumulative_frequency_table,
+    sparsity_ratio,
+)
+from repro.data.storage import load_recipes_jsonl, save_recipes_jsonl
+
+__all__ = [
+    "CONTINENT_OF_CUISINE",
+    "CUISINE_RECIPE_COUNTS",
+    "CUISINES",
+    "PAPER_TOTAL_RECIPES",
+    "continent_of",
+    "GeneratorConfig",
+    "RecipeDBGenerator",
+    "generate_recipedb",
+    "RecipeDB",
+    "Recipe",
+    "TokenKind",
+    "DatasetSplits",
+    "train_val_test_split",
+    "CorpusStatistics",
+    "compute_corpus_statistics",
+    "cumulative_frequency_table",
+    "sparsity_ratio",
+    "load_recipes_jsonl",
+    "save_recipes_jsonl",
+]

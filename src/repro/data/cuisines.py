@@ -1,0 +1,112 @@
+"""Cuisine taxonomy and per-cuisine recipe counts from the paper.
+
+Table II of the paper lists 26 cuisines and the number of RecipeDB recipes in
+each.  These constants drive the synthetic generator so that the reproduced
+corpus has exactly the class distribution the paper evaluates on, and they are
+also what the Table II benchmark checks against.
+"""
+
+from __future__ import annotations
+
+# Table II of the paper: cuisine -> number of recipes.
+CUISINE_RECIPE_COUNTS: dict[str, int] = {
+    "Australian": 5823,
+    "Belgian": 1060,
+    "Canadian": 6700,
+    "Caribbean": 3026,
+    "Central American": 460,
+    "Chinese and Mongolian": 5896,
+    "Deutschland": 4323,
+    "Eastern European": 2503,
+    "French": 6381,
+    "Greek": 4185,
+    "Indian Subcontinent": 6464,
+    "Irish": 2532,
+    "Italian": 16582,
+    "Japanese": 2041,
+    "Korean": 668,
+    "Mexican": 14463,
+    "Middle Eastern": 3905,
+    "Northern Africa": 1611,
+    "Rest Africa": 2740,
+    "Scandinavian": 2811,
+    "South American": 7176,
+    "Southeast Asian": 1940,
+    "Spanish and Portuguese": 2844,
+    "Thai": 2605,
+    "UK": 4401,
+    "US": 5031,
+}
+
+#: Cuisine names in a stable, alphabetical order (the label space).
+CUISINES: tuple[str, ...] = tuple(sorted(CUISINE_RECIPE_COUNTS))
+
+#: Total number of recipes in RecipeDB as reported by the paper.  Note that
+#: the paper's own Table II sums to 118,171 — 100 recipes more than the total
+#: the text quotes; we keep both values verbatim.
+PAPER_TOTAL_RECIPES: int = 118_071
+TABLE_II_TOTAL_RECIPES: int = sum(CUISINE_RECIPE_COUNTS.values())
+
+# Mapping from cuisine to the continent label used in Table I of the paper.
+CONTINENT_OF_CUISINE: dict[str, str] = {
+    "Australian": "Australasian",
+    "Belgian": "European",
+    "Canadian": "North American",
+    "Caribbean": "Latin American",
+    "Central American": "Latin American",
+    "Chinese and Mongolian": "Asian",
+    "Deutschland": "European",
+    "Eastern European": "European",
+    "French": "European",
+    "Greek": "European",
+    "Indian Subcontinent": "Asian",
+    "Irish": "European",
+    "Italian": "European",
+    "Japanese": "Asian",
+    "Korean": "Asian",
+    "Mexican": "Latin American",
+    "Middle Eastern": "African",
+    "Northern Africa": "African",
+    "Rest Africa": "African",
+    "Scandinavian": "European",
+    "South American": "Latin American",
+    "Southeast Asian": "Asian",
+    "Spanish and Portuguese": "European",
+    "Thai": "Asian",
+    "UK": "European",
+    "US": "North American",
+}
+
+
+def continent_of(cuisine: str) -> str:
+    """Return the continent label for *cuisine*.
+
+    Raises ``KeyError`` for unknown cuisines so typos surface immediately.
+    """
+    return CONTINENT_OF_CUISINE[cuisine]
+
+
+def cuisine_index(cuisine: str) -> int:
+    """Return the integer label of *cuisine* in the canonical label space."""
+    try:
+        return CUISINES.index(cuisine)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise KeyError(f"unknown cuisine: {cuisine!r}") from exc
+
+
+def scaled_cuisine_counts(scale: float, min_per_cuisine: int = 4) -> dict[str, int]:
+    """Scale the Table II counts by *scale*, keeping every cuisine represented.
+
+    The reproduction runs most experiments on a fraction of the full corpus
+    size (pure-NumPy transformers are slow); this helper keeps the class
+    *proportions* of Table II while ensuring each cuisine retains at least
+    ``min_per_cuisine`` recipes so stratified 7:1:2 splits remain possible.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    if min_per_cuisine < 1:
+        raise ValueError(f"min_per_cuisine must be >= 1, got {min_per_cuisine}")
+    return {
+        cuisine: max(min_per_cuisine, round(count * scale))
+        for cuisine, count in CUISINE_RECIPE_COUNTS.items()
+    }

@@ -1,0 +1,154 @@
+"""Base culinary lexicon used by the synthetic RecipeDB generator.
+
+RecipeDB contains 20,280 unique ingredients, 256 unique processes and 69
+unique utensils mined from real recipe text.  The generator reconstructs a
+vocabulary of comparable size and shape by combining the base ingredient
+nouns below with modifiers (``"red" + "lentil"``, ``"smoked" + "paprika"``)
+the same way real ingredient phrases are built, while processes and utensils
+are drawn from fixed lists of realistic terms padded with derived variants.
+
+The specific words do not need to match RecipeDB item-for-item — what matters
+for the experiments is the vocabulary size, the Zipf-like frequency profile
+(Table III) and the fact that different cuisines prefer different subsets.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Ingredients
+# ---------------------------------------------------------------------------
+
+#: Core ingredient nouns.  Every cuisine draws from these, with
+#: cuisine-specific preference weights assigned by the generator.
+BASE_INGREDIENTS: tuple[str, ...] = (
+    "onion", "garlic", "tomato", "olive oil", "butter", "salt", "pepper",
+    "sugar", "flour", "egg", "milk", "cream", "cheese", "chicken", "beef",
+    "pork", "lamb", "fish", "shrimp", "rice", "pasta", "noodle", "potato",
+    "carrot", "celery", "bell pepper", "chili", "ginger", "lemon", "lime",
+    "orange", "apple", "banana", "coconut", "peanut", "almond", "walnut",
+    "cashew", "soy sauce", "vinegar", "wine", "beer", "stock", "broth",
+    "yogurt", "honey", "maple syrup", "cinnamon", "cumin", "coriander",
+    "turmeric", "paprika", "oregano", "basil", "thyme", "rosemary", "parsley",
+    "cilantro", "mint", "dill", "bay leaf", "clove", "cardamom", "nutmeg",
+    "vanilla", "chocolate", "cocoa", "coffee", "tea", "lentil", "chickpea",
+    "black bean", "kidney bean", "tofu", "mushroom", "spinach", "kale",
+    "cabbage", "broccoli", "cauliflower", "zucchini", "eggplant", "cucumber",
+    "lettuce", "avocado", "corn", "pea", "green bean", "asparagus", "beet",
+    "radish", "turnip", "squash", "pumpkin", "sweet potato", "yam", "okra",
+    "plantain", "mango", "pineapple", "papaya", "date", "fig", "raisin",
+    "apricot", "peach", "pear", "plum", "cherry", "strawberry", "blueberry",
+    "raspberry", "cranberry", "pomegranate", "sesame", "sunflower seed",
+    "quinoa", "barley", "oat", "buckwheat", "couscous", "bulgur", "semolina",
+    "cornmeal", "breadcrumb", "tortilla", "pita", "baguette", "mozzarella",
+    "parmesan", "cheddar", "feta", "ricotta", "goat cheese", "blue cheese",
+    "bacon", "ham", "sausage", "chorizo", "salami", "prosciutto", "anchovy",
+    "sardine", "tuna", "salmon", "cod", "trout", "mackerel", "crab",
+    "lobster", "mussel", "clam", "oyster", "squid", "octopus", "scallop",
+    "duck", "turkey", "quail", "rabbit", "venison", "veal", "liver",
+    "gelatin", "yeast", "baking powder", "baking soda", "cornstarch",
+    "molasses", "brown sugar", "powdered sugar", "condensed milk",
+    "buttermilk", "sour cream", "mayonnaise", "mustard", "ketchup",
+    "worcestershire sauce", "fish sauce", "oyster sauce", "hoisin sauce",
+    "miso", "wasabi", "seaweed", "nori", "kimchi", "sauerkraut", "pickle",
+    "olive", "caper", "sun dried tomato", "artichoke", "fennel", "leek",
+    "shallot", "scallion", "chive", "horseradish", "tamarind", "saffron",
+    "star anise", "fenugreek", "mustard seed", "poppy seed", "caraway",
+    "juniper berry", "lemongrass", "galangal", "kaffir lime", "curry leaf",
+    "curry powder", "garam masala", "five spice", "allspice", "sumac",
+    "za'atar", "harissa", "tahini", "peanut butter", "almond butter",
+    "coconut milk", "coconut oil", "sesame oil", "canola oil", "vegetable oil",
+    "sunflower oil", "lard", "ghee", "margarine", "shortening", "red lentil",
+    "basmati rice", "jasmine rice", "arborio rice", "wild rice", "brown rice",
+    "white sugar", "red onion", "white onion", "spring onion", "rom tomato",
+    "cherry tomato", "tomato paste", "tomato sauce", "chunky salsa",
+    "green chili", "red chili", "jalapeno", "habanero", "chipotle",
+    "cayenne", "black pepper", "white pepper", "pink salt", "sea salt",
+    "kosher salt", "water", "ice", "apple cider", "orange juice",
+    "lemon juice", "lime juice", "rose water", "almond extract",
+    "vanilla extract", "dark chocolate", "white chocolate", "heavy cream",
+    "whipping cream", "half and half", "evaporated milk", "skim milk",
+    "whole milk", "oven buttermilk biscuit",
+)
+
+#: Modifiers combined with base ingredients to build the long tail of rare,
+#: highly specific ingredient phrases (e.g. ``"lasagna noodle wheat"``).
+INGREDIENT_MODIFIERS: tuple[str, ...] = (
+    "fresh", "dried", "frozen", "canned", "smoked", "roasted", "toasted",
+    "ground", "whole", "chopped", "minced", "sliced", "diced", "crushed",
+    "grated", "shredded", "peeled", "seedless", "boneless", "skinless",
+    "organic", "wild", "baby", "large", "small", "medium", "extra virgin",
+    "low fat", "fat free", "reduced sodium", "unsalted", "salted", "sweet",
+    "sour", "spicy", "hot", "mild", "ripe", "green", "red", "yellow",
+    "white", "black", "purple", "golden", "dark", "light", "aged", "raw",
+    "cooked", "pickled", "fermented", "cured", "stuffed", "marinated",
+    "glazed", "candied", "crystallized", "instant", "quick cooking",
+    "long grain", "short grain", "stone ground", "gluten free", "whole wheat",
+    "multigrain", "sprouted", "blanched", "slivered", "flaked", "crumbled",
+    "julienned", "thick cut", "thin cut", "center cut", "lean", "free range",
+    "grass fed", "pasture raised", "heirloom", "vine ripened", "sun dried",
+    "double", "triple", "premium", "imported", "homemade", "artisan",
+    "rustic", "country style", "lasagna", "wheat",
+)
+
+# ---------------------------------------------------------------------------
+# Processes
+# ---------------------------------------------------------------------------
+
+#: Cooking processes (verbs) as mined by RecipeDB.  The paper reports 256
+#: unique processes with "add" being the most frequent (188,004 occurrences).
+BASE_PROCESSES: tuple[str, ...] = (
+    "add", "stir", "mix", "heat", "cook", "boil", "simmer", "fry", "saute",
+    "bake", "roast", "grill", "broil", "steam", "poach", "braise", "stew",
+    "blanch", "sear", "toast", "melt", "whisk", "beat", "whip", "fold",
+    "knead", "roll", "cut", "chop", "slice", "dice", "mince", "grate",
+    "shred", "peel", "core", "pit", "seed", "trim", "crush", "mash",
+    "puree", "blend", "strain", "drain", "rinse", "wash", "soak", "marinate",
+    "season", "sprinkle", "drizzle", "pour", "spread", "brush", "coat",
+    "dredge", "bread", "batter", "stuff", "fill", "layer", "arrange",
+    "garnish", "serve", "chill", "refrigerate", "freeze", "thaw", "rest",
+    "cool", "warm", "reheat", "preheat", "reduce", "thicken", "dissolve",
+    "caramelize", "deglaze", "flambe", "baste", "glaze", "score", "skewer",
+    "wrap", "cover", "uncover", "flip", "turn", "toss", "shake", "press",
+    "flatten", "pound", "tenderize", "cure", "smoke", "ferment", "pickle",
+    "proof", "rise", "punch", "shape", "form", "divide", "portion",
+    "measure", "weigh", "sift", "combine", "incorporate", "emulsify",
+    "temper", "scald", "simmer gently", "bring", "remove", "transfer",
+    "discard", "reserve", "set aside", "let stand", "scrape", "skim",
+    "taste", "adjust", "finish", "top", "dust", "line", "grease", "oil",
+    "butter", "flour", "crimp", "seal", "pierce", "prick", "vent", "carve",
+    "slice thinly", "julienne", "cube", "quarter", "halve", "smooth",
+    "crisp", "brown", "char", "toast lightly", "stir fry", "deep fry",
+    "pan fry", "shallow fry", "air dry", "sun dry", "dehydrate", "infuse",
+    "steep", "brew", "muddle", "zest", "juice", "squeeze", "grind",
+    "pulverize", "cream", "rub", "massage", "truss", "tie", "roll out",
+    "stretch", "fold in", "swirl", "ripple", "pipe", "spoon", "ladle",
+    "scoop", "pack", "tamp", "chill thoroughly", "plate", "assemble",
+)
+
+# ---------------------------------------------------------------------------
+# Utensils
+# ---------------------------------------------------------------------------
+
+#: Kitchen utensils/vessels; the paper reports 69 unique utensils.
+BASE_UTENSILS: tuple[str, ...] = (
+    "pan", "pot", "saucepan", "skillet", "wok", "stockpot", "dutch oven",
+    "frying pan", "griddle", "baking sheet", "baking dish", "casserole dish",
+    "roasting pan", "loaf pan", "cake pan", "muffin tin", "pie dish",
+    "springform pan", "ramekin", "bowl", "mixing bowl", "salad bowl",
+    "serving bowl", "plate", "platter", "cutting board", "knife",
+    "chef knife", "paring knife", "bread knife", "spoon", "wooden spoon",
+    "slotted spoon", "ladle", "spatula", "tongs", "whisk", "fork", "peeler",
+    "grater", "zester", "colander", "strainer", "sieve", "funnel",
+    "measuring cup", "measuring spoon", "scale", "rolling pin", "pastry brush",
+    "blender", "food processor", "processor", "mixer", "stand mixer",
+    "hand mixer", "mortar and pestle", "grill", "oven", "microwave",
+    "steamer", "pressure cooker", "slow cooker", "rice cooker", "toaster",
+    "thermometer", "timer", "foil", "parchment paper",
+)
+
+#: Real-corpus target sizes from the paper (used as generator defaults).
+PAPER_UNIQUE_INGREDIENTS = 20_280
+PAPER_UNIQUE_PROCESSES = 256
+PAPER_UNIQUE_UTENSILS = 69
+PAPER_MOST_FREQUENT_PROCESS = "add"
+PAPER_MOST_FREQUENT_PROCESS_COUNT = 188_004

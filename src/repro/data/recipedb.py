@@ -1,0 +1,146 @@
+"""RecipeDB corpus container.
+
+Holds a collection of :class:`~repro.data.schema.Recipe` objects together with
+convenience accessors for labels, texts and per-cuisine grouping — the views
+the preprocessing and modelling layers consume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.data.cuisines import CUISINES
+from repro.data.schema import Recipe, TokenKind, validate_recipes
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, type checking only
+    from repro.data.generator import GeneratorConfig
+
+
+@dataclass
+class RecipeDB:
+    """An in-memory RecipeDB corpus.
+
+    Attributes:
+        recipes: The recipes, in corpus order.
+        generator_config: The generator configuration that produced the
+            corpus, if it is synthetic; ``None`` for corpora loaded from disk
+            without provenance.
+    """
+
+    recipes: list[Recipe]
+    generator_config: "GeneratorConfig | None" = None
+
+    def __post_init__(self) -> None:
+        validate_recipes(self.recipes)
+
+    # ------------------------------------------------------------------
+    # basic container behaviour
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.recipes)
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self.recipes)
+
+    def __getitem__(self, index: int) -> Recipe:
+        return self.recipes[index]
+
+    # ------------------------------------------------------------------
+    # column views
+    # ------------------------------------------------------------------
+    @property
+    def cuisines(self) -> list[str]:
+        """Cuisine label of each recipe, in corpus order."""
+        return [recipe.cuisine for recipe in self.recipes]
+
+    @property
+    def continents(self) -> list[str]:
+        """Continent label of each recipe, in corpus order."""
+        return [recipe.continent for recipe in self.recipes]
+
+    @property
+    def sequences(self) -> list[tuple[str, ...]]:
+        """Raw item sequences, in corpus order."""
+        return [recipe.sequence for recipe in self.recipes]
+
+    def texts(self) -> list[str]:
+        """Whitespace-joined document form of every recipe."""
+        return [recipe.as_text() for recipe in self.recipes]
+
+    def labels(self, label_space: Sequence[str] = CUISINES) -> list[int]:
+        """Integer labels of every recipe under *label_space*."""
+        index = {name: i for i, name in enumerate(label_space)}
+        return [index[recipe.cuisine] for recipe in self.recipes]
+
+    # ------------------------------------------------------------------
+    # aggregate views
+    # ------------------------------------------------------------------
+    def cuisine_counts(self) -> dict[str, int]:
+        """Number of recipes per cuisine (Table II of the paper)."""
+        counts = Counter(self.cuisines)
+        return {cuisine: counts.get(cuisine, 0) for cuisine in sorted(counts)}
+
+    def present_cuisines(self) -> tuple[str, ...]:
+        """Cuisines that actually occur in the corpus, in canonical order."""
+        present = set(self.cuisines)
+        return tuple(c for c in CUISINES if c in present)
+
+    def token_counts(self, kind: TokenKind | None = None) -> Counter:
+        """Frequency of every item, optionally restricted to one substructure."""
+        counts: Counter = Counter()
+        for recipe in self.recipes:
+            if kind is None or not recipe.kinds:
+                counts.update(recipe.sequence)
+            else:
+                counts.update(
+                    item for item, k in zip(recipe.sequence, recipe.kinds) if k is kind
+                )
+        return counts
+
+    def vocabulary(self, kind: TokenKind | None = None) -> tuple[str, ...]:
+        """Distinct items in the corpus, optionally per substructure."""
+        return tuple(sorted(self.token_counts(kind)))
+
+    # ------------------------------------------------------------------
+    # transformation
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Recipe], bool]) -> "RecipeDB":
+        """Return a new corpus containing the recipes matching *predicate*."""
+        return RecipeDB(
+            recipes=[r for r in self.recipes if predicate(r)],
+            generator_config=self.generator_config,
+        )
+
+    def restrict_to_cuisines(self, cuisines: Sequence[str]) -> "RecipeDB":
+        """Keep only recipes whose cuisine is in *cuisines*.
+
+        This is the operation behind the class-imbalance ablation (the paper's
+        §VII discusses dropping low-frequency cuisines).
+        """
+        allowed = set(cuisines)
+        return self.filter(lambda recipe: recipe.cuisine in allowed)
+
+    def drop_rare_cuisines(self, min_recipes: int) -> "RecipeDB":
+        """Drop cuisines with fewer than *min_recipes* recipes."""
+        counts = self.cuisine_counts()
+        keep = [cuisine for cuisine, count in counts.items() if count >= min_recipes]
+        return self.restrict_to_cuisines(keep)
+
+    def subset(self, indices: Sequence[int]) -> "RecipeDB":
+        """Return a new corpus containing the recipes at *indices*."""
+        return RecipeDB(
+            recipes=[self.recipes[i] for i in indices],
+            generator_config=self.generator_config,
+        )
+
+    def sample(self, n: int, seed: int = 0) -> "RecipeDB":
+        """Return a uniformly sampled sub-corpus of *n* recipes."""
+        import numpy as np
+
+        if n > len(self.recipes):
+            raise ValueError(f"cannot sample {n} recipes from a corpus of {len(self.recipes)}")
+        rng = np.random.default_rng(seed)
+        indices = rng.choice(len(self.recipes), size=n, replace=False)
+        return self.subset(sorted(int(i) for i in indices))

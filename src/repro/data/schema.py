@@ -1,0 +1,121 @@
+"""Recipe schema.
+
+A RecipeDB recipe, as used by the paper, is a *sequence* of items drawn from
+three substructures — ingredients, cooking processes and utensils — in the
+order they occur in the instructions.  The paper's Table I shows examples such
+as ``['water', 'red lentil', 'rom tomato', ..., 'smooth', 'stir', 'heat']``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class TokenKind(str, enum.Enum):
+    """Which RecipeDB substructure a sequence item belongs to."""
+
+    INGREDIENT = "ingredient"
+    PROCESS = "process"
+    UTENSIL = "utensil"
+
+
+@dataclass(frozen=True, slots=True)
+class Recipe:
+    """A single sequentially structured recipe.
+
+    Attributes:
+        recipe_id: Unique integer identifier (RecipeDB "Recipe ID" column).
+        cuisine: Cuisine label, one of :data:`repro.data.cuisines.CUISINES`.
+        continent: Continent label (derived from the cuisine).
+        sequence: Ordered list of items (ingredients, then interleaved
+            processes/utensils as they occur while cooking).
+        kinds: For each item in ``sequence``, which substructure it came
+            from.  Always the same length as ``sequence``.
+    """
+
+    recipe_id: int
+    cuisine: str
+    continent: str
+    sequence: tuple[str, ...]
+    kinds: tuple[TokenKind, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kinds and len(self.kinds) != len(self.sequence):
+            raise ValueError(
+                "kinds must be empty or the same length as sequence "
+                f"({len(self.kinds)} != {len(self.sequence)})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.sequence)
+
+    @property
+    def ingredients(self) -> tuple[str, ...]:
+        """Items of the sequence tagged as ingredients."""
+        return self._items_of_kind(TokenKind.INGREDIENT)
+
+    @property
+    def processes(self) -> tuple[str, ...]:
+        """Items of the sequence tagged as cooking processes."""
+        return self._items_of_kind(TokenKind.PROCESS)
+
+    @property
+    def utensils(self) -> tuple[str, ...]:
+        """Items of the sequence tagged as utensils."""
+        return self._items_of_kind(TokenKind.UTENSIL)
+
+    def _items_of_kind(self, kind: TokenKind) -> tuple[str, ...]:
+        if not self.kinds:
+            return ()
+        return tuple(
+            item for item, item_kind in zip(self.sequence, self.kinds) if item_kind is kind
+        )
+
+    def as_text(self) -> str:
+        """Render the sequence as a whitespace-joined document.
+
+        Multi-word items (e.g. ``"red lentil"``) keep their internal spaces;
+        the text form is what the statistical (TF-IDF) pipeline consumes.
+        """
+        return " ".join(self.sequence)
+
+    def to_dict(self) -> dict:
+        """Serialize to a plain dict suitable for JSON."""
+        return {
+            "recipe_id": self.recipe_id,
+            "cuisine": self.cuisine,
+            "continent": self.continent,
+            "sequence": list(self.sequence),
+            "kinds": [kind.value for kind in self.kinds],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Recipe":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            recipe_id=int(payload["recipe_id"]),
+            cuisine=str(payload["cuisine"]),
+            continent=str(payload["continent"]),
+            sequence=tuple(payload["sequence"]),
+            kinds=tuple(TokenKind(kind) for kind in payload.get("kinds", ())),
+        )
+
+
+def validate_recipes(recipes: Iterable[Recipe]) -> None:
+    """Validate a collection of recipes, raising ``ValueError`` on problems.
+
+    Checks for duplicate recipe ids and empty sequences — both would silently
+    corrupt downstream statistics if allowed through.
+    """
+    seen: set[int] = set()
+    for recipe in recipes:
+        if recipe.recipe_id in seen:
+            raise ValueError(f"duplicate recipe_id: {recipe.recipe_id}")
+        seen.add(recipe.recipe_id)
+        if not recipe.sequence:
+            raise ValueError(f"recipe {recipe.recipe_id} has an empty sequence")

@@ -1,0 +1,127 @@
+"""Train/validation/test splitting.
+
+The paper splits RecipeDB 7:1:2 into training, validation and test sets
+(82,650 / 12,021 / 23,380 recipes out of 118,071).  The reproduction uses a
+stratified split so every cuisine keeps its Table II proportion in each split,
+which is what a 7:1:2 random split achieves in expectation on a corpus this
+size.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.recipedb import RecipeDB
+
+#: The split ratios used by the paper (train : validation : test).
+PAPER_SPLIT_RATIOS: tuple[float, float, float] = (0.7, 0.1, 0.2)
+
+
+@dataclass
+class DatasetSplits:
+    """The three corpus splits used for every experiment."""
+
+    train: RecipeDB
+    validation: RecipeDB
+    test: RecipeDB
+
+    def __post_init__(self) -> None:
+        train_ids = {r.recipe_id for r in self.train}
+        val_ids = {r.recipe_id for r in self.validation}
+        test_ids = {r.recipe_id for r in self.test}
+        if train_ids & val_ids or train_ids & test_ids or val_ids & test_ids:
+            raise ValueError("splits overlap: the same recipe appears in two splits")
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        """(train, validation, test) sizes."""
+        return len(self.train), len(self.validation), len(self.test)
+
+    def summary(self) -> dict[str, int]:
+        """Split sizes keyed by split name."""
+        return {
+            "train": len(self.train),
+            "validation": len(self.validation),
+            "test": len(self.test),
+        }
+
+
+def train_val_test_split(
+    corpus: RecipeDB,
+    ratios: Sequence[float] = PAPER_SPLIT_RATIOS,
+    stratify: bool = True,
+    seed: int = 13,
+) -> DatasetSplits:
+    """Split *corpus* into train/validation/test subsets.
+
+    Args:
+        corpus: The corpus to split.
+        ratios: Three positive floats summing (approximately) to 1, in the
+            order train, validation, test.  Defaults to the paper's 7:1:2.
+        stratify: If true (default) the split preserves per-cuisine
+            proportions; every cuisine with at least three recipes gets at
+            least one recipe in each split.
+        seed: PRNG seed controlling the shuffle.
+
+    Returns:
+        A :class:`DatasetSplits` with disjoint subsets covering the corpus.
+
+    Raises:
+        ValueError: If the ratios are malformed or the corpus is too small to
+            populate all three splits.
+    """
+    if len(ratios) != 3:
+        raise ValueError(f"expected 3 ratios, got {len(ratios)}")
+    if any(r <= 0 for r in ratios):
+        raise ValueError(f"ratios must be positive, got {ratios}")
+    total = float(sum(ratios))
+    if not np.isclose(total, 1.0, atol=1e-6):
+        ratios = tuple(r / total for r in ratios)
+    if len(corpus) < 3:
+        raise ValueError("corpus too small to split into three parts")
+
+    rng = np.random.default_rng(seed)
+    train_idx: list[int] = []
+    val_idx: list[int] = []
+    test_idx: list[int] = []
+
+    if stratify:
+        by_cuisine: dict[str, list[int]] = defaultdict(list)
+        for i, recipe in enumerate(corpus):
+            by_cuisine[recipe.cuisine].append(i)
+        for indices in by_cuisine.values():
+            _assign(indices, ratios, rng, train_idx, val_idx, test_idx)
+    else:
+        _assign(list(range(len(corpus))), ratios, rng, train_idx, val_idx, test_idx)
+
+    return DatasetSplits(
+        train=corpus.subset(sorted(train_idx)),
+        validation=corpus.subset(sorted(val_idx)),
+        test=corpus.subset(sorted(test_idx)),
+    )
+
+
+def _assign(
+    indices: list[int],
+    ratios: Sequence[float],
+    rng: np.random.Generator,
+    train_idx: list[int],
+    val_idx: list[int],
+    test_idx: list[int],
+) -> None:
+    """Shuffle *indices* and distribute them across the three splits."""
+    shuffled = [indices[i] for i in rng.permutation(len(indices))]
+    n = len(shuffled)
+    n_train = int(round(n * ratios[0]))
+    n_val = int(round(n * ratios[1]))
+    # Guarantee non-empty validation/test whenever the group is large enough.
+    if n >= 3:
+        n_train = min(max(n_train, 1), n - 2)
+        n_val = min(max(n_val, 1), n - n_train - 1)
+    train_idx.extend(shuffled[:n_train])
+    val_idx.extend(shuffled[n_train : n_train + n_val])
+    test_idx.extend(shuffled[n_train + n_val :])

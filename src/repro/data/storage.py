@@ -1,0 +1,104 @@
+"""On-disk persistence of RecipeDB corpora.
+
+Two interchange formats are supported:
+
+* **JSONL** — one JSON object per recipe, lossless (keeps the per-item
+  substructure kinds).  This is the native format of the reproduction.
+* **CSV** — the flat ``Recipe ID / Continent / Cuisine / Recipe`` layout shown
+  in Table I of the paper, convenient for inspection in a spreadsheet.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe
+
+
+def save_recipes_jsonl(corpus: RecipeDB | Iterable[Recipe], path: str | Path) -> int:
+    """Write recipes to *path* as JSON lines.
+
+    Returns the number of recipes written.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for recipe in corpus:
+            handle.write(json.dumps(recipe.to_dict(), ensure_ascii=False))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_recipes_jsonl(path: str | Path) -> RecipeDB:
+    """Load a corpus previously written by :func:`save_recipes_jsonl`."""
+    path = Path(path)
+    recipes: list[Recipe] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
+            recipes.append(Recipe.from_dict(payload))
+    return RecipeDB(recipes=recipes)
+
+
+def save_recipes_csv(corpus: RecipeDB | Iterable[Recipe], path: str | Path) -> int:
+    """Write recipes to *path* in the Table I CSV layout.
+
+    The sequence is serialized as a Python-style list literal, mirroring the
+    presentation in the paper.  The substructure kinds are not preserved; use
+    JSONL for lossless round-trips.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["Recipe ID", "Continent", "Cuisine", "Recipe"])
+        for recipe in corpus:
+            writer.writerow(
+                [
+                    recipe.recipe_id,
+                    recipe.continent,
+                    recipe.cuisine,
+                    json.dumps(list(recipe.sequence), ensure_ascii=False),
+                ]
+            )
+            count += 1
+    return count
+
+
+def load_recipes_csv(path: str | Path) -> RecipeDB:
+    """Load a corpus previously written by :func:`save_recipes_csv`.
+
+    Substructure kinds are not recoverable from the CSV layout, so the loaded
+    recipes have empty ``kinds``.
+    """
+    from repro.data.cuisines import CONTINENT_OF_CUISINE
+
+    path = Path(path)
+    recipes: list[Recipe] = []
+    with path.open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            cuisine = row["Cuisine"]
+            continent = row.get("Continent") or CONTINENT_OF_CUISINE.get(cuisine, "Unknown")
+            recipes.append(
+                Recipe(
+                    recipe_id=int(row["Recipe ID"]),
+                    cuisine=cuisine,
+                    continent=continent,
+                    sequence=tuple(json.loads(row["Recipe"])),
+                )
+            )
+    return RecipeDB(recipes=recipes)

@@ -1,0 +1,21 @@
+"""Regeneration of the paper's tables and figures from library objects."""
+
+from repro.evaluation.figures import (
+    feature_frequency_histogram,
+    loss_curves,
+    normalized_accuracy,
+)
+from repro.evaluation.reports import format_table, render_ascii_chart
+from repro.evaluation.tables import table_i, table_ii, table_iii, table_iv
+
+__all__ = [
+    "table_i",
+    "table_ii",
+    "table_iii",
+    "table_iv",
+    "normalized_accuracy",
+    "loss_curves",
+    "feature_frequency_histogram",
+    "format_table",
+    "render_ascii_chart",
+]

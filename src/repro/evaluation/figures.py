@@ -1,0 +1,136 @@
+"""Regeneration of the paper's figures as data series.
+
+The arXiv source ships several figures (normalized model accuracy, training
+and validation loss curves, feature-frequency distributions, and architecture
+flow diagrams).  Matplotlib is not assumed to be available offline, so each
+figure is reproduced as the underlying data series plus an ASCII rendering via
+:func:`repro.evaluation.reports.render_ascii_chart`; the benchmark suite
+asserts on the data series.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.results import ExperimentResult
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import TokenKind
+from repro.models.registry import DISPLAY_NAMES, PAPER_TABLE_IV
+
+
+def normalized_accuracy(
+    result: ExperimentResult, include_paper: bool = True
+) -> dict[str, dict[str, float]]:
+    """Figure "Normalized_Model_Accuracy" — accuracy of each model divided by
+    the best model's accuracy.
+
+    Returns:
+        ``{"measured": {model: value}, "paper": {model: value}}`` (the paper
+        series is computed from Table IV when requested).
+    """
+    measured_raw = {
+        DISPLAY_NAMES.get(name, name): model_result.metrics.accuracy
+        for name, model_result in result.model_results.items()
+    }
+    series: dict[str, dict[str, float]] = {"measured": _normalize(measured_raw)}
+    if include_paper:
+        paper_raw = {
+            DISPLAY_NAMES[name]: values["Accuracy"]
+            for name, values in PAPER_TABLE_IV.items()
+            if name in result.model_results
+        }
+        series["paper"] = _normalize(paper_raw)
+    return series
+
+
+def _normalize(values: dict[str, float]) -> dict[str, float]:
+    if not values:
+        return {}
+    best = max(values.values())
+    if best <= 0:
+        return {key: 0.0 for key in values}
+    return {key: value / best for key, value in values.items()}
+
+
+def loss_curves(result: ExperimentResult, split: str = "train") -> dict[str, list[float]]:
+    """Figures "loss_training" / "loss_val" — per-epoch loss of the neural models.
+
+    Args:
+        result: Experiment result containing neural models with histories.
+        split: ``"train"`` or ``"val"``.
+
+    Returns:
+        Mapping from display model name to the loss series (empty for models
+        without a history, i.e. the statistical ones).
+    """
+    if split not in ("train", "val"):
+        raise ValueError(f"split must be 'train' or 'val', got {split!r}")
+    key = "train_loss" if split == "train" else "val_loss"
+    curves: dict[str, list[float]] = {}
+    for name, model_result in result.model_results.items():
+        history = model_result.history or {}
+        series = history.get(key, [])
+        if series:
+            curves[DISPLAY_NAMES.get(name, name)] = list(series)
+    return curves
+
+
+def accuracy_curves(result: ExperimentResult, split: str = "val") -> dict[str, list[float]]:
+    """Per-epoch accuracy curves of the neural models (companion to loss_curves)."""
+    if split not in ("train", "val"):
+        raise ValueError(f"split must be 'train' or 'val', got {split!r}")
+    key = "train_accuracy" if split == "train" else "val_accuracy"
+    curves: dict[str, list[float]] = {}
+    for name, model_result in result.model_results.items():
+        history = model_result.history or {}
+        series = history.get(key, [])
+        if series:
+            curves[DISPLAY_NAMES.get(name, name)] = list(series)
+    return curves
+
+
+def feature_frequency_histogram(
+    corpus: RecipeDB,
+    kind: TokenKind | None = None,
+    n_bins: int = 20,
+    top_k: int = 25,
+) -> dict:
+    """Figures "feat" / "feature" / "fig1" — feature frequency distribution.
+
+    Returns a dict with:
+        * ``"top_features"`` — the *top_k* most frequent features and counts;
+        * ``"histogram"`` — log-spaced occurrence-count bins and the number of
+          features falling in each (the long-tail shape);
+        * ``"total_features"`` — vocabulary size of the selected substructure.
+    """
+    counts = corpus.token_counts(kind)
+    if not counts:
+        return {"top_features": [], "histogram": [], "total_features": 0}
+    frequencies = sorted(counts.values(), reverse=True)
+    top = counts.most_common(top_k)
+
+    max_count = frequencies[0]
+    edges = [1]
+    while edges[-1] < max_count:
+        edges.append(edges[-1] * 2)
+    edges = edges[: n_bins + 1] if len(edges) > n_bins + 1 else edges
+    histogram: list[dict] = []
+    tally = Counter()
+    for value in frequencies:
+        for low, high in zip(edges[:-1], edges[1:]):
+            if low <= value < high:
+                tally[(low, high)] += 1
+                break
+        else:
+            tally[(edges[-1], None)] += 1
+    for low, high in zip(edges[:-1], edges[1:]):
+        histogram.append({"bin": f"[{low}, {high})", "features": tally.get((low, high), 0)})
+    overflow = tally.get((edges[-1], None), 0)
+    if overflow:
+        histogram.append({"bin": f">={edges[-1]}", "features": overflow})
+
+    return {
+        "top_features": [{"feature": feature, "count": count} for feature, count in top],
+        "histogram": histogram,
+        "total_features": len(counts),
+    }

@@ -1,0 +1,99 @@
+"""Plain-text rendering of tables and figures.
+
+The benchmark harness prints the regenerated tables with these helpers so the
+console output can be compared line by line with the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping], title: str | None = None, float_digits: int = 2) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        if isinstance(value, (list, tuple)):
+            return "[" + ", ".join(str(v) for v in value) + "]"
+        if value is None:
+            return "-"
+        return str(value)
+
+    rendered = [[render(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered)) for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    series: Mapping[str, float] | Mapping[str, Sequence[float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render a bar chart (scalar series) or sparkline chart (list series)."""
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not series:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    first_value = next(iter(series.values()))
+    if isinstance(first_value, (int, float)):
+        numeric: Mapping[str, float] = series  # type: ignore[assignment]
+        maximum = max(abs(float(v)) for v in numeric.values()) or 1.0
+        label_width = max(len(str(key)) for key in numeric)
+        for key, value in numeric.items():
+            bar = "#" * max(1, int(round(abs(float(value)) / maximum * width)))
+            lines.append(f"{str(key).ljust(label_width)} | {bar} {float(value):.4f}")
+        return "\n".join(lines)
+
+    label_width = max(len(str(key)) for key in series)
+    for key, values in series.items():  # type: ignore[assignment]
+        values = [float(v) for v in values]
+        spark = _sparkline(values)
+        tail = f"{values[-1]:.4f}" if values else "-"
+        lines.append(f"{str(key).ljust(label_width)} | {spark} (last={tail})")
+    return "\n".join(lines)
+
+
+def _sparkline(values: Iterable[float]) -> str:
+    values = list(values)
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    return "".join(blocks[int((value - low) / span * (len(blocks) - 1))] for value in values)
+
+
+def comparison_summary(measured: Mapping[str, float], paper: Mapping[str, float]) -> str:
+    """Two-column "measured vs paper" summary used by EXPERIMENTS.md."""
+    keys = list(paper) + [key for key in measured if key not in paper]
+    rows = [
+        {
+            "Metric": key,
+            "Measured": measured.get(key),
+            "Paper": paper.get(key),
+        }
+        for key in keys
+    ]
+    return format_table(rows)

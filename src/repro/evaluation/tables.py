@@ -1,0 +1,129 @@
+"""Regeneration of Tables I-IV of the paper.
+
+Each function returns plain data structures (lists of dicts) so they can be
+asserted on by the benchmarks and rendered with
+:func:`repro.evaluation.reports.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.results import ExperimentResult
+from repro.data.cuisines import CUISINE_RECIPE_COUNTS
+from repro.data.recipedb import RecipeDB
+from repro.data.statistics import (
+    PAPER_TABLE_III_HIGH,
+    PAPER_TABLE_III_LOW,
+    compute_corpus_statistics,
+)
+from repro.models.registry import DISPLAY_NAMES, PAPER_TABLE_IV
+
+
+def table_i(corpus: RecipeDB, per_continent: int = 1, max_items: int = 12) -> list[dict]:
+    """Table I — sample rows of the corpus, one (or more) per continent.
+
+    Returns rows with the paper's columns: Recipe ID, Continent, Cuisine and a
+    truncated view of the recipe sequence.
+    """
+    rows: list[dict] = []
+    seen: dict[str, int] = {}
+    for recipe in corpus:
+        taken = seen.get(recipe.continent, 0)
+        if taken >= per_continent:
+            continue
+        seen[recipe.continent] = taken + 1
+        sequence = list(recipe.sequence[:max_items])
+        if len(recipe.sequence) > max_items:
+            sequence.append("...")
+        rows.append(
+            {
+                "Recipe ID": recipe.recipe_id,
+                "Continent": recipe.continent,
+                "Cuisine": recipe.cuisine,
+                "Recipe": sequence,
+            }
+        )
+    rows.sort(key=lambda row: row["Continent"])
+    return rows
+
+
+def table_ii(corpus: RecipeDB) -> list[dict]:
+    """Table II — recipes per cuisine, side by side with the paper's counts."""
+    counts = corpus.cuisine_counts()
+    rows = []
+    for cuisine in sorted(CUISINE_RECIPE_COUNTS):
+        rows.append(
+            {
+                "Cuisine": cuisine,
+                "Number of Recipes": counts.get(cuisine, 0),
+                "Paper Count": CUISINE_RECIPE_COUNTS[cuisine],
+            }
+        )
+    return rows
+
+
+def table_iii(corpus: RecipeDB) -> list[dict]:
+    """Table III — cumulative feature-frequency distribution.
+
+    Each row pairs a ">N"/"<N" threshold with the measured number of features
+    and the value the paper reports for the full-scale corpus.
+    """
+    statistics = compute_corpus_statistics(corpus)
+    rows: list[dict] = []
+    for threshold, count in sorted(statistics.high_frequency_table.items()):
+        rows.append(
+            {
+                "Threshold": f">{threshold}",
+                "Number of Features": count,
+                "Paper Value": PAPER_TABLE_III_HIGH.get(threshold),
+            }
+        )
+    for threshold, count in sorted(statistics.low_frequency_table.items()):
+        rows.append(
+            {
+                "Threshold": f"<{threshold}",
+                "Number of Features": count,
+                "Paper Value": PAPER_TABLE_III_LOW.get(threshold),
+            }
+        )
+    return rows
+
+
+def table_iv(result: ExperimentResult, include_paper: bool = True) -> list[dict]:
+    """Table IV — the performance metrics of every trained model.
+
+    Args:
+        result: An experiment result covering any subset of the Table IV
+            models.
+        include_paper: Add the paper-reported values next to the measured
+            ones for direct comparison.
+
+    Returns:
+        One row per metric per model (long format), plus a wide summary under
+        the ``"_wide"`` key of each row being unnecessary — the wide format is
+        produced by :func:`table_iv_wide`.
+    """
+    rows: list[dict] = []
+    for name, model_result in result.model_results.items():
+        measured = model_result.metrics.table_row()
+        paper = PAPER_TABLE_IV.get(name, {}) if include_paper else {}
+        row = {"Model": DISPLAY_NAMES.get(name, name)}
+        for metric, value in measured.items():
+            row[metric] = value
+            if include_paper and metric in paper:
+                row[f"Paper {metric}"] = paper[metric]
+        rows.append(row)
+    return rows
+
+
+def table_iv_wide(result: ExperimentResult) -> dict[str, Mapping[str, float]]:
+    """Table IV in the paper's wide layout: metric -> {model -> value}."""
+    metrics = ("Accuracy", "Loss", "Precision", "Recall", "F1 Score")
+    wide: dict[str, dict[str, float]] = {metric: {} for metric in metrics}
+    for name, model_result in result.model_results.items():
+        row = model_result.metrics.table_row()
+        display = DISPLAY_NAMES.get(name, name)
+        for metric in metrics:
+            wide[metric][display] = row[metric]
+    return wide

@@ -1,0 +1,22 @@
+"""Feature extraction substrate.
+
+Implements the two vectorization strategies of Section IV of the paper:
+
+* TF-IDF vectorization (plus plain counts and feature hashing) for the
+  statistical models, producing ``scipy.sparse`` CSR matrices;
+* word embeddings, trained with a from-scratch skip-gram word2vec with
+  negative sampling, for initializing the sequential models.
+"""
+
+from repro.features.counts import CountVectorizer
+from repro.features.embeddings import SkipGramConfig, SkipGramEmbeddings
+from repro.features.hashing import HashingVectorizer
+from repro.features.tfidf import TfidfVectorizer
+
+__all__ = [
+    "CountVectorizer",
+    "TfidfVectorizer",
+    "HashingVectorizer",
+    "SkipGramConfig",
+    "SkipGramEmbeddings",
+]

@@ -1,0 +1,125 @@
+"""Bag-of-words count vectorizer producing scipy CSR matrices.
+
+The statistical baselines of the paper consume vectorized recipe documents.
+This vectorizer mirrors the semantics of scikit-learn's ``CountVectorizer``
+restricted to what the experiments need: whitespace-token documents (the
+preprocessing pipeline already did the real tokenization), optional n-grams,
+document-frequency pruning and a vocabulary cap.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+
+class CountVectorizer:
+    """Convert documents to a sparse matrix of token counts."""
+
+    def __init__(
+        self,
+        ngram_range: tuple[int, int] = (1, 1),
+        min_df: int = 1,
+        max_df: float = 1.0,
+        max_features: int | None = None,
+        binary: bool = False,
+    ) -> None:
+        if ngram_range[0] < 1 or ngram_range[1] < ngram_range[0]:
+            raise ValueError(f"invalid ngram_range {ngram_range}")
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1 (absolute document count)")
+        if not 0.0 < max_df <= 1.0:
+            raise ValueError("max_df must be in (0, 1]")
+        self.ngram_range = ngram_range
+        self.min_df = min_df
+        self.max_df = max_df
+        self.max_features = max_features
+        self.binary = binary
+        self.vocabulary_: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _analyze(self, document: str | Sequence[str]) -> list[str]:
+        """Turn a document into the n-gram feature list."""
+        tokens = document.split() if isinstance(document, str) else list(document)
+        lo, hi = self.ngram_range
+        if lo == 1 and hi == 1:
+            return tokens
+        features: list[str] = []
+        for n in range(lo, hi + 1):
+            if n == 1:
+                features.extend(tokens)
+            else:
+                features.extend(
+                    " ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
+                )
+        return features
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Iterable[str | Sequence[str]]) -> "CountVectorizer":
+        """Learn the vocabulary from *documents*."""
+        documents = list(documents)
+        if not documents:
+            raise ValueError("cannot fit a vectorizer on an empty document collection")
+        doc_freq: Counter = Counter()
+        total_freq: Counter = Counter()
+        for document in documents:
+            features = self._analyze(document)
+            total_freq.update(features)
+            doc_freq.update(set(features))
+        n_docs = len(documents)
+        max_doc_count = self.max_df * n_docs
+        eligible = [
+            term
+            for term, df in doc_freq.items()
+            if df >= self.min_df and df <= max_doc_count
+        ]
+        eligible.sort(key=lambda term: (-total_freq[term], term))
+        if self.max_features is not None:
+            eligible = eligible[: self.max_features]
+        self.vocabulary_ = {term: idx for idx, term in enumerate(sorted(eligible))}
+        if not self.vocabulary_:
+            raise ValueError("pruning removed every feature; relax min_df/max_df")
+        return self
+
+    def transform(self, documents: Iterable[str | Sequence[str]]) -> sparse.csr_matrix:
+        """Vectorize *documents* using the learned vocabulary."""
+        if not self.vocabulary_:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        indptr = [0]
+        indices: list[int] = []
+        data: list[float] = []
+        for document in documents:
+            counts: Counter = Counter()
+            for feature in self._analyze(document):
+                idx = self.vocabulary_.get(feature)
+                if idx is not None:
+                    counts[idx] += 1
+            for idx, count in sorted(counts.items()):
+                indices.append(idx)
+                data.append(1.0 if self.binary else float(count))
+            indptr.append(len(indices))
+        matrix = sparse.csr_matrix(
+            (data, indices, indptr),
+            shape=(len(indptr) - 1, len(self.vocabulary_)),
+            dtype=np.float64,
+        )
+        return matrix
+
+    def fit_transform(self, documents: Iterable[str | Sequence[str]]) -> sparse.csr_matrix:
+        """Fit on *documents* and return their vectorization."""
+        documents = list(documents)
+        self.fit(documents)
+        return self.transform(documents)
+
+    # ------------------------------------------------------------------
+    def get_feature_names(self) -> list[str]:
+        """Feature names in column order."""
+        return [term for term, _ in sorted(self.vocabulary_.items(), key=lambda kv: kv[1])]
+
+    @property
+    def n_features(self) -> int:
+        """Number of learned features."""
+        return len(self.vocabulary_)

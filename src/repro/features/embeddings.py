@@ -1,0 +1,178 @@
+"""Skip-gram word2vec embeddings with negative sampling.
+
+Section IV of the paper contrasts TF-IDF with word embeddings ("word
+representation as vectors such that semantically similar words have similar
+vectors").  The sequential models can be initialized from embeddings trained
+on the recipe corpus itself; this module provides that training from scratch
+on NumPy (no gensim available offline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.text.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class SkipGramConfig:
+    """Hyper-parameters of the skip-gram trainer.
+
+    Attributes:
+        dim: Embedding dimensionality.
+        window: Context window radius.
+        negatives: Negative samples per positive pair.
+        epochs: Passes over the corpus.
+        learning_rate: Initial SGD learning rate (linearly decayed).
+        min_learning_rate: Floor of the decay schedule.
+        subsample_threshold: Frequent-word subsampling threshold (0 disables).
+        seed: PRNG seed.
+    """
+
+    dim: int = 32
+    window: int = 3
+    negatives: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.05
+    min_learning_rate: float = 1e-4
+    subsample_threshold: float = 1e-3
+    seed: int = 11
+
+
+class SkipGramEmbeddings:
+    """Skip-gram with negative sampling trained on tokenized documents."""
+
+    def __init__(self, vocabulary: Vocabulary, config: SkipGramConfig | None = None) -> None:
+        self.vocabulary = vocabulary
+        self.config = config or SkipGramConfig()
+        rng = np.random.default_rng(self.config.seed)
+        n, d = len(vocabulary), self.config.dim
+        self.input_vectors = (rng.random((n, d)) - 0.5) / d
+        self.output_vectors = np.zeros((n, d))
+        self._rng = rng
+        self._trained = False
+
+    # ------------------------------------------------------------------
+    def train(self, documents: Sequence[Sequence[str]]) -> "SkipGramEmbeddings":
+        """Train the embeddings on tokenized *documents*."""
+        cfg = self.config
+        encoded = [self.vocabulary.encode(tokens) for tokens in documents if tokens]
+        if not encoded:
+            raise ValueError("cannot train embeddings on an empty corpus")
+
+        counts = np.zeros(len(self.vocabulary), dtype=np.float64)
+        for ids in encoded:
+            for token_id in ids:
+                counts[token_id] += 1
+        total = counts.sum()
+
+        # Negative-sampling distribution: unigram^0.75, excluding specials.
+        noise = counts ** 0.75
+        noise[list(self.vocabulary.special_ids)] = 0.0
+        if noise.sum() == 0:
+            raise ValueError("no regular tokens to train on")
+        noise /= noise.sum()
+
+        # Frequent-word subsampling keep-probabilities.
+        keep = np.ones_like(counts)
+        if cfg.subsample_threshold > 0:
+            freq = counts / max(total, 1.0)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                keep = np.sqrt(cfg.subsample_threshold / np.maximum(freq, 1e-12))
+            keep = np.clip(keep, 0.0, 1.0)
+
+        pairs = self._build_pairs(encoded, keep)
+        if pairs.shape[0] == 0:
+            raise ValueError("no training pairs were produced; corpus too small")
+
+        n_pairs = pairs.shape[0]
+        total_steps = cfg.epochs * n_pairs
+        step = 0
+        for _ in range(cfg.epochs):
+            order = self._rng.permutation(n_pairs)
+            for idx in order:
+                center, context = pairs[idx]
+                lr = max(
+                    cfg.min_learning_rate,
+                    cfg.learning_rate * (1.0 - step / max(total_steps, 1)),
+                )
+                self._train_pair(int(center), int(context), noise, lr)
+                step += 1
+        self._trained = True
+        return self
+
+    def _build_pairs(
+        self, encoded: list[list[int]], keep: np.ndarray
+    ) -> np.ndarray:
+        cfg = self.config
+        pairs: list[tuple[int, int]] = []
+        special = set(self.vocabulary.special_ids)
+        for ids in encoded:
+            kept = [
+                token_id
+                for token_id in ids
+                if token_id not in special and self._rng.random() < keep[token_id]
+            ]
+            for i, center in enumerate(kept):
+                window = int(self._rng.integers(1, cfg.window + 1))
+                lo = max(0, i - window)
+                hi = min(len(kept), i + window + 1)
+                for j in range(lo, hi):
+                    if j != i:
+                        pairs.append((center, kept[j]))
+        return np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+
+    def _train_pair(self, center: int, context: int, noise: np.ndarray, lr: float) -> None:
+        cfg = self.config
+        v = self.input_vectors[center]
+        grad_v = np.zeros_like(v)
+        targets = [context] + list(
+            self._rng.choice(len(noise), size=cfg.negatives, p=noise)
+        )
+        labels = [1.0] + [0.0] * cfg.negatives
+        for target, label in zip(targets, labels):
+            u = self.output_vectors[target]
+            score = 1.0 / (1.0 + np.exp(-np.clip(v @ u, -30.0, 30.0)))
+            gradient = (score - label) * lr
+            grad_v += gradient * u
+            self.output_vectors[target] -= gradient * v
+        self.input_vectors[center] -= grad_v
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """The trained embedding matrix, shape (vocab, dim)."""
+        return self.input_vectors
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of *token* (UNK vector if out of vocabulary)."""
+        return self.input_vectors[self.vocabulary.token_to_id(token)]
+
+    def similarity(self, token_a: str, token_b: str) -> float:
+        """Cosine similarity between two token embeddings."""
+        a = self.vector(token_a)
+        b = self.vector(token_b)
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            return 0.0
+        return float(a @ b / denom)
+
+    def most_similar(self, token: str, top_k: int = 10) -> list[tuple[str, float]]:
+        """Tokens most similar to *token* by cosine similarity."""
+        query = self.vector(token)
+        norms = np.linalg.norm(self.input_vectors, axis=1) * np.linalg.norm(query)
+        norms[norms == 0.0] = 1e-12
+        scores = self.input_vectors @ query / norms
+        query_id = self.vocabulary.token_to_id(token)
+        order = np.argsort(scores)[::-1]
+        results = []
+        for idx in order:
+            if int(idx) == query_id or int(idx) in self.vocabulary.special_ids:
+                continue
+            results.append((self.vocabulary.id_to_token(int(idx)), float(scores[idx])))
+            if len(results) >= top_k:
+                break
+        return results

@@ -1,0 +1,110 @@
+"""TF-IDF vectorization (Section IV of the paper).
+
+The paper uses TF-IDF "because of its weighted function which reduces the
+effect of high frequency yet less meaningful words" — exactly the situation in
+RecipeDB where ``add`` occurs 188,004 times.  The implementation mirrors
+scikit-learn's smoothed idf with L2 normalisation:
+
+    idf(t) = ln((1 + n) / (1 + df(t))) + 1
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.features.counts import CountVectorizer
+
+
+class TfidfVectorizer:
+    """Convert documents to L2-normalised TF-IDF vectors."""
+
+    def __init__(
+        self,
+        ngram_range: tuple[int, int] = (1, 1),
+        min_df: int = 1,
+        max_df: float = 1.0,
+        max_features: int | None = None,
+        sublinear_tf: bool = False,
+        smooth_idf: bool = True,
+        norm: str | None = "l2",
+    ) -> None:
+        if norm not in (None, "l1", "l2"):
+            raise ValueError(f"norm must be None, 'l1' or 'l2', got {norm!r}")
+        self._counter = CountVectorizer(
+            ngram_range=ngram_range,
+            min_df=min_df,
+            max_df=max_df,
+            max_features=max_features,
+        )
+        self.sublinear_tf = sublinear_tf
+        self.smooth_idf = smooth_idf
+        self.norm = norm
+        self.idf_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, documents: Iterable[str | Sequence[str]]) -> "TfidfVectorizer":
+        """Learn vocabulary and idf weights from *documents*."""
+        documents = list(documents)
+        counts = self._counter.fit_transform(documents)
+        self._fit_idf(counts)
+        return self
+
+    def _fit_idf(self, counts: sparse.csr_matrix) -> None:
+        n_docs = counts.shape[0]
+        df = np.asarray((counts > 0).sum(axis=0)).ravel().astype(np.float64)
+        if self.smooth_idf:
+            idf = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        else:
+            with np.errstate(divide="ignore"):
+                idf = np.log(n_docs / np.maximum(df, 1.0)) + 1.0
+        self.idf_ = idf
+
+    def transform(self, documents: Iterable[str | Sequence[str]]) -> sparse.csr_matrix:
+        """Vectorize *documents* into TF-IDF space."""
+        if self.idf_ is None:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        counts = self._counter.transform(documents).astype(np.float64)
+        if self.sublinear_tf:
+            counts.data = 1.0 + np.log(counts.data)
+        tfidf = counts.multiply(sparse.csr_matrix(self.idf_)).tocsr()
+        return self._normalize(tfidf)
+
+    def fit_transform(self, documents: Iterable[str | Sequence[str]]) -> sparse.csr_matrix:
+        """Fit and transform in one pass over *documents*."""
+        documents = list(documents)
+        counts = self._counter.fit_transform(documents).astype(np.float64)
+        self._fit_idf(counts)
+        if self.sublinear_tf:
+            counts.data = 1.0 + np.log(counts.data)
+        tfidf = counts.multiply(sparse.csr_matrix(self.idf_)).tocsr()
+        return self._normalize(tfidf)
+
+    # ------------------------------------------------------------------
+    def _normalize(self, matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+        if self.norm is None:
+            return matrix
+        if self.norm == "l2":
+            norms = np.sqrt(np.asarray(matrix.multiply(matrix).sum(axis=1)).ravel())
+        else:
+            norms = np.asarray(np.abs(matrix).sum(axis=1)).ravel()
+        norms[norms == 0.0] = 1.0
+        inverse = sparse.diags(1.0 / norms)
+        return (inverse @ matrix).tocsr()
+
+    # ------------------------------------------------------------------
+    def get_feature_names(self) -> list[str]:
+        """Feature names in column order."""
+        return self._counter.get_feature_names()
+
+    @property
+    def vocabulary_(self) -> dict[str, int]:
+        """Learned term -> column index mapping."""
+        return self._counter.vocabulary_
+
+    @property
+    def n_features(self) -> int:
+        """Number of learned features."""
+        return self._counter.n_features

@@ -1,0 +1,91 @@
+"""Shared estimator interface and input validation for the classical models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+ArrayLike = "np.ndarray | sparse.spmatrix | Sequence[Sequence[float]]"
+
+
+def as_matrix(X) -> np.ndarray | sparse.csr_matrix:
+    """Coerce *X* to either a 2-D float ndarray or a CSR sparse matrix."""
+    if sparse.issparse(X):
+        return X.tocsr()
+    array = np.asarray(X, dtype=np.float64)
+    if array.ndim == 1:
+        array = array.reshape(1, -1)
+    if array.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {array.shape}")
+    return array
+
+
+def ensure_dense(X) -> np.ndarray:
+    """Return *X* as a dense 2-D float array (densifying sparse input)."""
+    matrix = as_matrix(X)
+    if sparse.issparse(matrix):
+        return np.asarray(matrix.todense(), dtype=np.float64)
+    return matrix
+
+
+def check_Xy(X, y) -> tuple[np.ndarray | sparse.csr_matrix, np.ndarray]:
+    """Validate a feature matrix / label vector pair.
+
+    Returns the coerced pair; raises ``ValueError`` on shape mismatch, empty
+    data or non-finite labels.
+    """
+    matrix = as_matrix(X)
+    labels = np.asarray(y)
+    if labels.ndim != 1:
+        raise ValueError(f"y must be 1-D, got shape {labels.shape}")
+    if matrix.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"X and y disagree on the number of samples: {matrix.shape[0]} != {labels.shape[0]}"
+        )
+    if matrix.shape[0] == 0:
+        raise ValueError("cannot fit on an empty dataset")
+    return matrix, labels
+
+
+class BaseClassifier(abc.ABC):
+    """Minimal estimator API shared by every classical model.
+
+    Concrete classifiers implement :meth:`fit` and :meth:`predict_proba` (or
+    :meth:`decision_function`); :meth:`predict` and :meth:`score` are provided
+    here.  ``classes_`` holds the original label values in sorted order, and
+    internal computations use indices into that array.
+    """
+
+    classes_: np.ndarray
+
+    @abc.abstractmethod
+    def fit(self, X, y) -> "BaseClassifier":
+        """Fit the model to a feature matrix *X* and label vector *y*."""
+
+    @abc.abstractmethod
+    def predict_proba(self, X) -> np.ndarray:
+        """Class-membership probabilities, shape ``(n_samples, n_classes)``."""
+
+    def predict(self, X) -> np.ndarray:
+        """Predicted class label for every sample."""
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    def score(self, X, y) -> float:
+        """Mean accuracy of :meth:`predict` on the given test data."""
+        predictions = self.predict(X)
+        return float(np.mean(predictions == np.asarray(y)))
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return labels encoded as indices into it."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        return encoded

@@ -1,0 +1,121 @@
+"""AdaBoost (SAMME) for multi-class boosting (Section V-D of the paper).
+
+The paper pairs Random Forest with AdaBoost as its tree-ensemble baseline.
+This implementation is the multi-class SAMME algorithm over weak CART learners
+(depth-limited decision trees by default), which is what
+``sklearn.ensemble.AdaBoostClassifier`` runs for discrete boosting.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_Xy, ensure_dense
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class AdaBoostClassifier(BaseClassifier):
+    """SAMME AdaBoost over decision-tree weak learners.
+
+    Args:
+        n_estimators: Maximum number of boosting rounds.
+        learning_rate: Shrinkage applied to each estimator's weight.
+        base_estimator_factory: Callable returning a fresh weak learner; the
+            learner must accept ``sample_weight`` in ``fit``.  Defaults to a
+            depth-2 decision tree.
+        random_state: Seed passed to default weak learners.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        learning_rate: float = 1.0,
+        base_estimator_factory: Callable[[], DecisionTreeClassifier] | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.base_estimator_factory = base_estimator_factory
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.estimator_weights_: list[float] = []
+
+    def _make_estimator(self, seed: int) -> DecisionTreeClassifier:
+        if self.base_estimator_factory is not None:
+            return self.base_estimator_factory()
+        return DecisionTreeClassifier(max_depth=2, max_features="sqrt", random_state=seed)
+
+    def fit(self, X, y) -> "AdaBoostClassifier":
+        X, y = check_Xy(X, y)
+        X = ensure_dense(X)
+        labels = np.asarray(y)
+        self.classes_ = np.unique(labels)
+        n_classes = len(self.classes_)
+        if n_classes < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        n_samples = X.shape[0]
+        rng = np.random.default_rng(self.random_state)
+
+        weights = np.full(n_samples, 1.0 / n_samples)
+        self.estimators_ = []
+        self.estimator_weights_ = []
+
+        for _ in range(self.n_estimators):
+            estimator = self._make_estimator(int(rng.integers(0, 2**31 - 1)))
+            estimator.fit(X, labels, sample_weight=weights)
+            predictions = estimator.predict(X)
+            incorrect = predictions != labels
+            error = float(np.average(incorrect, weights=weights))
+
+            if error <= 0.0:
+                # Perfect weak learner: give it full confidence and stop.
+                self.estimators_.append(estimator)
+                self.estimator_weights_.append(1.0)
+                break
+            if error >= 1.0 - 1.0 / n_classes:
+                # Worse than chance under SAMME: discard and stop boosting.
+                if not self.estimators_:
+                    self.estimators_.append(estimator)
+                    self.estimator_weights_.append(1.0)
+                break
+
+            alpha = self.learning_rate * (
+                np.log((1.0 - error) / error) + np.log(n_classes - 1.0)
+            )
+            weights *= np.exp(alpha * incorrect)
+            weights /= weights.sum()
+
+            self.estimators_.append(estimator)
+            self.estimator_weights_.append(float(alpha))
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        """Weighted vote tally per class."""
+        self._check_fitted()
+        X = ensure_dense(X)
+        scores = np.zeros((X.shape[0], len(self.classes_)))
+        for estimator, alpha in zip(self.estimators_, self.estimator_weights_):
+            predictions = estimator.predict(X)
+            for column, cls in enumerate(self.classes_):
+                scores[:, column] += alpha * (predictions == cls)
+        return scores
+
+    def predict(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        totals = scores.sum(axis=1, keepdims=True)
+        totals[totals == 0.0] = 1.0
+        return scores / totals
+
+    def _check_fitted(self) -> None:
+        if not self.estimators_:
+            raise RuntimeError("AdaBoostClassifier is not fitted; call fit() first")

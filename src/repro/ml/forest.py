@@ -1,0 +1,111 @@
+"""Random Forest classifier (Section V-D of the paper).
+
+"Random forest (RF) is a bagging decision tree approach" — bootstrap-sampled
+CART trees with per-split feature subsampling, predictions averaged over the
+ensemble.  The paper combines RF with AdaBoost; see
+:mod:`repro.ml.boosting` for the boosting wrapper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_Xy, ensure_dense
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(BaseClassifier):
+    """Bagged ensemble of CART trees with feature subsampling.
+
+    Args:
+        n_estimators: Number of trees.
+        max_depth: Depth cap passed to every tree.
+        min_samples_split / min_samples_leaf: Tree growth controls.
+        max_features: Per-split feature subsampling (default "sqrt").
+        bootstrap: Sample training rows with replacement for each tree.
+        random_state: Seed controlling bootstraps and feature subsampling.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = "sqrt",
+        bootstrap: bool = True,
+        random_state: int | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.random_state = random_state
+        self.estimators_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        X = ensure_dense(X)
+        labels = np.asarray(y)
+        self.classes_ = np.unique(labels)
+        if len(self.classes_) < 2:
+            raise ValueError("need at least two classes to fit a classifier")
+        rng = np.random.default_rng(self.random_state)
+        n_samples = X.shape[0]
+        self.estimators_ = []
+        for i in range(self.n_estimators):
+            if self.bootstrap:
+                indices = rng.integers(0, n_samples, size=n_samples)
+            else:
+                indices = np.arange(n_samples)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[indices], labels[indices])
+            self.estimators_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = ensure_dense(X)
+        aggregate = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.estimators_:
+            probabilities = tree.predict_proba(X)
+            # Trees may have seen only a subset of classes in their bootstrap.
+            for tree_idx, cls in enumerate(tree.classes_):
+                column = int(np.searchsorted(self.classes_, cls))
+                aggregate[:, column] += probabilities[:, tree_idx]
+        aggregate /= len(self.estimators_)
+        row_sums = aggregate.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        return aggregate / row_sums
+
+    def _check_fitted(self) -> None:
+        if not self.estimators_:
+            raise RuntimeError("RandomForestClassifier is not fitted; call fit() first")
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Split-frequency based feature importances (normalised)."""
+        self._check_fitted()
+        n_features = max(
+            (node.feature for tree in self.estimators_ for node in tree._nodes if not node.is_leaf),
+            default=-1,
+        ) + 1
+        importances = np.zeros(max(n_features, 1))
+        for tree in self.estimators_:
+            for node in tree._nodes:
+                if not node.is_leaf:
+                    importances[node.feature] += 1.0
+        total = importances.sum()
+        if total > 0:
+            importances /= total
+        return importances

@@ -1,0 +1,212 @@
+"""CART decision tree classifier.
+
+Building block of the Random Forest baseline (Section V-D of the paper).  The
+implementation is a standard greedy CART with Gini impurity, vectorised over
+candidate thresholds per feature, with optional per-node feature subsampling
+(used by the forest) and quantile-capped candidate thresholds so that training
+on dense TF-IDF slices stays fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import BaseClassifier, check_Xy, ensure_dense
+
+
+@dataclass
+class _Node:
+    """A tree node: either an internal split or a leaf with class counts."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "int | None" = None
+    right: "int | None" = None
+    value: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+class DecisionTreeClassifier(BaseClassifier):
+    """Greedy CART with Gini impurity.
+
+    Args:
+        max_depth: Maximum tree depth (``None`` = unbounded).
+        min_samples_split: Minimum samples required to attempt a split.
+        min_samples_leaf: Minimum samples each child must keep.
+        max_features: Number of features examined per split: an int, a float
+            fraction, ``"sqrt"``, ``"log2"`` or ``None`` for all features.
+        max_thresholds: Cap on candidate thresholds per feature (quantiles);
+            keeps the split search fast on continuous TF-IDF values.
+        random_state: Seed for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | float | str | None = None,
+        max_thresholds: int = 16,
+        random_state: int | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_thresholds = max_thresholds
+        self.random_state = random_state
+        self._nodes: list[_Node] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, X, y, sample_weight: np.ndarray | None = None) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        X = ensure_dense(X)
+        encoded = self._encode_labels(y)
+        if sample_weight is None:
+            sample_weight = np.ones(len(encoded), dtype=np.float64)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=np.float64)
+            if sample_weight.shape[0] != len(encoded):
+                raise ValueError("sample_weight length mismatch")
+        self._rng = np.random.default_rng(self.random_state)
+        self._n_classes = len(self.classes_)
+        self._nodes = []
+        self._build(X, encoded, sample_weight, depth=0)
+        return self
+
+    def _resolve_max_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(n_features)))
+            if mf == "log2":
+                return max(1, int(np.log2(n_features)))
+            raise ValueError(f"unknown max_features {mf!r}")
+        if isinstance(mf, float):
+            return max(1, int(mf * n_features))
+        return max(1, min(int(mf), n_features))
+
+    def _build(self, X, y, weights, depth: int) -> int:
+        node_index = len(self._nodes)
+        node = _Node()
+        self._nodes.append(node)
+
+        class_weights = np.bincount(y, weights=weights, minlength=self._n_classes)
+        total = class_weights.sum()
+        impurity = 1.0 - np.sum((class_weights / total) ** 2) if total > 0 else 0.0
+
+        stop = (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or len(y) < self.min_samples_split
+            or impurity <= 1e-12
+        )
+        if not stop:
+            split = self._best_split(X, y, weights, class_weights, total)
+        else:
+            split = None
+
+        if split is None:
+            node.value = class_weights / max(total, 1e-12)
+            return node_index
+
+        feature, threshold, left_mask = split
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[left_mask], y[left_mask], weights[left_mask], depth + 1)
+        node.right = self._build(X[~left_mask], y[~left_mask], weights[~left_mask], depth + 1)
+        return node_index
+
+    def _best_split(self, X, y, weights, class_weights, total):
+        n_samples, n_features = X.shape
+        k = self._resolve_max_features(n_features)
+        if k < n_features:
+            candidates = self._rng.choice(n_features, size=k, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        parent_score = np.sum((class_weights / total) ** 2)
+        best_gain = 1e-12
+        best = None
+
+        for feature in candidates:
+            column = X[:, feature]
+            thresholds = self._candidate_thresholds(column)
+            if thresholds.size == 0:
+                continue
+            for threshold in thresholds:
+                left_mask = column <= threshold
+                n_left = int(left_mask.sum())
+                if n_left < self.min_samples_leaf or n_samples - n_left < self.min_samples_leaf:
+                    continue
+                left_weights = np.bincount(
+                    y[left_mask], weights=weights[left_mask], minlength=self._n_classes
+                )
+                right_weights = class_weights - left_weights
+                left_total = left_weights.sum()
+                right_total = total - left_total
+                if left_total <= 0 or right_total <= 0:
+                    continue
+                left_score = np.sum((left_weights / left_total) ** 2)
+                right_score = np.sum((right_weights / right_total) ** 2)
+                weighted = (left_total * left_score + right_total * right_score) / total
+                gain = weighted - parent_score
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold), left_mask)
+        return best
+
+    def _candidate_thresholds(self, column: np.ndarray) -> np.ndarray:
+        unique = np.unique(column)
+        if unique.size <= 1:
+            return np.empty(0)
+        midpoints = (unique[:-1] + unique[1:]) / 2.0
+        if midpoints.size > self.max_thresholds:
+            quantiles = np.linspace(0, 1, self.max_thresholds + 2)[1:-1]
+            midpoints = np.unique(np.quantile(column, quantiles))
+        return midpoints
+
+    # ------------------------------------------------------------------
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = ensure_dense(X)
+        output = np.empty((X.shape[0], self._n_classes))
+        for row in range(X.shape[0]):
+            output[row] = self._predict_row(X[row])
+        return output
+
+    def _predict_row(self, row: np.ndarray) -> np.ndarray:
+        index = 0
+        while True:
+            node = self._nodes[index]
+            if node.is_leaf:
+                return node.value
+            index = node.left if row[node.feature] <= node.threshold else node.right
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree."""
+        return len(self._nodes)
+
+    @property
+    def depth(self) -> int:
+        """Depth of the fitted tree."""
+        self._check_fitted()
+
+        def _depth(index: int) -> int:
+            node = self._nodes[index]
+            if node.is_leaf:
+                return 0
+            return 1 + max(_depth(node.left), _depth(node.right))
+
+        return _depth(0) if self._nodes else 0

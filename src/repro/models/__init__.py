@@ -1,0 +1,54 @@
+"""The paper's cuisine-classification models.
+
+One class per column of Table IV, all sharing the
+:class:`~repro.models.base.CuisineModel` interface:
+
+* statistical TF-IDF models — Logistic Regression, Naive Bayes, linear SVM,
+  Random Forest (+AdaBoost);
+* sequential models — the 2-layer LSTM and the BERT / RoBERTa style
+  transformers with in-domain MLM pretraining.
+
+Use :func:`repro.models.registry.create_model` (or
+:class:`repro.core.classifier.CuisineClassifier`) to instantiate them by name.
+"""
+
+from repro.models.base import CuisineModel
+from repro.models.lstm_classifier import LSTMClassifierConfig, LSTMCuisineClassifier
+from repro.models.registry import (
+    MODEL_NAMES,
+    PAPER_TABLE_IV,
+    create_model,
+    describe_architecture,
+)
+from repro.models.statistical import (
+    LogisticRegressionModel,
+    NaiveBayesModel,
+    RandomForestModel,
+    StatisticalModel,
+    SVMModel,
+)
+from repro.models.transformer_classifier import (
+    BERTCuisineClassifier,
+    RoBERTaCuisineClassifier,
+    TransformerClassifierConfig,
+    TransformerCuisineClassifier,
+)
+
+__all__ = [
+    "CuisineModel",
+    "StatisticalModel",
+    "LogisticRegressionModel",
+    "NaiveBayesModel",
+    "SVMModel",
+    "RandomForestModel",
+    "LSTMClassifierConfig",
+    "LSTMCuisineClassifier",
+    "TransformerClassifierConfig",
+    "TransformerCuisineClassifier",
+    "BERTCuisineClassifier",
+    "RoBERTaCuisineClassifier",
+    "MODEL_NAMES",
+    "PAPER_TABLE_IV",
+    "create_model",
+    "describe_architecture",
+]

@@ -1,0 +1,69 @@
+"""Shared interface of the paper's cuisine classification models."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.metrics import ClassificationMetrics, evaluate_predictions
+from repro.data.cuisines import CUISINES
+from repro.data.recipedb import RecipeDB
+
+
+class CuisineModel(abc.ABC):
+    """A cuisine classifier over :class:`~repro.data.recipedb.RecipeDB` corpora.
+
+    Every Table IV model implements this interface: it is fit on a training
+    corpus (optionally using a validation corpus), predicts class
+    probabilities over a fixed cuisine label space, and is evaluated with the
+    shared Table IV metric set.
+
+    Attributes:
+        name: Short identifier used by the registry and the report tables.
+        label_space: Tuple of cuisine names defining the class indices.
+    """
+
+    #: Overridden by subclasses.
+    name: str = "base"
+
+    def __init__(self, label_space: Sequence[str] = CUISINES) -> None:
+        if len(label_space) < 2:
+            raise ValueError("label space must contain at least two cuisines")
+        self.label_space: tuple[str, ...] = tuple(label_space)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def fit(self, train: RecipeDB, validation: RecipeDB | None = None) -> "CuisineModel":
+        """Fit the model on *train* (using *validation* where applicable)."""
+
+    @abc.abstractmethod
+    def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
+        """Class-probability matrix of shape ``(len(corpus), n_classes)``."""
+
+    # ------------------------------------------------------------------
+    @property
+    def n_classes(self) -> int:
+        return len(self.label_space)
+
+    def labels_of(self, corpus: RecipeDB) -> np.ndarray:
+        """Integer labels of *corpus* under this model's label space."""
+        return np.asarray(corpus.labels(self.label_space), dtype=np.int64)
+
+    def predict(self, corpus: RecipeDB) -> list[str]:
+        """Predicted cuisine names for every recipe of *corpus*."""
+        probabilities = self.predict_proba(corpus)
+        return [self.label_space[i] for i in probabilities.argmax(axis=1)]
+
+    def evaluate(self, corpus: RecipeDB) -> ClassificationMetrics:
+        """Table IV metrics of the model on *corpus*."""
+        probabilities = self.predict_proba(corpus)
+        return evaluate_predictions(
+            self.labels_of(corpus), probabilities, n_classes=self.n_classes
+        )
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line human-readable description of the model."""
+        return f"{type(self).__name__}(name={self.name!r}, classes={self.n_classes})"

@@ -1,0 +1,149 @@
+"""Model registry: name -> constructor mapping plus the paper's Table IV values.
+
+The registry is what the experiment runner, the benchmarks and the examples
+use to instantiate the seven models of Table IV by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.data.cuisines import CUISINES
+from repro.models.base import CuisineModel
+from repro.models.lstm_classifier import LSTMClassifierConfig, LSTMCuisineClassifier
+from repro.models.statistical import (
+    LogisticRegressionModel,
+    NaiveBayesModel,
+    RandomForestModel,
+    SVMModel,
+)
+from repro.models.transformer_classifier import (
+    BERTCuisineClassifier,
+    RoBERTaCuisineClassifier,
+    TransformerClassifierConfig,
+)
+
+#: Paper Table IV, used by the benchmark reports for side-by-side comparison.
+PAPER_TABLE_IV: dict[str, dict[str, float]] = {
+    "logreg": {"Accuracy": 57.70, "Loss": 1.51, "Precision": 0.56, "Recall": 0.57, "F1 Score": 0.56},
+    "naive_bayes": {"Accuracy": 51.64, "Loss": 7.14, "Precision": 0.50, "Recall": 0.51, "F1 Score": 0.50},
+    "svm_linear": {"Accuracy": 56.60, "Loss": 2.97, "Precision": 0.54, "Recall": 0.56, "F1 Score": 0.54},
+    "random_forest": {"Accuracy": 50.37, "Loss": 2.32, "Precision": 0.48, "Recall": 0.50, "F1 Score": 0.49},
+    "lstm": {"Accuracy": 53.61, "Loss": 1.65, "Precision": 0.53, "Recall": 0.54, "F1 Score": 0.53},
+    "bert": {"Accuracy": 68.71, "Loss": 0.21, "Precision": 0.58, "Recall": 0.60, "F1 Score": 0.57},
+    "roberta": {"Accuracy": 73.30, "Loss": 0.10, "Precision": 0.67, "Recall": 0.71, "F1 Score": 0.69},
+}
+
+#: Display names used in the paper's Table IV header.
+DISPLAY_NAMES: dict[str, str] = {
+    "logreg": "LogReg",
+    "naive_bayes": "Naive Bayes",
+    "svm_linear": "SVM (linear)",
+    "random_forest": "Random Forest",
+    "lstm": "LSTM",
+    "bert": "BERT",
+    "roberta": "RoBERTa",
+}
+
+#: Model names in the column order of Table IV.
+MODEL_NAMES: tuple[str, ...] = tuple(DISPLAY_NAMES)
+
+#: Which models consume sequences (vs. TF-IDF bags).
+SEQUENTIAL_MODELS: frozenset[str] = frozenset({"lstm", "bert", "roberta"})
+
+_FACTORIES: dict[str, Callable[..., CuisineModel]] = {
+    "logreg": LogisticRegressionModel,
+    "naive_bayes": NaiveBayesModel,
+    "svm_linear": SVMModel,
+    "random_forest": RandomForestModel,
+    "lstm": LSTMCuisineClassifier,
+    "bert": BERTCuisineClassifier,
+    "roberta": RoBERTaCuisineClassifier,
+}
+
+
+def create_model(
+    name: str,
+    label_space: Sequence[str] = CUISINES,
+    lstm_config: LSTMClassifierConfig | None = None,
+    transformer_config: TransformerClassifierConfig | None = None,
+    **kwargs,
+) -> CuisineModel:
+    """Instantiate a Table IV model by name.
+
+    Args:
+        name: One of :data:`MODEL_NAMES`.
+        label_space: Cuisine label space shared by all models of a run.
+        lstm_config: Optional config override for the LSTM model.
+        transformer_config: Optional config override for BERT/RoBERTa.
+        **kwargs: Extra keyword arguments passed to the model constructor
+            (e.g. ``C`` for the statistical models).
+
+    Returns:
+        An unfitted :class:`~repro.models.base.CuisineModel`.
+
+    Raises:
+        KeyError: For unknown model names.
+    """
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown model {name!r}; known models: {sorted(_FACTORIES)}")
+    factory = _FACTORIES[name]
+    if name == "lstm" and lstm_config is not None:
+        return factory(label_space=label_space, config=lstm_config, **kwargs)
+    if name in ("bert", "roberta") and transformer_config is not None:
+        return factory(label_space=label_space, config=transformer_config, **kwargs)
+    return factory(label_space=label_space, **kwargs)
+
+
+def display_name(name: str) -> str:
+    """Table IV column header for a registry name."""
+    return DISPLAY_NAMES.get(name, name)
+
+
+def is_sequential(name: str) -> bool:
+    """Whether the named model consumes ordered sequences."""
+    return name in SEQUENTIAL_MODELS
+
+
+def describe_architecture(name: str) -> str:
+    """Textual architecture summary of a model.
+
+    The paper's flow/architecture figures (``flow.png``, ``lstm.png``,
+    ``final_edit.png``) are diagrams rather than data plots; the reproduction
+    renders them as these textual summaries.
+    """
+    summaries = {
+        "logreg": (
+            "Recipe items -> clean/lemmatize -> TF-IDF (word level) -> "
+            "one-vs-rest logistic regression over 26 cuisines"
+        ),
+        "naive_bayes": (
+            "Recipe items -> clean/lemmatize -> TF-IDF -> multinomial Naive Bayes "
+            "(posterior argmax under feature independence)"
+        ),
+        "svm_linear": (
+            "Recipe items -> clean/lemmatize -> TF-IDF -> one-vs-all linear SVM, "
+            "decision by maximum margin confidence"
+        ),
+        "random_forest": (
+            "Recipe items -> clean/lemmatize -> TF-IDF -> bagged CART forest + "
+            "AdaBoost(SAMME) over shallow trees, averaged probabilities"
+        ),
+        "lstm": (
+            "Recipe item sequence -> token embedding -> 2-layer LSTM "
+            "(input/forget/output gates) -> final hidden state -> linear classifier"
+        ),
+        "bert": (
+            "Recipe item sequence -> [CLS] + token + positional embeddings -> "
+            "bidirectional Transformer encoder (multi-head self-attention, GELU FFN) "
+            "pretrained with static-mask MLM -> [CLS] pooled head -> classifier"
+        ),
+        "roberta": (
+            "Recipe item sequence -> [CLS] + token + positional embeddings -> "
+            "bidirectional Transformer encoder pretrained longer with dynamic-mask MLM "
+            "(no NSP) -> [CLS] pooled head -> classifier"
+        ),
+    }
+    if name not in summaries:
+        raise KeyError(f"unknown model {name!r}")
+    return summaries[name]

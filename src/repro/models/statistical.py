@@ -1,0 +1,205 @@
+"""Statistical (TF-IDF) models of Table IV.
+
+Each model is the composition of the Section IV statistical preprocessing
+(word-level tokenization + lemmatization), TF-IDF vectorization and one of the
+classical classifiers from :mod:`repro.ml`.  These models see recipes as
+unordered bags of items — the paper's point of comparison for the sequential
+models.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.data.cuisines import CUISINES
+from repro.data.recipedb import RecipeDB
+from repro.features.tfidf import TfidfVectorizer
+from repro.ml.base import BaseClassifier
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.logistic_regression import LogisticRegressionClassifier
+from repro.ml.naive_bayes import MultinomialNaiveBayes
+from repro.ml.svm import LinearSVMClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.models.base import CuisineModel
+from repro.text.pipeline import default_statistical_pipeline
+
+
+class StatisticalModel(CuisineModel):
+    """TF-IDF features + a classical classifier.
+
+    Args:
+        classifier: Any fitted-interface classifier from :mod:`repro.ml`.
+        label_space: Cuisine label space.
+        min_df: TF-IDF document-frequency floor.
+        max_features: Cap on the TF-IDF vocabulary (None = unlimited).
+        sublinear_tf: Use ``1 + log(tf)`` term frequencies.
+    """
+
+    name = "statistical"
+
+    def __init__(
+        self,
+        classifier: BaseClassifier,
+        label_space: Sequence[str] = CUISINES,
+        min_df: int = 2,
+        max_features: int | None = 20000,
+        sublinear_tf: bool = True,
+    ) -> None:
+        super().__init__(label_space)
+        self.classifier = classifier
+        self.pipeline = default_statistical_pipeline()
+        self.vectorizer = TfidfVectorizer(
+            min_df=min_df, max_features=max_features, sublinear_tf=sublinear_tf
+        )
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    def fit(self, train: RecipeDB, validation: RecipeDB | None = None) -> "StatisticalModel":
+        documents = self.pipeline.documents(train)
+        features = self.vectorizer.fit_transform(documents)
+        labels = self.labels_of(train)
+        self.classifier.fit(features, labels)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        documents = self.pipeline.documents(corpus)
+        features = self.vectorizer.transform(documents)
+        probabilities = self.classifier.predict_proba(features)
+        return self._expand_to_label_space(probabilities)
+
+    def _expand_to_label_space(self, probabilities: np.ndarray) -> np.ndarray:
+        """Map classifier-class columns onto the full label space."""
+        full = np.zeros((probabilities.shape[0], self.n_classes))
+        for column, class_index in enumerate(self.classifier.classes_):
+            full[:, int(class_index)] = probabilities[:, column]
+        row_sums = full.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        return full / row_sums
+
+
+class LogisticRegressionModel(StatisticalModel):
+    """Table IV column "LogReg" — one-vs-rest logistic regression on TF-IDF."""
+
+    name = "logreg"
+
+    def __init__(
+        self,
+        label_space: Sequence[str] = CUISINES,
+        C: float = 10.0,
+        max_iter: int = 400,
+        multi_class: str = "ovr",
+        **tfidf_kwargs,
+    ) -> None:
+        classifier = LogisticRegressionClassifier(
+            multi_class=multi_class, C=C, max_iter=max_iter
+        )
+        super().__init__(classifier, label_space, **tfidf_kwargs)
+
+
+class NaiveBayesModel(StatisticalModel):
+    """Table IV column "Naive Bayes" — multinomial NB on TF-IDF."""
+
+    name = "naive_bayes"
+
+    def __init__(
+        self, label_space: Sequence[str] = CUISINES, alpha: float = 0.3, **tfidf_kwargs
+    ) -> None:
+        super().__init__(MultinomialNaiveBayes(alpha=alpha), label_space, **tfidf_kwargs)
+
+
+class SVMModel(StatisticalModel):
+    """Table IV column "SVM (linear)" — one-vs-rest linear SVM on TF-IDF."""
+
+    name = "svm_linear"
+
+    def __init__(
+        self,
+        label_space: Sequence[str] = CUISINES,
+        C: float = 5.0,
+        max_iter: int = 300,
+        **tfidf_kwargs,
+    ) -> None:
+        super().__init__(LinearSVMClassifier(C=C, max_iter=max_iter), label_space, **tfidf_kwargs)
+
+
+class RandomForestModel(StatisticalModel):
+    """Table IV column "Random Forest" — RF with AdaBoost over shallow trees.
+
+    The paper describes "Random Forest with Boosting"; the reproduction fits a
+    random forest and, when ``use_boosting`` is true, an AdaBoost ensemble of
+    shallow trees whose probabilities are averaged with the forest's.
+    """
+
+    name = "random_forest"
+
+    def __init__(
+        self,
+        label_space: Sequence[str] = CUISINES,
+        n_estimators: int = 40,
+        max_depth: int = 20,
+        use_boosting: bool = True,
+        boosting_rounds: int = 15,
+        max_features: int | None = 2000,
+        random_state: int = 0,
+        **tfidf_kwargs,
+    ) -> None:
+        # TF-IDF vocabulary is capped harder for the tree models: dense slices
+        # of a 20k-wide matrix are wasteful and trees only use a few hundred
+        # informative features anyway.
+        tfidf_kwargs.setdefault("max_features", max_features)
+        forest = RandomForestClassifier(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            max_features="sqrt",
+            random_state=random_state,
+        )
+        super().__init__(forest, label_space, **tfidf_kwargs)
+        self.use_boosting = use_boosting
+        self.booster = (
+            AdaBoostClassifier(
+                n_estimators=boosting_rounds,
+                base_estimator_factory=lambda: DecisionTreeClassifier(
+                    max_depth=3, max_features="sqrt", random_state=random_state
+                ),
+                random_state=random_state,
+            )
+            if use_boosting
+            else None
+        )
+
+    def fit(self, train: RecipeDB, validation: RecipeDB | None = None) -> "RandomForestModel":
+        documents = self.pipeline.documents(train)
+        features = self.vectorizer.fit_transform(documents)
+        labels = self.labels_of(train)
+        self.classifier.fit(features, labels)
+        if self.booster is not None:
+            self.booster.fit(features, labels)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        documents = self.pipeline.documents(corpus)
+        features = self.vectorizer.transform(documents)
+        forest_probabilities = self._expand(self.classifier, features)
+        if self.booster is None:
+            return forest_probabilities
+        boost_probabilities = self._expand(self.booster, features)
+        combined = 0.5 * forest_probabilities + 0.5 * boost_probabilities
+        return combined / combined.sum(axis=1, keepdims=True)
+
+    def _expand(self, classifier: BaseClassifier, features) -> np.ndarray:
+        probabilities = classifier.predict_proba(features)
+        full = np.zeros((probabilities.shape[0], self.n_classes))
+        for column, class_index in enumerate(classifier.classes_):
+            full[:, int(class_index)] = probabilities[:, column]
+        row_sums = full.sum(axis=1, keepdims=True)
+        row_sums[row_sums == 0.0] = 1.0
+        return full / row_sums

@@ -1,0 +1,77 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between raw *logits* and integer *targets*.
+
+    Args:
+        logits: Tensor of shape ``(n, n_classes)``.
+        targets: Integer array of shape ``(n,)``.
+
+    Returns:
+        A scalar tensor.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError("logits and targets disagree on the batch size")
+    n = logits.shape[0]
+    log_probs = _log_softmax(logits)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def masked_cross_entropy_logits(
+    logits: Tensor, targets: np.ndarray, mask: np.ndarray
+) -> Tensor:
+    """Cross-entropy averaged over positions where *mask* is non-zero.
+
+    Used by the MLM pretraining objective, where only masked positions
+    contribute to the loss.
+
+    Args:
+        logits: Tensor of shape ``(n, length, vocab)``.
+        targets: Integer array of shape ``(n, length)``.
+        mask: Float/bool array of shape ``(n, length)``; positions with zero
+            mask are ignored.
+
+    Returns:
+        A scalar tensor (0.0 if the mask selects nothing).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if logits.ndim != 3:
+        raise ValueError(f"logits must be 3-D, got shape {logits.shape}")
+    n, length, vocab = logits.shape
+    flat_logits = logits.reshape(n * length, vocab)
+    log_probs = _log_softmax(flat_logits)
+    picked = log_probs[np.arange(n * length), targets.reshape(-1)]
+    flat_mask = mask.reshape(-1)
+    denom = float(flat_mask.sum())
+    if denom <= 0:
+        return Tensor(0.0)
+    return -(picked * Tensor(flat_mask)).sum() * (1.0 / denom)
+
+
+def _log_softmax(logits: Tensor) -> Tensor:
+    """Numerically stable log-softmax along the last axis."""
+    # log_softmax(x) = x - logsumexp(x); implemented with Tensor ops so the
+    # gradient is exact.
+    max_detached = Tensor(logits.data.max(axis=-1, keepdims=True))
+    shifted = logits - max_detached
+    log_sum = shifted.exp().sum(axis=-1, keepdims=True).log()
+    return shifted - log_sum
+
+
+def accuracy_from_logits(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of rows whose argmax matches *targets*."""
+    data = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = data.argmax(axis=-1)
+    return float(np.mean(predictions == np.asarray(targets)))

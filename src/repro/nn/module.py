@@ -1,0 +1,112 @@
+"""Module/parameter containers, mirroring the familiar torch.nn.Module API."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always ``requires_grad=True``)."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for every layer and model.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` instances as
+    attributes; :meth:`parameters` and :meth:`named_parameters` walk the tree.
+    ``training`` toggles dropout behaviour via :meth:`train` / :meth:`eval`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for the whole module tree."""
+        for attr_name, attr in vars(self).items():
+            if attr_name.startswith("_modules_list"):
+                continue
+            full_name = f"{prefix}{attr_name}"
+            if isinstance(attr, Parameter):
+                yield full_name, attr
+            elif isinstance(attr, Module):
+                yield from attr.named_parameters(prefix=f"{full_name}.")
+            elif isinstance(attr, (list, tuple)):
+                for index, element in enumerate(attr):
+                    if isinstance(element, Parameter):
+                        yield f"{full_name}.{index}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{full_name}.{index}.")
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters of the module tree."""
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every submodule."""
+        yield self
+        for attr in vars(self).values():
+            if isinstance(attr, Module):
+                yield from attr.modules()
+            elif isinstance(attr, (list, tuple)):
+                for element in attr:
+                    if isinstance(element, Module):
+                        yield from element.modules()
+
+    # ------------------------------------------------------------------
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return int(sum(parameter.data.size for parameter in self.parameters()))
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter keyed by its tree name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if strict and (missing or unexpected):
+            raise ValueError(
+                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+            )
+        for name, parameter in own.items():
+            if name not in state:
+                continue
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {value.shape} != {parameter.data.shape}"
+                )
+            parameter.data = value.copy()

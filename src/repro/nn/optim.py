@@ -1,0 +1,113 @@
+"""Optimizers: SGD (with momentum), Adam and AdamW."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+class Optimizer(abc.ABC):
+    """Base optimizer over a fixed list of parameters."""
+
+    def __init__(self, parameters: Sequence[Tensor], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+        self.step_count = 0
+
+    @abc.abstractmethod
+    def _update(self, index: int, parameter: Tensor, gradient: np.ndarray) -> None:
+        """Apply one update to *parameter* given its *gradient*."""
+
+    def step(self) -> None:
+        """Update every parameter from its accumulated gradient."""
+        self.step_count += 1
+        for index, parameter in enumerate(self.parameters):
+            if parameter.grad is None:
+                continue
+            self._update(index, parameter, parameter.grad)
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all tracked parameters."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def set_lr(self, lr: float) -> None:
+        """Set the current learning rate (used by schedules)."""
+        self.lr = lr
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, parameter: Tensor, gradient: np.ndarray) -> None:
+        if self.weight_decay:
+            gradient = gradient + self.weight_decay * parameter.data
+        if self.momentum:
+            self._velocity[index] = self.momentum * self._velocity[index] + gradient
+            gradient = self._velocity[index]
+        parameter.data -= self.lr * gradient
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _update(self, index: int, parameter: Tensor, gradient: np.ndarray) -> None:
+        beta1, beta2 = self.betas
+        if self.weight_decay:
+            gradient = gradient + self.weight_decay * parameter.data
+        self._m[index] = beta1 * self._m[index] + (1 - beta1) * gradient
+        self._v[index] = beta2 * self._v[index] + (1 - beta2) * gradient**2
+        m_hat = self._m[index] / (1 - beta1**self.step_count)
+        v_hat = self._v[index] / (1 - beta2**self.step_count)
+        parameter.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the optimizer BERT/RoBERTa use)."""
+
+    def _update(self, index: int, parameter: Tensor, gradient: np.ndarray) -> None:
+        beta1, beta2 = self.betas
+        self._m[index] = beta1 * self._m[index] + (1 - beta1) * gradient
+        self._v[index] = beta2 * self._v[index] + (1 - beta2) * gradient**2
+        m_hat = self._m[index] / (1 - beta1**self.step_count)
+        v_hat = self._v[index] / (1 - beta2**self.step_count)
+        parameter.data -= self.lr * (
+            m_hat / (np.sqrt(v_hat) + self.eps) + self.weight_decay * parameter.data
+        )

@@ -1,0 +1,38 @@
+"""Saving and loading model parameters.
+
+Parameters are stored as compressed ``.npz`` archives keyed by the module-tree
+names produced by :meth:`repro.nn.module.Module.named_parameters`, so a model
+rebuilt with the same configuration can round-trip its weights exactly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_model(model: Module, path: str | Path) -> Path:
+    """Write *model*'s parameters to *path* (``.npz`` is appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    if not state:
+        raise ValueError("model has no parameters to save")
+    np.savez_compressed(path, **state)
+    return path
+
+
+def load_model(model: Module, path: str | Path, strict: bool = True) -> Module:
+    """Load parameters saved by :func:`save_model` into *model* (in place)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no saved model at {path}")
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    model.load_state_dict(state, strict=strict)
+    return model

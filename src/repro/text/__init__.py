@@ -1,0 +1,27 @@
+"""Text preprocessing substrate.
+
+Implements the preprocessing described in Section IV of the paper: digit and
+symbol removal, tokenization, lemmatization, vocabulary construction and
+sequence encoding/padding for the neural models.
+"""
+
+from repro.text.cleaning import clean_item, clean_sequence, remove_digits_and_symbols
+from repro.text.lemmatizer import Lemmatizer, lemmatize
+from repro.text.pipeline import PreprocessingPipeline
+from repro.text.sequences import SequenceEncoder, pad_sequences
+from repro.text.tokenizer import tokenize, tokenize_sequence
+from repro.text.vocabulary import Vocabulary
+
+__all__ = [
+    "clean_item",
+    "clean_sequence",
+    "remove_digits_and_symbols",
+    "Lemmatizer",
+    "lemmatize",
+    "PreprocessingPipeline",
+    "SequenceEncoder",
+    "pad_sequences",
+    "tokenize",
+    "tokenize_sequence",
+    "Vocabulary",
+]

@@ -1,0 +1,100 @@
+"""End-to-end preprocessing pipeline (Section IV of the paper).
+
+Combines cleaning, tokenization and lemmatization into a single configurable
+transformation from raw :class:`~repro.data.schema.Recipe` objects (or raw
+item sequences) to token sequences and document strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe
+from repro.text.cleaning import clean_item
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.tokenizer import tokenize
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of the preprocessing pipeline.
+
+    Attributes:
+        lowercase: Lower-case all items.
+        remove_digits_symbols: Apply the paper's digit/symbol removal.
+        lemmatize: Apply the rule-based lemmatizer to every word.
+        split_items: Whether multi-word items are split into word tokens
+            (used by TF-IDF) or kept as single item tokens joined with
+            ``item_separator`` (used by the sequential models).
+        item_separator: Joiner for multi-word items when they are not split.
+    """
+
+    lowercase: bool = True
+    remove_digits_symbols: bool = True
+    lemmatize: bool = True
+    split_items: bool = False
+    item_separator: str = "_"
+
+
+class PreprocessingPipeline:
+    """Transforms recipes into cleaned, lemmatized token sequences."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+        self._lemmatizer = Lemmatizer()
+
+    # ------------------------------------------------------------------
+    # item / sequence level
+    # ------------------------------------------------------------------
+    def process_item(self, item: str) -> list[str]:
+        """Clean, tokenize and lemmatize a single recipe item into words."""
+        cfg = self.config
+        if cfg.remove_digits_symbols:
+            item = clean_item(item, lowercase=cfg.lowercase)
+        elif cfg.lowercase:
+            item = item.lower()
+        words = tokenize(item, lowercase=cfg.lowercase)
+        if cfg.lemmatize:
+            words = self._lemmatizer.lemmatize_all(words)
+        return words
+
+    def process_sequence(self, sequence: Iterable[str]) -> list[str]:
+        """Process a recipe item sequence into the final token sequence."""
+        cfg = self.config
+        tokens: list[str] = []
+        for item in sequence:
+            words = self.process_item(item)
+            if not words:
+                continue
+            if cfg.split_items:
+                tokens.extend(words)
+            else:
+                tokens.append(cfg.item_separator.join(words))
+        return tokens
+
+    # ------------------------------------------------------------------
+    # recipe / corpus level
+    # ------------------------------------------------------------------
+    def process_recipe(self, recipe: Recipe) -> list[str]:
+        """Token sequence of a single recipe."""
+        return self.process_sequence(recipe.sequence)
+
+    def process_corpus(self, corpus: RecipeDB | Sequence[Recipe]) -> list[list[str]]:
+        """Token sequences for every recipe of a corpus, in order."""
+        return [self.process_recipe(recipe) for recipe in corpus]
+
+    def documents(self, corpus: RecipeDB | Sequence[Recipe]) -> list[str]:
+        """Whitespace-joined document strings (the TF-IDF input form)."""
+        return [" ".join(tokens) for tokens in self.process_corpus(corpus)]
+
+
+def default_statistical_pipeline() -> PreprocessingPipeline:
+    """The pipeline configuration used for the statistical (TF-IDF) models."""
+    return PreprocessingPipeline(PipelineConfig(split_items=True))
+
+
+def default_sequential_pipeline() -> PreprocessingPipeline:
+    """The pipeline configuration used for the sequential (LSTM/transformer) models."""
+    return PreprocessingPipeline(PipelineConfig(split_items=False))

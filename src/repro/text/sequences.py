@@ -1,0 +1,104 @@
+"""Sequence encoding and padding for the neural models.
+
+The LSTM and transformer classifiers consume fixed-length integer id
+sequences.  This module converts token sequences into padded id matrices plus
+attention masks, optionally prepending a ``[CLS]`` token whose final hidden
+state is used for classification (as in BERT/RoBERTa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.text.vocabulary import Vocabulary
+
+
+def pad_sequences(
+    sequences: Sequence[Sequence[int]],
+    max_length: int,
+    pad_value: int = 0,
+    truncate: str = "right",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad/truncate integer sequences to *max_length*.
+
+    Args:
+        sequences: The id sequences.
+        max_length: Output length.
+        pad_value: Fill value for padding.
+        truncate: ``"right"`` keeps the beginning of over-long sequences,
+            ``"left"`` keeps the end.
+
+    Returns:
+        ``(ids, mask)`` where ``ids`` has shape ``(n, max_length)`` and
+        ``mask`` is 1.0 over real tokens, 0.0 over padding.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+    if truncate not in ("right", "left"):
+        raise ValueError(f"truncate must be 'right' or 'left', got {truncate!r}")
+    n = len(sequences)
+    ids = np.full((n, max_length), pad_value, dtype=np.int64)
+    mask = np.zeros((n, max_length), dtype=np.float64)
+    for row, sequence in enumerate(sequences):
+        seq = list(sequence)
+        if len(seq) > max_length:
+            seq = seq[:max_length] if truncate == "right" else seq[-max_length:]
+        ids[row, : len(seq)] = seq
+        mask[row, : len(seq)] = 1.0
+    return ids, mask
+
+
+@dataclass
+class EncodedBatch:
+    """A batch of encoded sequences ready for a neural model."""
+
+    ids: np.ndarray
+    mask: np.ndarray
+
+    def __len__(self) -> int:
+        return self.ids.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        return self.ids.shape[1]
+
+
+class SequenceEncoder:
+    """Encodes token sequences into padded id matrices using a vocabulary."""
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        max_length: int = 64,
+        add_cls: bool = False,
+        truncate: str = "right",
+    ) -> None:
+        if max_length < 2:
+            raise ValueError("max_length must be at least 2")
+        self.vocabulary = vocabulary
+        self.max_length = max_length
+        self.add_cls = add_cls
+        self.truncate = truncate
+
+    def encode(self, documents: Sequence[Sequence[str]]) -> EncodedBatch:
+        """Encode tokenized documents into a padded batch."""
+        encoded: list[list[int]] = []
+        for tokens in documents:
+            ids = self.vocabulary.encode(tokens)
+            if self.add_cls:
+                ids = [self.vocabulary.cls_id] + ids
+            encoded.append(ids)
+        ids, mask = pad_sequences(
+            encoded,
+            max_length=self.max_length,
+            pad_value=self.vocabulary.pad_id,
+            truncate=self.truncate,
+        )
+        return EncodedBatch(ids=ids, mask=mask)
+
+    def encode_one(self, tokens: Sequence[str]) -> EncodedBatch:
+        """Encode a single tokenized document."""
+        return self.encode([tokens])

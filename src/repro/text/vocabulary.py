@@ -1,0 +1,157 @@
+"""Token vocabulary with frequency-based pruning and special tokens.
+
+Used by the sequential models (LSTM, transformers) to map tokens to integer
+ids, and by the MLM pretraining objective which needs ``[MASK]`` / ``[PAD]`` /
+``[UNK]`` / ``[CLS]`` special tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+MASK_TOKEN = "[MASK]"
+
+#: Special tokens, in the id order they are always assigned.
+SPECIAL_TOKENS: tuple[str, ...] = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, MASK_TOKEN)
+
+
+class Vocabulary:
+    """A bidirectional token <-> id mapping.
+
+    Ids 0..3 are always the special tokens (PAD, UNK, CLS, MASK); regular
+    tokens start at id 4 and are ordered by decreasing corpus frequency (ties
+    broken alphabetically) so truncating the vocabulary keeps the most common
+    tokens.
+    """
+
+    def __init__(self, tokens: Iterable[str] = (), include_special: bool = True) -> None:
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+        self._include_special = include_special
+        if include_special:
+            for token in SPECIAL_TOKENS:
+                self._add(token)
+        for token in tokens:
+            self.add(token)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        documents: Iterable[Sequence[str]],
+        min_freq: int = 1,
+        max_size: int | None = None,
+        include_special: bool = True,
+    ) -> "Vocabulary":
+        """Build a vocabulary from tokenized documents.
+
+        Args:
+            documents: Iterable of token sequences.
+            min_freq: Drop tokens occurring fewer than this many times.
+            max_size: Cap on the number of *regular* tokens (special tokens
+                are not counted against the cap).
+            include_special: Whether to reserve the special tokens.
+
+        Returns:
+            The constructed vocabulary.
+        """
+        counts: Counter = Counter()
+        for document in documents:
+            counts.update(document)
+        eligible = [
+            (token, freq) for token, freq in counts.items() if freq >= min_freq
+        ]
+        eligible.sort(key=lambda item: (-item[1], item[0]))
+        if max_size is not None:
+            eligible = eligible[:max_size]
+        vocab = cls(include_special=include_special)
+        for token, _ in eligible:
+            vocab.add(token)
+        vocab._frequencies = {token: counts[token] for token in vocab.tokens()}
+        return vocab
+
+    def add(self, token: str) -> int:
+        """Add *token* if absent; return its id."""
+        existing = self._token_to_id.get(token)
+        if existing is not None:
+            return existing
+        return self._add(token)
+
+    def _add(self, token: str) -> int:
+        token_id = len(self._id_to_token)
+        self._token_to_id[token] = token_id
+        self._id_to_token.append(token)
+        return token_id
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_token)
+
+    def tokens(self) -> tuple[str, ...]:
+        """All tokens in id order."""
+        return tuple(self._id_to_token)
+
+    def token_to_id(self, token: str) -> int:
+        """Id of *token*, falling back to the UNK id for unknown tokens."""
+        token_id = self._token_to_id.get(token)
+        if token_id is not None:
+            return token_id
+        if self._include_special:
+            return self._token_to_id[UNK_TOKEN]
+        raise KeyError(f"unknown token {token!r} and no UNK token reserved")
+
+    def id_to_token(self, token_id: int) -> str:
+        """Token with id *token_id*."""
+        return self._id_to_token[token_id]
+
+    def encode(self, tokens: Sequence[str]) -> list[int]:
+        """Map a token sequence to ids (unknown tokens become UNK)."""
+        return [self.token_to_id(token) for token in tokens]
+
+    def decode(self, ids: Sequence[int]) -> list[str]:
+        """Inverse of :meth:`encode`."""
+        return [self.id_to_token(token_id) for token_id in ids]
+
+    # ------------------------------------------------------------------
+    # special token ids
+    # ------------------------------------------------------------------
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._token_to_id[CLS_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._token_to_id[MASK_TOKEN]
+
+    @property
+    def special_ids(self) -> tuple[int, ...]:
+        """Ids of all reserved special tokens."""
+        if not self._include_special:
+            return ()
+        return tuple(self._token_to_id[token] for token in SPECIAL_TOKENS)
+
+    def frequency(self, token: str) -> int:
+        """Corpus frequency recorded at build time (0 if unknown or not built)."""
+        return getattr(self, "_frequencies", {}).get(token, 0)

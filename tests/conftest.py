@@ -1,0 +1,124 @@
+"""Shared fixtures for the test suite.
+
+The corpora are generated once per session at a small scale so that the whole
+suite (several hundred tests, including neural-network training) stays fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe, TokenKind
+from repro.data.splits import train_val_test_split
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus() -> RecipeDB:
+    """A very small corpus (26 cuisines, a handful of recipes each)."""
+    config = GeneratorConfig(scale=0.004, seed=11)
+    return RecipeDBGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_corpus() -> RecipeDB:
+    """A small corpus large enough for meaningful classification tests."""
+    config = GeneratorConfig(scale=0.01, seed=3)
+    return RecipeDBGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_splits(small_corpus):
+    """7:1:2 splits of the small corpus."""
+    return train_val_test_split(small_corpus, seed=5)
+
+
+@pytest.fixture(scope="session")
+def handmade_corpus() -> RecipeDB:
+    """A tiny, fully hand-written corpus with known content for exact assertions."""
+    recipes = [
+        Recipe(
+            recipe_id=1,
+            cuisine="Italian",
+            continent="European",
+            sequence=("pasta", "tomato", "basil", "boil", "add", "stir", "pot"),
+            kinds=(
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.UTENSIL,
+            ),
+        ),
+        Recipe(
+            recipe_id=2,
+            cuisine="Italian",
+            continent="European",
+            sequence=("pasta", "olive oil", "garlic", "heat", "add", "serve", "pan"),
+            kinds=(
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.UTENSIL,
+            ),
+        ),
+        Recipe(
+            recipe_id=3,
+            cuisine="Mexican",
+            continent="Latin American",
+            sequence=("tortilla", "beef", "chili", "fry", "add", "serve", "skillet"),
+            kinds=(
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.UTENSIL,
+            ),
+        ),
+        Recipe(
+            recipe_id=4,
+            cuisine="Mexican",
+            continent="Latin American",
+            sequence=("tortilla", "chunky salsa", "corn", "heat", "stir", "serve", "pan"),
+            kinds=(
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.UTENSIL,
+            ),
+        ),
+        Recipe(
+            recipe_id=5,
+            cuisine="Japanese",
+            continent="Asian",
+            sequence=("rice", "nori", "soy sauce", "steam", "roll", "slice", "bowl"),
+            kinds=(
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.INGREDIENT,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.PROCESS,
+                TokenKind.UTENSIL,
+            ),
+        ),
+    ]
+    return RecipeDB(recipes=recipes)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic NumPy random generator."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,86 @@
+"""Tests for the high-level CuisineClassifier API."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import CuisineClassifier
+
+
+@pytest.fixture(scope="module")
+def fitted_classifier(small_corpus):
+    classifier = CuisineClassifier("naive_bayes", label_space=small_corpus.present_cuisines())
+    return classifier.fit(small_corpus, seed=3)
+
+
+class TestConstruction:
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            CuisineClassifier("word2vec")
+
+    def test_default_model_is_roberta(self):
+        assert CuisineClassifier().model_name == "roberta"
+
+
+class TestFitAndClassify:
+    def test_fit_creates_holdout_splits(self, fitted_classifier, small_corpus):
+        assert fitted_classifier.splits is not None
+        assert sum(fitted_classifier.splits.sizes) == len(small_corpus)
+
+    def test_evaluate_holdout(self, fitted_classifier):
+        metrics = fitted_classifier.evaluate_holdout()
+        assert metrics.accuracy > 0.1
+        assert np.isfinite(metrics.loss)
+
+    def test_classify_single_sequence(self, fitted_classifier):
+        cuisine = fitted_classifier.classify(
+            ["basmati rice", "turmeric", "cumin", "simmer", "add", "pot"]
+        )
+        assert cuisine in fitted_classifier.label_space
+
+    def test_classify_many(self, fitted_classifier):
+        predictions = fitted_classifier.classify_many(
+            [["pasta", "tomato", "boil", "pan"], ["tortilla", "beef", "fry", "skillet"]]
+        )
+        assert len(predictions) == 2
+        assert all(p in fitted_classifier.label_space for p in predictions)
+
+    def test_predict_proba_normalised(self, fitted_classifier):
+        probabilities = fitted_classifier.predict_proba([["onion", "stir", "add"]])
+        assert probabilities.shape == (1, len(fitted_classifier.label_space))
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_top_cuisines_sorted(self, fitted_classifier):
+        top = fitted_classifier.top_cuisines(["onion", "garlic", "stir", "add", "wok"], k=4)
+        assert len(top) == 4
+        probabilities = [probability for _, probability in top]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_empty_input_rejected(self, fitted_classifier):
+        with pytest.raises(ValueError):
+            fitted_classifier.classify_many([])
+
+    def test_unfitted_usage_raises(self):
+        classifier = CuisineClassifier("naive_bayes")
+        with pytest.raises(RuntimeError):
+            classifier.classify(["onion"])
+        with pytest.raises(RuntimeError):
+            classifier.evaluate_holdout()
+
+    def test_fit_without_holdout(self, small_corpus):
+        classifier = CuisineClassifier("naive_bayes", label_space=small_corpus.present_cuisines())
+        classifier.fit(small_corpus, holdout=False)
+        assert classifier.splits is None
+        with pytest.raises(RuntimeError):
+            classifier.evaluate_holdout()
+
+    def test_fit_with_explicit_validation(self, small_splits):
+        classifier = CuisineClassifier(
+            "naive_bayes", label_space=small_splits.train.present_cuisines()
+        )
+        classifier.fit(small_splits.train, validation=small_splits.validation)
+        metrics = classifier.evaluate(small_splits.test)
+        assert metrics.accuracy > 0.1
+
+    def test_evaluate_on_external_corpus(self, fitted_classifier, small_splits):
+        metrics = fitted_classifier.evaluate(small_splits.test)
+        assert 0.0 <= metrics.accuracy <= 1.0

@@ -1,0 +1,117 @@
+"""Tests for the experiment harness (config, ablations, runner)."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import (
+    ExperimentConfig,
+    ExperimentRunner,
+    run_table_iv_experiment,
+    shuffle_recipe_sequences,
+)
+from repro.core.results import ExperimentResult
+
+
+class TestExperimentConfig:
+    def test_defaults_cover_all_models(self):
+        config = ExperimentConfig()
+        assert len(config.models) == 7
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(models=("logreg", "gpt"))
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(models=())
+
+
+class TestShuffleSequences:
+    def test_preserves_bag_of_items(self, handmade_corpus):
+        shuffled = shuffle_recipe_sequences(handmade_corpus, seed=1)
+        for original, permuted in zip(handmade_corpus, shuffled):
+            assert sorted(original.sequence) == sorted(permuted.sequence)
+            assert original.cuisine == permuted.cuisine
+
+    def test_changes_order_for_long_recipes(self, small_corpus):
+        shuffled = shuffle_recipe_sequences(small_corpus, seed=1)
+        changed = sum(
+            1
+            for original, permuted in zip(small_corpus, shuffled)
+            if original.sequence != permuted.sequence
+        )
+        assert changed > len(small_corpus) * 0.9
+
+    def test_kinds_follow_items(self, handmade_corpus):
+        shuffled = shuffle_recipe_sequences(handmade_corpus, seed=3)
+        for original, permuted in zip(handmade_corpus, shuffled):
+            original_pairs = set(zip(original.sequence, original.kinds))
+            permuted_pairs = set(zip(permuted.sequence, permuted.kinds))
+            assert original_pairs == permuted_pairs
+
+
+class TestExperimentRunner:
+    def test_prepare_corpus_generates_at_scale(self):
+        runner = ExperimentRunner(ExperimentConfig(models=("logreg",), scale=0.004, seed=1))
+        corpus = runner.prepare_corpus()
+        assert len(corpus) > 100
+
+    def test_prepare_corpus_accepts_existing_corpus(self, small_corpus):
+        runner = ExperimentRunner(ExperimentConfig(models=("logreg",)), corpus=small_corpus)
+        assert runner.prepare_corpus() is small_corpus
+
+    def test_min_cuisine_recipes_ablation_drops_classes(self, small_corpus):
+        config = ExperimentConfig(models=("logreg",), min_cuisine_recipes=50)
+        runner = ExperimentRunner(config, corpus=small_corpus)
+        corpus = runner.prepare_corpus()
+        assert len(corpus.present_cuisines()) < 26
+        assert min(corpus.cuisine_counts().values()) >= 50
+
+    def test_shuffle_ablation_applied(self, small_corpus):
+        config = ExperimentConfig(models=("logreg",), shuffle_sequences=True, seed=4)
+        runner = ExperimentRunner(config, corpus=small_corpus)
+        corpus = runner.prepare_corpus()
+        assert [r.sequence for r in corpus] != [r.sequence for r in small_corpus]
+
+    def test_run_single_statistical_model(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes",), seed=2)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        assert isinstance(result, ExperimentResult)
+        assert set(result.model_results) == {"naive_bayes"}
+        model_result = result.model_results["naive_bayes"]
+        assert model_result.metrics.accuracy > 0.1
+        assert model_result.train_seconds > 0
+        assert result.split_sizes["train"] > result.split_sizes["test"]
+
+    def test_run_records_validation_metrics(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes",), seed=2)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        assert result.model_results["naive_bayes"].validation_metrics is not None
+
+    def test_convenience_wrapper(self, small_corpus):
+        result = run_table_iv_experiment(models=("naive_bayes",), corpus=small_corpus, seed=1)
+        assert "naive_bayes" in result.model_results
+
+    def test_accuracy_ranking_and_best_model(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes", "logreg"), seed=2)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        ranking = result.accuracy_ranking()
+        assert len(ranking) == 2
+        assert ranking[0][1] >= ranking[1][1]
+        assert result.best_model() == ranking[0][0]
+
+    def test_result_json_roundtrip(self, small_corpus, tmp_path):
+        config = ExperimentConfig(models=("naive_bayes",), seed=2)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        path = result.save_json(tmp_path / "result.json")
+        loaded = ExperimentResult.load_json(path)
+        assert loaded["config"]["models"] == ["naive_bayes"]
+        assert "naive_bayes" in loaded["models"]
+        assert loaded["models"]["naive_bayes"]["metrics"]["accuracy"] == pytest.approx(
+            result.model_results["naive_bayes"].metrics.accuracy
+        )
+
+    def test_best_model_on_empty_result_raises(self):
+        result = ExperimentResult(config={}, split_sizes={})
+        with pytest.raises(ValueError):
+            result.best_model()

@@ -1,0 +1,119 @@
+"""Tests for the Table IV metric set."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    ClassificationMetrics,
+    accuracy_score,
+    confusion_matrix,
+    evaluate_predictions,
+    log_loss,
+    precision_recall_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy_score([0, 1, 2], [0, 1, 2]) == 1.0
+        assert accuracy_score([0, 1, 2], [1, 2, 0]) == 0.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 0, 1, 1], [0, 1, 1, 1]) == pytest.approx(0.75)
+
+    def test_length_mismatch_and_empty(self):
+        with pytest.raises(ValueError):
+            accuracy_score([0, 1], [0])
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_layout_true_rows_pred_columns(self):
+        matrix = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2], n_classes=3)
+        assert matrix[0, 0] == 1 and matrix[0, 1] == 1
+        assert matrix[1, 1] == 1 and matrix[2, 2] == 1
+        assert matrix.sum() == 4
+
+    def test_rows_sum_to_class_support(self):
+        y_true = [0, 0, 0, 1, 2, 2]
+        matrix = confusion_matrix(y_true, [0, 1, 2, 1, 2, 0], n_classes=3)
+        assert matrix.sum(axis=1).tolist() == [3, 1, 2]
+
+    def test_invalid_n_classes(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0], [0], n_classes=0)
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_predictions(self):
+        precision, recall, f1 = precision_recall_f1([0, 1, 2], [0, 1, 2], n_classes=3)
+        assert precision == recall == f1 == 1.0
+
+    def test_macro_values_hand_computed(self):
+        # class 0: TP=1 FP=1 FN=0 -> P=0.5, R=1; class 1: TP=1 FP=0 FN=1 -> P=1, R=0.5
+        y_true = [0, 1, 1]
+        y_pred = [0, 0, 1]
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, n_classes=2)
+        assert precision == pytest.approx((0.5 + 1.0) / 2)
+        assert recall == pytest.approx((1.0 + 0.5) / 2)
+        assert f1 == pytest.approx((2 * 0.5 / 1.5 + 2 * 0.5 / 1.5) / 2)
+
+    def test_absent_class_excluded_from_macro(self):
+        precision, recall, f1 = precision_recall_f1([0, 0], [0, 0], n_classes=3)
+        assert precision == recall == f1 == 1.0
+
+    def test_weighted_average_respects_support(self):
+        y_true = [0] * 9 + [1]
+        y_pred = [0] * 9 + [0]
+        _, recall_macro, _ = precision_recall_f1(y_true, y_pred, n_classes=2, average="macro")
+        _, recall_weighted, _ = precision_recall_f1(y_true, y_pred, n_classes=2, average="weighted")
+        assert recall_macro == pytest.approx(0.5)
+        assert recall_weighted == pytest.approx(0.9)
+
+    def test_invalid_average(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([0], [0], n_classes=2, average="micro-ish")
+
+
+class TestLogLoss:
+    def test_perfect_probabilities_near_zero(self):
+        probabilities = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert log_loss([0, 1], probabilities) < 1e-10
+
+    def test_uniform_probabilities_log_n(self):
+        probabilities = np.full((3, 4), 0.25)
+        assert log_loss([0, 1, 2], probabilities) == pytest.approx(np.log(4))
+
+    def test_clipping_avoids_infinity(self):
+        probabilities = np.array([[0.0, 1.0]])
+        assert np.isfinite(log_loss([0], probabilities))
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            log_loss([0], np.array([1.0, 0.0]))
+
+
+class TestEvaluatePredictions:
+    def test_full_metric_bundle(self):
+        probabilities = np.array(
+            [[0.8, 0.1, 0.1], [0.2, 0.7, 0.1], [0.1, 0.2, 0.7], [0.5, 0.3, 0.2]]
+        )
+        metrics = evaluate_predictions([0, 1, 2, 1], probabilities)
+        assert isinstance(metrics, ClassificationMetrics)
+        assert metrics.accuracy == pytest.approx(0.75)
+        assert metrics.confusion.shape == (3, 3)
+        assert 0 < metrics.loss < 2
+        assert set(metrics.as_dict()) == {"accuracy", "loss", "precision", "recall", "f1"}
+
+    def test_table_row_percentages(self):
+        probabilities = np.array([[0.9, 0.1], [0.2, 0.8]])
+        metrics = evaluate_predictions([0, 1], probabilities)
+        row = metrics.table_row()
+        assert row["Accuracy"] == 100.0
+        assert row["Precision"] == 1.0
+
+    def test_n_classes_override(self):
+        probabilities = np.array([[0.9, 0.1], [0.2, 0.8]])
+        metrics = evaluate_predictions([0, 1], probabilities, n_classes=2)
+        assert metrics.confusion.shape == (2, 2)

@@ -1,0 +1,83 @@
+"""Tests for the cuisine taxonomy constants (paper Table II)."""
+
+import pytest
+
+from repro.data.cuisines import (
+    CONTINENT_OF_CUISINE,
+    CUISINE_RECIPE_COUNTS,
+    CUISINES,
+    PAPER_TOTAL_RECIPES,
+    continent_of,
+    cuisine_index,
+    scaled_cuisine_counts,
+)
+
+
+class TestTableIIConstants:
+    def test_has_26_cuisines(self):
+        assert len(CUISINE_RECIPE_COUNTS) == 26
+        assert len(CUISINES) == 26
+
+    def test_counts_sum_close_to_paper_total(self):
+        # The paper states 118,071 total recipes while its own Table II sums
+        # to 118,171 — an internal inconsistency of 100 recipes (<0.1 %).  We
+        # keep the per-cuisine counts verbatim and assert the near-agreement.
+        assert PAPER_TOTAL_RECIPES == 118_071
+        table_sum = sum(CUISINE_RECIPE_COUNTS.values())
+        assert abs(table_sum - PAPER_TOTAL_RECIPES) <= 100
+
+    def test_known_counts_match_paper(self):
+        assert CUISINE_RECIPE_COUNTS["Italian"] == 16582
+        assert CUISINE_RECIPE_COUNTS["Mexican"] == 14463
+        assert CUISINE_RECIPE_COUNTS["Central American"] == 460
+        assert CUISINE_RECIPE_COUNTS["Korean"] == 668
+
+    def test_cuisines_sorted_and_unique(self):
+        assert list(CUISINES) == sorted(set(CUISINES))
+
+    def test_every_cuisine_has_a_continent(self):
+        assert set(CONTINENT_OF_CUISINE) == set(CUISINE_RECIPE_COUNTS)
+
+    def test_continent_labels_match_table_i_examples(self):
+        # Table I of the paper shows these continent assignments.
+        assert continent_of("Middle Eastern") == "African"
+        assert continent_of("Southeast Asian") == "Asian"
+        assert continent_of("Indian Subcontinent") == "Asian"
+        assert continent_of("Mexican") == "Latin American"
+        assert continent_of("Deutschland") == "European"
+        assert continent_of("Canadian") == "North American"
+
+
+class TestHelpers:
+    def test_continent_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            continent_of("Atlantis")
+
+    def test_cuisine_index_roundtrip(self):
+        for i, cuisine in enumerate(CUISINES):
+            assert cuisine_index(cuisine) == i
+
+    def test_cuisine_index_unknown_raises(self):
+        with pytest.raises(KeyError):
+            cuisine_index("Atlantis")
+
+    def test_scaled_counts_full_scale_is_identity(self):
+        assert scaled_cuisine_counts(1.0) == CUISINE_RECIPE_COUNTS
+
+    def test_scaled_counts_keeps_every_cuisine(self):
+        scaled = scaled_cuisine_counts(0.001, min_per_cuisine=4)
+        assert set(scaled) == set(CUISINE_RECIPE_COUNTS)
+        assert all(count >= 4 for count in scaled.values())
+
+    def test_scaled_counts_preserves_proportions(self):
+        scaled = scaled_cuisine_counts(0.1)
+        assert scaled["Italian"] == pytest.approx(1658, abs=1)
+        assert scaled["Italian"] > scaled["Mexican"] > scaled["Korean"]
+
+    def test_scaled_counts_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            scaled_cuisine_counts(0.0)
+        with pytest.raises(ValueError):
+            scaled_cuisine_counts(-1.0)
+        with pytest.raises(ValueError):
+            scaled_cuisine_counts(0.5, min_per_cuisine=0)

@@ -1,0 +1,146 @@
+"""Tests for the synthetic RecipeDB generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.cuisines import CUISINES, scaled_cuisine_counts
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator, generate_recipedb
+from repro.data.schema import TokenKind
+
+
+class TestGeneratorConfig:
+    def test_defaults_are_valid(self):
+        config = GeneratorConfig()
+        assert 0 < config.scale <= 1
+        assert config.n_processes == 256
+        assert config.n_utensils == 69
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"scale": 0.0},
+            {"scale": -1.0},
+            {"hapax_probability": 1.5},
+            {"min_ingredients": 0},
+            {"max_ingredients": 2, "min_ingredients": 5},
+            {"min_processes": 0},
+            {"max_utensils": 0, "min_utensils": 1},
+            {"n_motifs": 0},
+        ],
+    )
+    def test_invalid_configs_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            GeneratorConfig(**kwargs)
+
+    def test_resolved_vocab_scales_with_corpus(self):
+        small = GeneratorConfig(scale=0.01).resolved_n_ingredients
+        large = GeneratorConfig(scale=0.25).resolved_n_ingredients
+        assert small < large <= 20280
+
+    def test_explicit_vocab_size_wins(self):
+        assert GeneratorConfig(n_ingredients=500).resolved_n_ingredients == 500
+
+
+class TestVocabularies:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return RecipeDBGenerator(GeneratorConfig(scale=0.005, seed=2))
+
+    def test_process_vocabulary_size_matches_paper(self, generator):
+        assert len(generator.process_vocabulary) == 256
+
+    def test_utensil_vocabulary_size_matches_paper(self, generator):
+        assert len(generator.utensil_vocabulary) == 69
+
+    def test_vocabularies_have_no_duplicates(self, generator):
+        assert len(set(generator.ingredient_vocabulary)) == len(generator.ingredient_vocabulary)
+        assert len(set(generator.process_vocabulary)) == len(generator.process_vocabulary)
+        assert len(set(generator.utensil_vocabulary)) == len(generator.utensil_vocabulary)
+
+    def test_add_is_a_process(self, generator):
+        assert "add" in generator.process_vocabulary
+
+
+class TestGeneratedCorpus:
+    def test_cuisine_counts_match_scaled_table_ii(self, tiny_corpus):
+        expected = scaled_cuisine_counts(tiny_corpus.generator_config.scale)
+        assert tiny_corpus.cuisine_counts() == expected
+
+    def test_all_26_cuisines_present(self, tiny_corpus):
+        assert tiny_corpus.present_cuisines() == CUISINES
+
+    def test_recipe_ids_unique(self, tiny_corpus):
+        ids = [recipe.recipe_id for recipe in tiny_corpus]
+        assert len(ids) == len(set(ids))
+
+    def test_sequences_follow_table_i_structure(self, tiny_corpus):
+        # Ingredients first, then processes, then utensils — as in Table I.
+        for recipe in list(tiny_corpus)[:50]:
+            kinds = list(recipe.kinds)
+            assert kinds == sorted(
+                kinds, key=[TokenKind.INGREDIENT, TokenKind.PROCESS, TokenKind.UTENSIL].index
+            )
+            assert TokenKind.INGREDIENT in kinds
+            assert TokenKind.PROCESS in kinds
+
+    def test_sequence_lengths_within_config_bounds(self, tiny_corpus):
+        config = tiny_corpus.generator_config
+        max_possible = (
+            config.max_ingredients
+            + 1  # hapax
+            + config.max_processes
+            + 2 * config.motifs_per_recipe
+            + config.max_utensils
+        )
+        for recipe in tiny_corpus:
+            assert config.min_ingredients <= len(recipe) <= max_possible
+
+    def test_deterministic_given_seed(self):
+        first = generate_recipedb(scale=0.004, seed=42)
+        second = generate_recipedb(scale=0.004, seed=42)
+        assert [r.sequence for r in first] == [r.sequence for r in second]
+        assert first.cuisines == second.cuisines
+
+    def test_different_seeds_differ(self):
+        first = generate_recipedb(scale=0.004, seed=1)
+        second = generate_recipedb(scale=0.004, seed=2)
+        assert [r.sequence for r in first] != [r.sequence for r in second]
+
+    def test_scale_controls_corpus_size(self):
+        small = generate_recipedb(scale=0.004, seed=1)
+        larger = generate_recipedb(scale=0.008, seed=1)
+        assert len(larger) > len(small)
+
+    def test_hapax_ingredients_are_unique(self):
+        corpus = generate_recipedb(scale=0.01, seed=9, hapax_probability=0.5)
+        doc_freq = {}
+        for recipe in corpus:
+            for item, kind in zip(recipe.sequence, recipe.kinds):
+                if kind is TokenKind.INGREDIENT and item[-1].isdigit():
+                    doc_freq[item] = doc_freq.get(item, 0) + 1
+        assert doc_freq, "expected some hapax ingredients"
+        assert all(count == 1 for count in doc_freq.values())
+
+    def test_zero_hapax_probability_produces_no_hapaxes(self):
+        corpus = generate_recipedb(scale=0.004, seed=9, hapax_probability=0.0)
+        for recipe in corpus:
+            assert not any(item[-1].isdigit() for item in recipe.sequence)
+
+
+class TestOrderSignal:
+    def test_cuisines_disagree_on_motif_order(self):
+        """Different cuisines must order at least some motif pairs differently."""
+        generator = RecipeDBGenerator(GeneratorConfig(scale=0.004, seed=2))
+        profiles = generator._profiles
+        orders = {name: tuple(profile.motif_orders) for name, profile in profiles.items()}
+        distinct = set(orders.values())
+        assert len(distinct) > 5
+
+    def test_motif_token_sets_identical_across_cuisines(self):
+        """The motif *tokens* are shared; only their order differs."""
+        generator = RecipeDBGenerator(GeneratorConfig(scale=0.004, seed=2))
+        token_sets = {
+            name: frozenset(frozenset(pair) for pair in profile.motif_orders)
+            for name, profile in generator._profiles.items()
+        }
+        assert len(set(token_sets.values())) == 1

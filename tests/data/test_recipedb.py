@@ -1,0 +1,99 @@
+"""Tests for the RecipeDB corpus container."""
+
+import pytest
+
+from repro.data.cuisines import CUISINES
+from repro.data.recipedb import RecipeDB
+from repro.data.schema import Recipe, TokenKind
+
+
+class TestContainerBasics:
+    def test_len_and_getitem(self, handmade_corpus):
+        assert len(handmade_corpus) == 5
+        assert handmade_corpus[0].recipe_id == 1
+
+    def test_iteration_order_preserved(self, handmade_corpus):
+        assert [r.recipe_id for r in handmade_corpus] == [1, 2, 3, 4, 5]
+
+    def test_duplicate_ids_rejected(self, handmade_corpus):
+        recipes = list(handmade_corpus.recipes) + [handmade_corpus[0]]
+        with pytest.raises(ValueError):
+            RecipeDB(recipes=recipes)
+
+
+class TestColumnViews:
+    def test_cuisines_and_continents(self, handmade_corpus):
+        assert handmade_corpus.cuisines == ["Italian", "Italian", "Mexican", "Mexican", "Japanese"]
+        assert handmade_corpus.continents[0] == "European"
+
+    def test_texts(self, handmade_corpus):
+        assert handmade_corpus.texts()[0].startswith("pasta tomato basil")
+
+    def test_labels_use_canonical_space(self, handmade_corpus):
+        labels = handmade_corpus.labels()
+        assert labels[0] == CUISINES.index("Italian")
+        assert labels[4] == CUISINES.index("Japanese")
+
+    def test_labels_custom_space(self, handmade_corpus):
+        labels = handmade_corpus.labels(("Italian", "Japanese", "Mexican"))
+        assert labels == [0, 0, 2, 2, 1]
+
+    def test_labels_unknown_cuisine_raises(self, handmade_corpus):
+        with pytest.raises(KeyError):
+            handmade_corpus.labels(("Italian",))
+
+
+class TestAggregates:
+    def test_cuisine_counts(self, handmade_corpus):
+        assert handmade_corpus.cuisine_counts() == {"Italian": 2, "Japanese": 1, "Mexican": 2}
+
+    def test_present_cuisines_in_canonical_order(self, handmade_corpus):
+        assert handmade_corpus.present_cuisines() == ("Italian", "Japanese", "Mexican")
+
+    def test_token_counts_all(self, handmade_corpus):
+        counts = handmade_corpus.token_counts()
+        assert counts["pasta"] == 2
+        assert counts["tortilla"] == 2
+        assert counts["add"] == 3
+
+    def test_token_counts_by_kind(self, handmade_corpus):
+        assert handmade_corpus.token_counts(TokenKind.UTENSIL)["pan"] == 2
+        assert "pasta" not in handmade_corpus.token_counts(TokenKind.PROCESS)
+
+    def test_vocabulary_sorted(self, handmade_corpus):
+        vocab = handmade_corpus.vocabulary(TokenKind.UTENSIL)
+        assert vocab == tuple(sorted(vocab))
+        assert "pan" in vocab and "bowl" in vocab
+
+
+class TestTransformations:
+    def test_filter(self, handmade_corpus):
+        italian = handmade_corpus.filter(lambda r: r.cuisine == "Italian")
+        assert len(italian) == 2
+        assert set(italian.cuisines) == {"Italian"}
+
+    def test_restrict_to_cuisines(self, handmade_corpus):
+        subset = handmade_corpus.restrict_to_cuisines(["Mexican", "Japanese"])
+        assert set(subset.cuisines) == {"Mexican", "Japanese"}
+
+    def test_drop_rare_cuisines(self, handmade_corpus):
+        kept = handmade_corpus.drop_rare_cuisines(min_recipes=2)
+        assert set(kept.cuisines) == {"Italian", "Mexican"}
+
+    def test_subset_by_indices(self, handmade_corpus):
+        subset = handmade_corpus.subset([0, 4])
+        assert [r.recipe_id for r in subset] == [1, 5]
+
+    def test_sample_size_and_determinism(self, small_corpus):
+        sampled_a = small_corpus.sample(50, seed=1)
+        sampled_b = small_corpus.sample(50, seed=1)
+        assert len(sampled_a) == 50
+        assert [r.recipe_id for r in sampled_a] == [r.recipe_id for r in sampled_b]
+
+    def test_sample_too_large_raises(self, handmade_corpus):
+        with pytest.raises(ValueError):
+            handmade_corpus.sample(100)
+
+    def test_filter_preserves_generator_config(self, tiny_corpus):
+        filtered = tiny_corpus.filter(lambda r: True)
+        assert filtered.generator_config is tiny_corpus.generator_config

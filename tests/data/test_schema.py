@@ -1,0 +1,78 @@
+"""Tests for the Recipe schema."""
+
+import pytest
+
+from repro.data.schema import Recipe, TokenKind, validate_recipes
+
+
+def _recipe(recipe_id=1, sequence=("onion", "stir", "pan"), kinds=None):
+    if kinds is None:
+        kinds = (TokenKind.INGREDIENT, TokenKind.PROCESS, TokenKind.UTENSIL)
+    return Recipe(
+        recipe_id=recipe_id,
+        cuisine="Italian",
+        continent="European",
+        sequence=sequence,
+        kinds=kinds,
+    )
+
+
+class TestRecipe:
+    def test_length_and_iteration(self):
+        recipe = _recipe()
+        assert len(recipe) == 3
+        assert list(recipe) == ["onion", "stir", "pan"]
+
+    def test_kind_accessors(self):
+        recipe = _recipe()
+        assert recipe.ingredients == ("onion",)
+        assert recipe.processes == ("stir",)
+        assert recipe.utensils == ("pan",)
+
+    def test_kind_accessors_empty_without_kinds(self):
+        recipe = _recipe(kinds=())
+        assert recipe.ingredients == ()
+        assert recipe.processes == ()
+        assert recipe.utensils == ()
+
+    def test_mismatched_kinds_length_raises(self):
+        with pytest.raises(ValueError):
+            _recipe(kinds=(TokenKind.INGREDIENT,))
+
+    def test_as_text_joins_items(self):
+        recipe = _recipe(sequence=("red lentil", "stir", "pan"))
+        assert recipe.as_text() == "red lentil stir pan"
+
+    def test_roundtrip_dict(self):
+        recipe = _recipe()
+        restored = Recipe.from_dict(recipe.to_dict())
+        assert restored == recipe
+
+    def test_roundtrip_dict_without_kinds(self):
+        recipe = _recipe(kinds=())
+        restored = Recipe.from_dict(recipe.to_dict())
+        assert restored.sequence == recipe.sequence
+        assert restored.kinds == ()
+
+    def test_frozen(self):
+        recipe = _recipe()
+        with pytest.raises(AttributeError):
+            recipe.cuisine = "French"
+
+    def test_token_kind_values(self):
+        assert TokenKind("ingredient") is TokenKind.INGREDIENT
+        assert TokenKind("process") is TokenKind.PROCESS
+        assert TokenKind("utensil") is TokenKind.UTENSIL
+
+
+class TestValidateRecipes:
+    def test_accepts_valid_collection(self):
+        validate_recipes([_recipe(1), _recipe(2)])
+
+    def test_rejects_duplicate_ids(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            validate_recipes([_recipe(1), _recipe(1)])
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(ValueError, match="empty"):
+            validate_recipes([_recipe(1, sequence=(), kinds=())])

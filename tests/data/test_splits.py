@@ -1,0 +1,101 @@
+"""Tests for the 7:1:2 train/validation/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import PAPER_SPLIT_RATIOS, DatasetSplits, train_val_test_split
+
+
+class TestPaperRatios:
+    def test_ratios_are_7_1_2(self):
+        assert PAPER_SPLIT_RATIOS == (0.7, 0.1, 0.2)
+
+    def test_paper_split_sizes_reproduced_at_full_scale(self):
+        # 118,071 * (0.7, 0.1, 0.2) ~= the sizes quoted in Section VI.
+        total = 118_071
+        assert round(total * 0.7) == pytest.approx(82_650, abs=1000)
+        assert round(total * 0.1) == pytest.approx(12_021, abs=1000)
+        assert round(total * 0.2) == pytest.approx(23_380, abs=1000)
+
+
+class TestSplitProperties:
+    def test_sizes_cover_corpus(self, small_corpus):
+        splits = train_val_test_split(small_corpus, seed=0)
+        assert sum(splits.sizes) == len(small_corpus)
+
+    def test_splits_are_disjoint(self, small_corpus):
+        splits = train_val_test_split(small_corpus, seed=0)
+        train_ids = {r.recipe_id for r in splits.train}
+        val_ids = {r.recipe_id for r in splits.validation}
+        test_ids = {r.recipe_id for r in splits.test}
+        assert not (train_ids & val_ids)
+        assert not (train_ids & test_ids)
+        assert not (val_ids & test_ids)
+
+    def test_ratios_approximately_7_1_2(self, small_corpus):
+        splits = train_val_test_split(small_corpus, seed=0)
+        n = len(small_corpus)
+        assert splits.sizes[0] / n == pytest.approx(0.7, abs=0.05)
+        assert splits.sizes[1] / n == pytest.approx(0.1, abs=0.05)
+        assert splits.sizes[2] / n == pytest.approx(0.2, abs=0.05)
+
+    def test_stratification_keeps_every_cuisine_in_every_split(self, small_corpus):
+        splits = train_val_test_split(small_corpus, seed=0)
+        cuisines = set(small_corpus.cuisines)
+        assert set(splits.train.cuisines) == cuisines
+        assert set(splits.validation.cuisines) == cuisines
+        assert set(splits.test.cuisines) == cuisines
+
+    def test_stratification_preserves_proportions(self, small_corpus):
+        splits = train_val_test_split(small_corpus, seed=0)
+        full = small_corpus.cuisine_counts()
+        train = splits.train.cuisine_counts()
+        for cuisine, total in full.items():
+            if total >= 20:
+                assert train[cuisine] / total == pytest.approx(0.7, abs=0.15)
+
+    def test_deterministic_given_seed(self, small_corpus):
+        a = train_val_test_split(small_corpus, seed=3)
+        b = train_val_test_split(small_corpus, seed=3)
+        assert [r.recipe_id for r in a.train] == [r.recipe_id for r in b.train]
+
+    def test_different_seed_changes_assignment(self, small_corpus):
+        a = train_val_test_split(small_corpus, seed=3)
+        b = train_val_test_split(small_corpus, seed=4)
+        assert [r.recipe_id for r in a.train] != [r.recipe_id for r in b.train]
+
+    def test_unstratified_split_also_covers_corpus(self, small_corpus):
+        splits = train_val_test_split(small_corpus, stratify=False, seed=0)
+        assert sum(splits.sizes) == len(small_corpus)
+
+    def test_custom_ratios_normalised(self, small_corpus):
+        splits = train_val_test_split(small_corpus, ratios=(7, 1, 2), seed=0)
+        assert sum(splits.sizes) == len(small_corpus)
+
+    def test_summary(self, small_splits):
+        summary = small_splits.summary()
+        assert set(summary) == {"train", "validation", "test"}
+        assert summary["train"] == len(small_splits.train)
+
+
+class TestSplitValidation:
+    def test_wrong_number_of_ratios(self, small_corpus):
+        with pytest.raises(ValueError):
+            train_val_test_split(small_corpus, ratios=(0.5, 0.5))
+
+    def test_non_positive_ratios(self, small_corpus):
+        with pytest.raises(ValueError):
+            train_val_test_split(small_corpus, ratios=(0.7, 0.0, 0.3))
+
+    def test_too_small_corpus(self, handmade_corpus):
+        tiny = handmade_corpus.subset([0, 1])
+        with pytest.raises(ValueError):
+            train_val_test_split(tiny)
+
+    def test_overlapping_splits_rejected(self, handmade_corpus):
+        with pytest.raises(ValueError):
+            DatasetSplits(
+                train=handmade_corpus.subset([0, 1]),
+                validation=handmade_corpus.subset([1]),
+                test=handmade_corpus.subset([2]),
+            )

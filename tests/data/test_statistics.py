@@ -1,0 +1,100 @@
+"""Tests for corpus statistics (paper Table III / sparsity)."""
+
+import pytest
+
+from repro.data.statistics import (
+    PAPER_SPARSITY_RATIO,
+    PAPER_TABLE_III_HIGH,
+    PAPER_TABLE_III_LOW,
+    compute_corpus_statistics,
+    cumulative_frequency_table,
+    feature_document_counts,
+    feature_occurrence_counts,
+    sparsity_ratio,
+)
+
+
+class TestPaperConstants:
+    def test_table_iii_paper_values(self):
+        assert PAPER_TABLE_III_HIGH[1000] == 304
+        assert PAPER_TABLE_III_LOW[2] == 11738
+        assert PAPER_TABLE_III_LOW[20] == 17519
+        assert PAPER_SPARSITY_RATIO == pytest.approx(0.995)
+
+
+class TestCounts:
+    def test_occurrence_counts(self, handmade_corpus):
+        counts = feature_occurrence_counts(handmade_corpus)
+        assert counts["add"] == 3
+        assert counts["pasta"] == 2
+
+    def test_document_counts_distinct_per_recipe(self, handmade_corpus):
+        counts = feature_document_counts(handmade_corpus)
+        # "add" occurs in three recipes, once per recipe.
+        assert counts["add"] == 3
+        assert counts["serve"] == 3
+
+
+class TestSparsity:
+    def test_sparsity_in_unit_interval(self, handmade_corpus):
+        value = sparsity_ratio(handmade_corpus)
+        assert 0.0 <= value < 1.0
+
+    def test_sparsity_grows_with_vocabulary(self, handmade_corpus, small_corpus):
+        # A larger, more diverse corpus has a sparser recipe x feature matrix.
+        assert sparsity_ratio(small_corpus) > sparsity_ratio(handmade_corpus)
+
+    def test_generated_corpus_is_highly_sparse(self, small_corpus):
+        # The paper reports 99.5 % on the full corpus; the small synthetic
+        # corpus has a smaller vocabulary so the threshold is looser.
+        assert sparsity_ratio(small_corpus) > 0.9
+
+
+class TestCumulativeFrequencyTable:
+    def test_monotonicity(self, small_corpus):
+        high, low = cumulative_frequency_table(small_corpus)
+        high_values = [high[t] for t in sorted(high)]
+        low_values = [low[t] for t in sorted(low)]
+        assert high_values == sorted(high_values, reverse=True)
+        assert low_values == sorted(low_values)
+
+    def test_thresholds_match_paper_layout(self, small_corpus):
+        high, low = cumulative_frequency_table(small_corpus)
+        assert set(high) == set(PAPER_TABLE_III_HIGH)
+        assert set(low) == set(PAPER_TABLE_III_LOW)
+
+    def test_counts_bounded_by_vocabulary(self, small_corpus):
+        stats = compute_corpus_statistics(small_corpus)
+        for value in stats.high_frequency_table.values():
+            assert 0 <= value <= stats.n_unique_features
+        for value in stats.low_frequency_table.values():
+            assert 0 <= value <= stats.n_unique_features
+
+
+class TestCorpusStatistics:
+    def test_summary_fields(self, small_corpus):
+        stats = compute_corpus_statistics(small_corpus)
+        assert stats.n_recipes == len(small_corpus)
+        assert stats.n_cuisines == 26
+        assert stats.n_unique_processes <= 256
+        assert stats.n_unique_utensils <= 69
+        assert stats.mean_sequence_length > 0
+        assert stats.most_frequent_count >= 1
+
+    def test_add_is_most_frequent_feature(self, small_corpus):
+        # Mirrors the paper: "add" appeared 188,004 times, the most of any item.
+        stats = compute_corpus_statistics(small_corpus)
+        assert stats.most_frequent_feature == "add"
+
+    def test_hapax_tail_exists(self, small_corpus):
+        stats = compute_corpus_statistics(small_corpus)
+        assert stats.hapax_count > 0
+        assert stats.hapax_count < stats.n_unique_features
+
+    def test_handmade_corpus_exact_values(self, handmade_corpus):
+        stats = compute_corpus_statistics(handmade_corpus)
+        assert stats.n_recipes == 5
+        assert stats.n_cuisines == 3
+        assert stats.n_unique_ingredients == 13
+        assert stats.n_unique_utensils == 4
+        assert stats.cuisine_counts["Italian"] == 2

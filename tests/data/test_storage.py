@@ -1,0 +1,77 @@
+"""Tests for JSONL/CSV persistence."""
+
+import json
+
+import pytest
+
+from repro.data.storage import (
+    load_recipes_csv,
+    load_recipes_jsonl,
+    save_recipes_csv,
+    save_recipes_jsonl,
+)
+
+
+class TestJsonl:
+    def test_roundtrip_preserves_everything(self, handmade_corpus, tmp_path):
+        path = tmp_path / "recipes.jsonl"
+        written = save_recipes_jsonl(handmade_corpus, path)
+        assert written == len(handmade_corpus)
+        loaded = load_recipes_jsonl(path)
+        assert len(loaded) == len(handmade_corpus)
+        for original, restored in zip(handmade_corpus, loaded):
+            assert restored == original
+
+    def test_creates_parent_directories(self, handmade_corpus, tmp_path):
+        path = tmp_path / "nested" / "dir" / "recipes.jsonl"
+        save_recipes_jsonl(handmade_corpus, path)
+        assert path.exists()
+
+    def test_blank_lines_ignored(self, handmade_corpus, tmp_path):
+        path = tmp_path / "recipes.jsonl"
+        save_recipes_jsonl(handmade_corpus, path)
+        content = path.read_text() + "\n\n"
+        path.write_text(content)
+        loaded = load_recipes_jsonl(path)
+        assert len(loaded) == len(handmade_corpus)
+
+    def test_invalid_json_reports_line(self, tmp_path):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"recipe_id": 1, "cuisine": "Italian"\nnot json\n')
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_recipes_jsonl(path)
+
+    def test_generated_corpus_roundtrip(self, tiny_corpus, tmp_path):
+        path = tmp_path / "tiny.jsonl"
+        save_recipes_jsonl(tiny_corpus, path)
+        loaded = load_recipes_jsonl(path)
+        assert loaded.cuisine_counts() == tiny_corpus.cuisine_counts()
+
+
+class TestCsv:
+    def test_roundtrip_sequences(self, handmade_corpus, tmp_path):
+        path = tmp_path / "recipes.csv"
+        written = save_recipes_csv(handmade_corpus, path)
+        assert written == len(handmade_corpus)
+        loaded = load_recipes_csv(path)
+        assert [r.sequence for r in loaded] == [r.sequence for r in handmade_corpus]
+        assert loaded.cuisines == handmade_corpus.cuisines
+
+    def test_csv_header_matches_table_i(self, handmade_corpus, tmp_path):
+        path = tmp_path / "recipes.csv"
+        save_recipes_csv(handmade_corpus, path)
+        header = path.read_text().splitlines()[0]
+        assert header == "Recipe ID,Continent,Cuisine,Recipe"
+
+    def test_csv_sequences_are_json_lists(self, handmade_corpus, tmp_path):
+        path = tmp_path / "recipes.csv"
+        save_recipes_csv(handmade_corpus, path)
+        line = path.read_text().splitlines()[1]
+        payload = line.split(",", 3)[3]
+        assert json.loads(payload.strip('"').replace('""', '"'))
+
+    def test_csv_kinds_not_preserved(self, handmade_corpus, tmp_path):
+        path = tmp_path / "recipes.csv"
+        save_recipes_csv(handmade_corpus, path)
+        loaded = load_recipes_csv(path)
+        assert all(recipe.kinds == () for recipe in loaded)

@@ -1,0 +1,181 @@
+"""Tests for the table/figure regeneration helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.core.metrics import evaluate_predictions
+from repro.core.results import ExperimentResult, ModelResult
+from repro.data.cuisines import CUISINE_RECIPE_COUNTS
+from repro.data.schema import TokenKind
+from repro.evaluation.figures import (
+    accuracy_curves,
+    feature_frequency_histogram,
+    loss_curves,
+    normalized_accuracy,
+)
+from repro.evaluation.reports import comparison_summary, format_table, render_ascii_chart
+from repro.evaluation.tables import table_i, table_ii, table_iii, table_iv, table_iv_wide
+
+
+def _fake_result(with_history: bool = True) -> ExperimentResult:
+    """A hand-built experiment result with two models."""
+    rng = np.random.default_rng(0)
+    result = ExperimentResult(config={"models": ["logreg", "lstm"]}, split_sizes={"train": 10})
+    for name, accuracy_target in (("logreg", 0.6), ("lstm", 0.5)):
+        n = 50
+        y_true = rng.integers(0, 3, size=n)
+        probabilities = np.full((n, 3), 0.1)
+        correct = rng.random(n) < accuracy_target
+        for i in range(n):
+            winner = y_true[i] if correct[i] else (y_true[i] + 1) % 3
+            probabilities[i, winner] = 0.8
+        metrics = evaluate_predictions(y_true, probabilities / probabilities.sum(1, keepdims=True))
+        history = (
+            {"train_loss": [1.5, 1.0, 0.7], "val_loss": [1.6, 1.2, 0.9],
+             "train_accuracy": [0.3, 0.5, 0.6], "val_accuracy": [0.25, 0.45, 0.5]}
+            if with_history and name == "lstm"
+            else {}
+        )
+        result.add(ModelResult(model_name=name, metrics=metrics, history=history))
+    return result
+
+
+class TestTableI:
+    def test_one_row_per_continent(self, small_corpus):
+        rows = table_i(small_corpus)
+        continents = [row["Continent"] for row in rows]
+        assert len(continents) == len(set(continents))
+        assert {"Asian", "European"} <= set(continents)
+
+    def test_columns_match_paper(self, small_corpus):
+        rows = table_i(small_corpus)
+        assert set(rows[0]) == {"Recipe ID", "Continent", "Cuisine", "Recipe"}
+
+    def test_truncation_marker(self, small_corpus):
+        rows = table_i(small_corpus, max_items=3)
+        assert all(row["Recipe"][-1] == "..." or len(row["Recipe"]) <= 3 for row in rows)
+
+
+class TestTableII:
+    def test_all_26_cuisines_with_paper_counts(self, tiny_corpus):
+        rows = table_ii(tiny_corpus)
+        assert len(rows) == 26
+        by_cuisine = {row["Cuisine"]: row for row in rows}
+        assert by_cuisine["Italian"]["Paper Count"] == 16582
+        assert by_cuisine["Italian"]["Number of Recipes"] == tiny_corpus.cuisine_counts()["Italian"]
+
+    def test_proportions_follow_paper(self, tiny_corpus):
+        rows = table_ii(tiny_corpus)
+        by_cuisine = {row["Cuisine"]: row["Number of Recipes"] for row in rows}
+        assert by_cuisine["Italian"] > by_cuisine["Korean"]
+        assert by_cuisine["Mexican"] > by_cuisine["Central American"]
+
+
+class TestTableIII:
+    def test_thresholds_and_paper_columns(self, small_corpus):
+        rows = table_iii(small_corpus)
+        thresholds = [row["Threshold"] for row in rows]
+        assert ">1000" in thresholds and "<2" in thresholds
+        assert len(rows) == 20
+        for row in rows:
+            assert row["Paper Value"] is not None
+            assert row["Number of Features"] >= 0
+
+
+class TestTableIV:
+    def test_rows_have_measured_and_paper_metrics(self):
+        rows = table_iv(_fake_result())
+        assert len(rows) == 2
+        logreg_row = next(row for row in rows if row["Model"] == "LogReg")
+        assert "Accuracy" in logreg_row and "Paper Accuracy" in logreg_row
+        assert logreg_row["Paper Accuracy"] == 57.70
+
+    def test_without_paper_columns(self):
+        rows = table_iv(_fake_result(), include_paper=False)
+        assert all("Paper Accuracy" not in row for row in rows)
+
+    def test_wide_layout(self):
+        wide = table_iv_wide(_fake_result())
+        assert set(wide) == {"Accuracy", "Loss", "Precision", "Recall", "F1 Score"}
+        assert set(wide["Accuracy"]) == {"LogReg", "LSTM"}
+
+
+class TestFigures:
+    def test_normalized_accuracy_best_model_is_one(self):
+        series = normalized_accuracy(_fake_result())
+        assert max(series["measured"].values()) == pytest.approx(1.0)
+        assert max(series["paper"].values()) == pytest.approx(1.0)
+        assert set(series["measured"]) == {"LogReg", "LSTM"}
+
+    def test_loss_curves_only_for_models_with_history(self):
+        result = _fake_result()
+        train = loss_curves(result, split="train")
+        val = loss_curves(result, split="val")
+        assert set(train) == {"LSTM"} and set(val) == {"LSTM"}
+        assert train["LSTM"] == [1.5, 1.0, 0.7]
+
+    def test_accuracy_curves(self):
+        curves = accuracy_curves(_fake_result(), split="val")
+        assert curves["LSTM"] == [0.25, 0.45, 0.5]
+
+    def test_loss_curves_invalid_split(self):
+        with pytest.raises(ValueError):
+            loss_curves(_fake_result(), split="test")
+
+    def test_feature_frequency_histogram(self, small_corpus):
+        figure = feature_frequency_histogram(small_corpus)
+        assert figure["total_features"] > 100
+        assert figure["top_features"][0]["feature"] == "add"
+        assert sum(bin_["features"] for bin_ in figure["histogram"]) == figure["total_features"]
+
+    def test_feature_frequency_by_kind(self, small_corpus):
+        processes = feature_frequency_histogram(small_corpus, kind=TokenKind.PROCESS)
+        utensils = feature_frequency_histogram(small_corpus, kind=TokenKind.UTENSIL)
+        assert processes["total_features"] <= 256
+        assert utensils["total_features"] <= 69
+
+    def test_feature_frequency_empty_corpus_kind(self, handmade_corpus):
+        figure = feature_frequency_histogram(handmade_corpus, kind=TokenKind.UTENSIL, top_k=2)
+        assert len(figure["top_features"]) == 2
+
+
+class TestReports:
+    def test_format_table_alignment_and_title(self):
+        rows = [{"Model": "LogReg", "Accuracy": 57.7}, {"Model": "RoBERTa", "Accuracy": 73.3}]
+        text = format_table(rows, title="Table IV")
+        lines = text.splitlines()
+        assert lines[0] == "Table IV"
+        assert "Model" in lines[1] and "Accuracy" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_handles_missing_and_none(self):
+        text = format_table([{"a": 1}, {"b": None}])
+        assert "-" in text
+
+    def test_format_empty_table(self):
+        assert "(empty)" in format_table([], title="Nothing")
+
+    def test_render_ascii_bar_chart(self):
+        chart = render_ascii_chart({"LogReg": 0.577, "RoBERTa": 0.733}, title="Accuracy")
+        assert "LogReg" in chart and "#" in chart
+
+    def test_render_ascii_sparkline_chart(self):
+        chart = render_ascii_chart({"LSTM": [1.5, 1.0, 0.7]})
+        assert "LSTM" in chart and "last=0.7" in chart
+
+    def test_render_empty_chart(self):
+        assert "(no data)" in render_ascii_chart({})
+
+    def test_comparison_summary(self):
+        text = comparison_summary({"Accuracy": 40.0}, {"Accuracy": 73.3, "Loss": 0.1})
+        assert "Accuracy" in text and "Loss" in text
+
+
+class TestRealExperimentTables:
+    def test_table_iv_from_real_run(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes",), seed=2)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        rows = table_iv(result)
+        assert rows[0]["Model"] == "Naive Bayes"
+        assert 0 <= rows[0]["Accuracy"] <= 100

@@ -1,0 +1,67 @@
+"""Tests for the skip-gram word2vec embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.features.embeddings import SkipGramConfig, SkipGramEmbeddings
+from repro.text.vocabulary import Vocabulary
+
+
+def _toy_documents(n_repeats: int = 60) -> list[list[str]]:
+    """Two disjoint 'topics'; words within a topic always co-occur."""
+    docs = []
+    for _ in range(n_repeats):
+        docs.append(["pasta", "tomato", "basil", "parmesan"])
+        docs.append(["rice", "nori", "wasabi", "soy"])
+    return docs
+
+
+class TestSkipGramTraining:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        docs = _toy_documents()
+        vocab = Vocabulary.build(docs)
+        config = SkipGramConfig(dim=16, window=3, epochs=3, seed=5)
+        return SkipGramEmbeddings(vocab, config).train(docs)
+
+    def test_matrix_shape(self, trained):
+        assert trained.matrix.shape == (len(trained.vocabulary), 16)
+
+    def test_cooccurring_words_more_similar_than_cross_topic(self, trained):
+        within = trained.similarity("pasta", "tomato")
+        across = trained.similarity("pasta", "nori")
+        assert within > across
+
+    def test_most_similar_returns_topic_neighbours(self, trained):
+        neighbours = [token for token, _ in trained.most_similar("rice", top_k=3)]
+        assert set(neighbours) & {"nori", "wasabi", "soy"}
+
+    def test_most_similar_excludes_query_and_specials(self, trained):
+        neighbours = [token for token, _ in trained.most_similar("pasta", top_k=5)]
+        assert "pasta" not in neighbours
+        assert "[PAD]" not in neighbours
+
+    def test_vector_lookup_for_unknown_token_uses_unk(self, trained):
+        unk_vector = trained.input_vectors[trained.vocabulary.unk_id]
+        assert np.allclose(trained.vector("dragonfruit"), unk_vector)
+
+
+class TestSkipGramValidation:
+    def test_empty_corpus_raises(self):
+        vocab = Vocabulary.build([["onion"]])
+        with pytest.raises(ValueError):
+            SkipGramEmbeddings(vocab, SkipGramConfig(epochs=1)).train([])
+
+    def test_deterministic_given_seed(self):
+        docs = _toy_documents(10)
+        vocab = Vocabulary.build(docs)
+        config = SkipGramConfig(dim=8, epochs=1, seed=3)
+        first = SkipGramEmbeddings(vocab, config).train(docs).matrix.copy()
+        second = SkipGramEmbeddings(vocab, config).train(docs).matrix.copy()
+        assert np.allclose(first, second)
+
+    def test_similarity_is_symmetric(self):
+        docs = _toy_documents(10)
+        vocab = Vocabulary.build(docs)
+        emb = SkipGramEmbeddings(vocab, SkipGramConfig(dim=8, epochs=1, seed=3)).train(docs)
+        assert emb.similarity("pasta", "rice") == pytest.approx(emb.similarity("rice", "pasta"))

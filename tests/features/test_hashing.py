@@ -1,0 +1,67 @@
+"""Tests for the hashing vectorizer."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.features.hashing import HashingVectorizer, _stable_hash
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        assert _stable_hash("onion") == _stable_hash("onion")
+
+    def test_different_terms_differ(self):
+        assert _stable_hash("onion") != _stable_hash("garlic")
+
+
+class TestHashingVectorizer:
+    def test_fixed_output_width(self):
+        vectorizer = HashingVectorizer(n_features=64)
+        matrix = vectorizer.transform(["onion garlic", "rice"])
+        assert matrix.shape == (2, 64)
+        assert sparse.issparse(matrix)
+
+    def test_stateless_fit_is_noop(self):
+        vectorizer = HashingVectorizer(n_features=32)
+        assert vectorizer.fit(["whatever"]) is vectorizer
+        a = vectorizer.transform(["onion garlic"]).toarray()
+        b = vectorizer.fit_transform(["onion garlic"]).toarray()
+        assert np.allclose(a, b)
+
+    def test_same_document_same_vector(self):
+        vectorizer = HashingVectorizer(n_features=128)
+        a = vectorizer.transform(["onion garlic stir"]).toarray()
+        b = vectorizer.transform(["onion garlic stir"]).toarray()
+        assert np.allclose(a, b)
+
+    def test_counts_accumulate(self):
+        vectorizer = HashingVectorizer(n_features=256, alternate_sign=False)
+        matrix = vectorizer.transform(["add add add"]).toarray()
+        assert matrix.sum() == 3.0
+
+    def test_alternate_sign_spreads_mass(self):
+        vectorizer = HashingVectorizer(n_features=8, alternate_sign=True)
+        matrix = vectorizer.transform(["a b c d e f g h i j"]).toarray()
+        assert matrix.min() < 0 or matrix.max() > 0
+
+    def test_binary_mode(self):
+        vectorizer = HashingVectorizer(n_features=16, alternate_sign=False, binary=True)
+        matrix = vectorizer.transform(["add add add onion"]).toarray()
+        assert set(np.unique(matrix)).issubset({0.0, 1.0})
+
+    def test_ngrams(self):
+        unigram = HashingVectorizer(n_features=512, ngram_range=(1, 1))
+        bigram = HashingVectorizer(n_features=512, ngram_range=(1, 2))
+        doc = ["onion garlic stir"]
+        assert bigram.transform(doc).nnz >= unigram.transform(doc).nnz
+
+    def test_accepts_token_lists(self):
+        vectorizer = HashingVectorizer(n_features=32)
+        matrix = vectorizer.transform([["onion", "stir"]])
+        assert matrix.nnz > 0
+
+    @pytest.mark.parametrize("kwargs", [{"n_features": 0}, {"ngram_range": (2, 1)}])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            HashingVectorizer(**kwargs)

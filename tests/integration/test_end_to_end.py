@@ -1,0 +1,91 @@
+"""Integration tests exercising the full pipeline across modules."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import CuisineClassifier
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.data.generator import generate_recipedb
+from repro.data.splits import train_val_test_split
+from repro.data.storage import load_recipes_jsonl, save_recipes_jsonl
+from repro.evaluation.figures import loss_curves, normalized_accuracy
+from repro.evaluation.tables import table_i, table_ii, table_iii, table_iv
+from repro.models.lstm_classifier import LSTMClassifierConfig
+from repro.models.transformer_classifier import TransformerClassifierConfig
+
+
+FAST_LSTM = LSTMClassifierConfig(
+    embedding_dim=24, hidden_dim=32, max_length=32, epochs=2, batch_size=32,
+    learning_rate=5e-3, early_stopping_patience=None, seed=0,
+)
+FAST_TRANSFORMER = TransformerClassifierConfig(
+    dim=32, num_heads=4, num_layers=1, ffn_dim=64, max_length=32, epochs=2,
+    pretrain_epochs=1, batch_size=32, learning_rate=3e-3,
+    early_stopping_patience=None, seed=0,
+)
+
+
+class TestGenerateToEvaluate:
+    def test_corpus_roundtrips_through_disk_and_trains(self, tmp_path, tiny_corpus):
+        path = tmp_path / "corpus.jsonl"
+        save_recipes_jsonl(tiny_corpus, path)
+        corpus = load_recipes_jsonl(path)
+        splits = train_val_test_split(corpus, seed=1)
+        classifier = CuisineClassifier("naive_bayes", label_space=corpus.present_cuisines())
+        classifier.fit(splits.train, validation=splits.validation)
+        metrics = classifier.evaluate(splits.test)
+        assert metrics.accuracy > 1.0 / 26
+
+    def test_mixed_model_experiment_and_reports(self, small_corpus):
+        config = ExperimentConfig(
+            models=("naive_bayes", "logreg", "lstm"),
+            seed=3,
+            lstm_config=FAST_LSTM,
+        )
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        assert set(result.model_results) == {"naive_bayes", "logreg", "lstm"}
+
+        # Tables and figures can be generated from the same objects.
+        rows_iv = table_iv(result)
+        assert len(rows_iv) == 3
+        series = normalized_accuracy(result)
+        assert max(series["measured"].values()) == pytest.approx(1.0)
+        curves = loss_curves(result, split="val")
+        assert "LSTM" in curves and len(curves["LSTM"]) >= 1
+
+        rows_i = table_i(small_corpus)
+        rows_ii = table_ii(small_corpus)
+        rows_iii = table_iii(small_corpus)
+        assert rows_i and len(rows_ii) == 26 and len(rows_iii) == 20
+
+    def test_transformer_end_to_end_classification(self, tiny_corpus):
+        classifier = CuisineClassifier(
+            "bert",
+            label_space=tiny_corpus.present_cuisines(),
+            transformer_config=FAST_TRANSFORMER,
+        )
+        classifier.fit(tiny_corpus, seed=2)
+        metrics = classifier.evaluate_holdout()
+        assert np.isfinite(metrics.loss)
+        prediction = classifier.classify(["onion", "garlic", "stir", "add", "cook", "pot"])
+        assert prediction in tiny_corpus.present_cuisines()
+        top = classifier.top_cuisines(["pasta", "tomato", "boil", "add"], k=3)
+        assert len(top) == 3
+
+    def test_generation_is_reproducible_across_runs(self):
+        a = generate_recipedb(scale=0.004, seed=99)
+        b = generate_recipedb(scale=0.004, seed=99)
+        assert [r.to_dict() for r in a] == [r.to_dict() for r in b]
+
+
+class TestAblationPaths:
+    def test_sequence_shuffling_does_not_break_pipeline(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes",), shuffle_sequences=True, seed=5)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        assert result.config["shuffle_sequences"] is True
+        assert result.model_results["naive_bayes"].metrics.accuracy > 1.0 / 26
+
+    def test_dropping_rare_cuisines_reduces_classes(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes",), min_cuisine_recipes=60, seed=5)
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        assert result.config["n_classes"] < 26

@@ -1,0 +1,57 @@
+"""Shared fixtures for the classical-ML tests: small separable datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+
+@pytest.fixture(scope="package")
+def blobs_dataset():
+    """Three well-separated Gaussian blobs (dense features)."""
+    rng = np.random.default_rng(0)
+    centers = np.array([[0.0, 0.0], [5.0, 5.0], [0.0, 6.0]])
+    X = np.vstack([rng.normal(center, 0.6, size=(60, 2)) for center in centers])
+    y = np.repeat([0, 1, 2], 60)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+@pytest.fixture(scope="package")
+def text_like_dataset():
+    """Sparse, high-dimensional dataset resembling TF-IDF features.
+
+    Each class has 5 'signature' columns that fire with high probability, on
+    top of shared noise columns.
+    """
+    rng = np.random.default_rng(1)
+    n_classes, per_class, n_features = 4, 50, 120
+    rows = []
+    labels = []
+    for cls in range(n_classes):
+        signature = np.arange(cls * 5, cls * 5 + 5)
+        for _ in range(per_class):
+            row = np.zeros(n_features)
+            fired = signature[rng.random(5) < 0.8]
+            row[fired] = rng.random(len(fired)) + 0.5
+            noise = rng.choice(np.arange(40, n_features), size=6, replace=False)
+            row[noise] = rng.random(6) * 0.3
+            rows.append(row)
+            labels.append(cls)
+    X = np.vstack(rows)
+    y = np.asarray(labels)
+    order = rng.permutation(len(y))
+    return sparse.csr_matrix(X[order]), y[order]
+
+
+def train_test(X, y, test_fraction=0.25, seed=0):
+    """Split helper shared by the model tests."""
+    rng = np.random.default_rng(seed)
+    n = len(y)
+    order = rng.permutation(n)
+    n_test = int(n * test_fraction)
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    if sparse.issparse(X):
+        return X[train_idx], y[train_idx], X[test_idx], y[test_idx]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

@@ -1,0 +1,82 @@
+"""Tests for the shared estimator plumbing."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ml.base import BaseClassifier, as_matrix, check_Xy, ensure_dense
+
+
+class TestValidation:
+    def test_as_matrix_accepts_lists(self):
+        matrix = as_matrix([[1, 2], [3, 4]])
+        assert matrix.shape == (2, 2)
+        assert matrix.dtype == np.float64
+
+    def test_as_matrix_promotes_1d(self):
+        assert as_matrix([1.0, 2.0, 3.0]).shape == (1, 3)
+
+    def test_as_matrix_keeps_sparse(self):
+        X = sparse.csr_matrix(np.eye(3))
+        assert sparse.issparse(as_matrix(X))
+
+    def test_as_matrix_rejects_3d(self):
+        with pytest.raises(ValueError):
+            as_matrix(np.zeros((2, 2, 2)))
+
+    def test_ensure_dense_densifies(self):
+        X = sparse.csr_matrix(np.eye(3))
+        dense = ensure_dense(X)
+        assert isinstance(dense, np.ndarray)
+        assert np.allclose(dense, np.eye(3))
+
+    def test_check_Xy_happy_path(self):
+        X, y = check_Xy([[1, 2], [3, 4]], [0, 1])
+        assert X.shape == (2, 2)
+        assert y.shape == (2,)
+
+    def test_check_Xy_length_mismatch(self):
+        with pytest.raises(ValueError):
+            check_Xy([[1, 2]], [0, 1])
+
+    def test_check_Xy_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            check_Xy([[1, 2]], [[0]])
+
+    def test_check_Xy_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_Xy(np.empty((0, 3)), np.empty(0))
+
+
+class _ConstantClassifier(BaseClassifier):
+    """Minimal concrete classifier for testing the base class."""
+
+    def fit(self, X, y):
+        X, y = check_Xy(X, y)
+        self._encode_labels(y)
+        return self
+
+    def predict_proba(self, X):
+        X = as_matrix(X)
+        probabilities = np.zeros((X.shape[0], len(self.classes_)))
+        probabilities[:, 0] = 1.0
+        return probabilities
+
+
+class TestBaseClassifier:
+    def test_predict_maps_back_to_original_labels(self):
+        clf = _ConstantClassifier().fit([[0.0], [1.0]], ["cat", "dog"])
+        assert list(clf.predict([[0.5], [0.7]])) == ["cat", "cat"]
+
+    def test_score_is_accuracy(self):
+        clf = _ConstantClassifier().fit([[0.0], [1.0]], ["cat", "dog"])
+        assert clf.score([[0.0], [1.0]], ["cat", "dog"]) == pytest.approx(0.5)
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            _ConstantClassifier().fit([[0.0], [1.0]], ["cat", "cat"])
+
+    def test_unfitted_check(self):
+        clf = _ConstantClassifier()
+        with pytest.raises(RuntimeError):
+            clf._check_fitted()

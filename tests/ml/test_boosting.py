@@ -1,0 +1,80 @@
+"""Tests for AdaBoost (SAMME)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.boosting import AdaBoostClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from tests.ml.conftest import train_test
+
+
+class TestAdaBoost:
+    def test_blobs_accuracy(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        clf = AdaBoostClassifier(n_estimators=15, random_state=0).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.85
+
+    def test_boosting_beats_single_stump_on_xor_like_data(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        boosted = AdaBoostClassifier(
+            n_estimators=30,
+            base_estimator_factory=lambda: DecisionTreeClassifier(max_depth=2),
+            random_state=0,
+        ).fit(X, y)
+        assert boosted.score(X, y) > stump.score(X, y)
+
+    def test_estimator_weights_positive(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = AdaBoostClassifier(n_estimators=10, random_state=0).fit(X, y)
+        assert all(weight > 0 for weight in clf.estimator_weights_)
+        assert len(clf.estimators_) == len(clf.estimator_weights_)
+
+    def test_early_stop_on_perfect_learner(self):
+        X = np.array([[0.0], [0.0], [5.0], [5.0]])
+        y = np.array([0, 0, 1, 1])
+        clf = AdaBoostClassifier(
+            n_estimators=20,
+            base_estimator_factory=lambda: DecisionTreeClassifier(max_depth=2),
+            random_state=0,
+        ).fit(X, y)
+        # A single perfect stump suffices; boosting stops immediately.
+        assert len(clf.estimators_) == 1
+        assert clf.score(X, y) == 1.0
+
+    def test_probabilities_normalised(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = AdaBoostClassifier(n_estimators=8, random_state=0).fit(X, y)
+        probabilities = clf.predict_proba(X[:10])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_decision_function_shape(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = AdaBoostClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert clf.decision_function(X[:12]).shape == (12, 3)
+
+    def test_learning_rate_scales_weights(self, blobs_dataset):
+        X, y = blobs_dataset
+        fast = AdaBoostClassifier(n_estimators=5, learning_rate=1.0, random_state=0).fit(X, y)
+        slow = AdaBoostClassifier(n_estimators=5, learning_rate=0.1, random_state=0).fit(X, y)
+        if len(fast.estimator_weights_) and len(slow.estimator_weights_):
+            assert slow.estimator_weights_[0] < fast.estimator_weights_[0]
+
+    @pytest.mark.parametrize("kwargs", [{"n_estimators": 0}, {"learning_rate": 0.0}])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            AdaBoostClassifier(**kwargs)
+
+    def test_predict_before_fit_raises(self, blobs_dataset):
+        X, _ = blobs_dataset
+        with pytest.raises(RuntimeError):
+            AdaBoostClassifier().predict_proba(X)
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.3], [5.0], [5.3]])
+        y = np.array(["low", "low", "high", "high"])
+        clf = AdaBoostClassifier(n_estimators=5, random_state=0).fit(X, y)
+        assert clf.predict(np.array([[5.1]]))[0] == "high"

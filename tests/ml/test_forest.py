@@ -1,0 +1,75 @@
+"""Tests for the Random Forest."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from tests.ml.conftest import train_test
+
+
+class TestRandomForest:
+    def test_blobs_high_accuracy(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        forest = RandomForestClassifier(n_estimators=15, max_depth=6, random_state=0).fit(Xtr, ytr)
+        assert forest.score(Xte, yte) > 0.9
+
+    def test_text_like_data(self, text_like_dataset):
+        X, y = text_like_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        forest = RandomForestClassifier(n_estimators=20, max_depth=8, random_state=0).fit(Xtr, ytr)
+        assert forest.score(Xte, yte) > 0.75
+
+    def test_number_of_estimators(self, blobs_dataset):
+        X, y = blobs_dataset
+        forest = RandomForestClassifier(n_estimators=7, max_depth=3, random_state=1).fit(X, y)
+        assert len(forest.estimators_) == 7
+
+    def test_probabilities_valid(self, blobs_dataset):
+        X, y = blobs_dataset
+        forest = RandomForestClassifier(n_estimators=10, max_depth=4, random_state=0).fit(X, y)
+        probabilities = forest.predict_proba(X[:20])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_deterministic_given_seed(self, blobs_dataset):
+        X, y = blobs_dataset
+        a = RandomForestClassifier(n_estimators=5, max_depth=4, random_state=3).fit(X, y)
+        b = RandomForestClassifier(n_estimators=5, max_depth=4, random_state=3).fit(X, y)
+        assert a.predict(X[:30]).tolist() == b.predict(X[:30]).tolist()
+
+    def test_bootstrap_disabled_uses_all_rows(self, blobs_dataset):
+        X, y = blobs_dataset
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=4, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) > 0.9
+
+    def test_more_trees_do_not_hurt(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        few = RandomForestClassifier(n_estimators=1, max_depth=2, random_state=0).fit(Xtr, ytr)
+        many = RandomForestClassifier(n_estimators=25, max_depth=2, random_state=0).fit(Xtr, ytr)
+        assert many.score(Xte, yte) >= few.score(Xte, yte) - 0.05
+
+    def test_feature_importances_normalised(self, blobs_dataset):
+        X, y = blobs_dataset
+        forest = RandomForestClassifier(n_estimators=10, max_depth=4, random_state=0).fit(X, y)
+        importances = forest.feature_importances_
+        assert importances.sum() == pytest.approx(1.0)
+        assert (importances >= 0).all()
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_predict_before_fit_raises(self, blobs_dataset):
+        X, _ = blobs_dataset
+        with pytest.raises(RuntimeError):
+            RandomForestClassifier().predict_proba(X)
+
+    def test_single_class_rejected(self):
+        X = np.zeros((5, 2))
+        y = np.zeros(5)
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=2).fit(X, y)

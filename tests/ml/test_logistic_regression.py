@@ -1,0 +1,92 @@
+"""Tests for Logistic Regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic_regression import LogisticRegressionClassifier
+from tests.ml.conftest import train_test
+
+
+class TestOvR:
+    def test_blobs_high_accuracy(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        clf = LogisticRegressionClassifier(multi_class="ovr", max_iter=300).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.95
+
+    def test_text_like_data(self, text_like_dataset):
+        X, y = text_like_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        clf = LogisticRegressionClassifier(max_iter=300, C=10.0).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.85
+
+    def test_probabilities_valid(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LogisticRegressionClassifier(max_iter=100).fit(X, y)
+        probabilities = clf.predict_proba(X[:20])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities >= 0).all() and (probabilities <= 1).all()
+
+    def test_decision_function_shape(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LogisticRegressionClassifier(max_iter=50).fit(X, y)
+        assert clf.decision_function(X[:5]).shape == (5, 3)
+
+
+class TestMultinomial:
+    def test_blobs_high_accuracy(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        clf = LogisticRegressionClassifier(multi_class="multinomial", max_iter=300).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.95
+
+    def test_softmax_probabilities(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LogisticRegressionClassifier(multi_class="multinomial", max_iter=100).fit(X, y)
+        probabilities = clf.predict_proba(X[:10])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestRegularisationAndOptions:
+    def test_stronger_regularisation_shrinks_weights(self, blobs_dataset):
+        X, y = blobs_dataset
+        weak = LogisticRegressionClassifier(C=100.0, max_iter=200).fit(X, y)
+        strong = LogisticRegressionClassifier(C=0.01, max_iter=200).fit(X, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_no_intercept_option(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LogisticRegressionClassifier(fit_intercept=False, max_iter=50).fit(X, y)
+        assert np.allclose(clf.intercept_, 0.0)
+
+    def test_binary_problem(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (40, 3)), rng.normal(3, 1, (40, 3))])
+        y = np.repeat([0, 1], 40)
+        clf = LogisticRegressionClassifier(max_iter=200).fit(X, y)
+        assert clf.score(X, y) > 0.9
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["low", "low", "high", "high"])
+        clf = LogisticRegressionClassifier(max_iter=200).fit(X, y)
+        assert clf.predict(np.array([[0.05]]))[0] == "low"
+        assert clf.predict(np.array([[5.05]]))[0] == "high"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"multi_class": "auto"},
+            {"C": 0.0},
+            {"C": -1.0},
+            {"max_iter": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(**kwargs)
+
+    def test_predict_before_fit_raises(self, blobs_dataset):
+        X, _ = blobs_dataset
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict_proba(X)

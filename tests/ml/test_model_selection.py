@@ -1,0 +1,74 @@
+"""Tests for cross-validation and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic_regression import LogisticRegressionClassifier
+from repro.ml.model_selection import (
+    cross_val_score,
+    grid_search,
+    iter_param_grid,
+    k_fold_indices,
+)
+
+
+class TestKFold:
+    def test_folds_partition_the_data(self):
+        pairs = k_fold_indices(20, n_folds=4, shuffle=False)
+        assert len(pairs) == 4
+        all_test = np.concatenate([test for _, test in pairs])
+        assert sorted(all_test.tolist()) == list(range(20))
+
+    def test_train_test_disjoint_per_fold(self):
+        for train, test in k_fold_indices(17, n_folds=5, seed=2):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 17
+
+    def test_shuffle_changes_order(self):
+        unshuffled = k_fold_indices(12, n_folds=3, shuffle=False)
+        shuffled = k_fold_indices(12, n_folds=3, shuffle=True, seed=1)
+        assert any(
+            not np.array_equal(a[1], b[1]) for a, b in zip(unshuffled, shuffled)
+        )
+
+    @pytest.mark.parametrize("n_folds", [1, 0, 25])
+    def test_invalid_folds(self, n_folds):
+        with pytest.raises(ValueError):
+            k_fold_indices(20, n_folds=n_folds)
+
+
+class TestCrossValScore:
+    def test_scores_high_on_separable_data(self, blobs_dataset):
+        X, y = blobs_dataset
+        scores = cross_val_score(
+            lambda: LogisticRegressionClassifier(max_iter=150), X, y, n_folds=3
+        )
+        assert scores.shape == (3,)
+        assert scores.mean() > 0.9
+
+    def test_works_with_sparse_features(self, text_like_dataset):
+        X, y = text_like_dataset
+        scores = cross_val_score(
+            lambda: LogisticRegressionClassifier(max_iter=100, C=10.0), X, y, n_folds=3
+        )
+        assert scores.mean() > 0.8
+
+
+class TestGridSearch:
+    def test_finds_better_hyperparameter(self, blobs_dataset):
+        X, y = blobs_dataset
+        best_params, best_score, results = grid_search(
+            lambda C: LogisticRegressionClassifier(C=C, max_iter=100),
+            {"C": [0.001, 10.0]},
+            X,
+            y,
+            n_folds=3,
+        )
+        assert best_params["C"] == 10.0
+        assert best_score >= max(score for _, score in results) - 1e-9
+        assert len(results) == 2
+
+    def test_grid_iteration_covers_product(self):
+        combos = list(iter_param_grid({"a": [1, 2], "b": ["x", "y", "z"]}))
+        assert len(combos) == 6
+        assert {"a": 2, "b": "z"} in combos

@@ -1,0 +1,71 @@
+"""Tests for the linear SVM."""
+
+import numpy as np
+import pytest
+
+from repro.ml.svm import LinearSVMClassifier
+from tests.ml.conftest import train_test
+
+
+class TestLinearSVM:
+    def test_blobs_high_accuracy(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        clf = LinearSVMClassifier(max_iter=200).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.95
+
+    def test_text_like_data(self, text_like_dataset):
+        X, y = text_like_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        clf = LinearSVMClassifier(max_iter=200, C=5.0).fit(Xtr, ytr)
+        assert clf.score(Xte, yte) > 0.8
+
+    def test_decision_function_shape_and_argmax(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LinearSVMClassifier(max_iter=100).fit(X, y)
+        scores = clf.decision_function(X[:15])
+        assert scores.shape == (15, 3)
+        assert np.array_equal(clf.classes_[scores.argmax(axis=1)], clf.predict(X[:15]))
+
+    def test_one_vs_rest_weights_per_class(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LinearSVMClassifier(max_iter=50).fit(X, y)
+        assert clf.coef_.shape == (3, X.shape[1])
+        assert clf.intercept_.shape == (3,)
+
+    def test_linearly_separable_binary_margin(self):
+        X = np.array([[-2.0, 0.0], [-1.5, 0.2], [2.0, 0.0], [1.5, -0.2]])
+        y = np.array([0, 0, 1, 1])
+        clf = LinearSVMClassifier(max_iter=300, C=10.0).fit(X, y)
+        assert clf.score(X, y) == 1.0
+        # The separating direction must have positive weight on feature 0 for
+        # the positive class of label 1.
+        assert clf.coef_[1, 0] > 0
+
+    def test_pseudo_probabilities_normalised(self, blobs_dataset):
+        X, y = blobs_dataset
+        clf = LinearSVMClassifier(max_iter=50).fit(X, y)
+        probabilities = clf.predict_proba(X[:10])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.2], [4.0], [4.2]])
+        y = np.array(["a", "a", "b", "b"])
+        clf = LinearSVMClassifier(max_iter=200).fit(X, y)
+        assert clf.predict(np.array([[4.1]]))[0] == "b"
+
+    def test_regularisation_strength_affects_norm(self, blobs_dataset):
+        X, y = blobs_dataset
+        small_c = LinearSVMClassifier(C=0.01, max_iter=100).fit(X, y)
+        large_c = LinearSVMClassifier(C=50.0, max_iter=100).fit(X, y)
+        assert np.linalg.norm(small_c.coef_) < np.linalg.norm(large_c.coef_)
+
+    @pytest.mark.parametrize("kwargs", [{"C": 0.0}, {"C": -2.0}, {"max_iter": 0}])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            LinearSVMClassifier(**kwargs)
+
+    def test_sparse_input_supported(self, text_like_dataset):
+        X, y = text_like_dataset
+        clf = LinearSVMClassifier(max_iter=60).fit(X, y)
+        assert clf.score(X, y) > 0.8

@@ -1,0 +1,90 @@
+"""Tests for the CART decision tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier
+from tests.ml.conftest import train_test
+
+
+class TestDecisionTree:
+    def test_fits_blobs(self, blobs_dataset):
+        X, y = blobs_dataset
+        Xtr, ytr, Xte, yte = train_test(X, y)
+        tree = DecisionTreeClassifier(max_depth=6).fit(Xtr, ytr)
+        assert tree.score(Xte, yte) > 0.9
+
+    def test_pure_training_fit_is_perfect_without_depth_cap(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+    def test_max_depth_limits_tree(self, blobs_dataset):
+        X, y = blobs_dataset
+        shallow = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        deep = DecisionTreeClassifier(max_depth=8).fit(X, y)
+        assert shallow.depth <= 1
+        assert deep.node_count >= shallow.node_count
+
+    def test_min_samples_leaf_respected(self, blobs_dataset):
+        X, y = blobs_dataset
+        tree = DecisionTreeClassifier(min_samples_leaf=30).fit(X, y)
+        # With 180 samples and >=30 per leaf there can be at most 6 leaves.
+        leaves = sum(1 for node in tree._nodes if node.is_leaf)
+        assert leaves <= 6
+
+    def test_probabilities_valid(self, blobs_dataset):
+        X, y = blobs_dataset
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probabilities = tree.predict_proba(X[:25])
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert (probabilities >= 0).all()
+
+    def test_sample_weights_shift_predictions(self):
+        X = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([0, 0, 0, 1])
+        weights = np.array([0.01, 0.01, 0.01, 10.0])
+        tree = DecisionTreeClassifier(max_depth=2).fit(X, y, sample_weight=weights)
+        assert tree.predict(np.array([[1.0]]))[0] == 1
+
+    def test_feature_subsampling_with_seed_is_deterministic(self, blobs_dataset):
+        X, y = blobs_dataset
+        a = DecisionTreeClassifier(max_features=1, random_state=7).fit(X, y)
+        b = DecisionTreeClassifier(max_features=1, random_state=7).fit(X, y)
+        assert a.predict(X[:30]).tolist() == b.predict(X[:30]).tolist()
+
+    @pytest.mark.parametrize("max_features", ["sqrt", "log2", 0.5, 1, None])
+    def test_max_features_options(self, blobs_dataset, max_features):
+        X, y = blobs_dataset
+        tree = DecisionTreeClassifier(max_depth=3, max_features=max_features).fit(X, y)
+        assert tree.score(X, y) > 0.5
+
+    def test_unknown_max_features_string_rejected(self, blobs_dataset):
+        X, y = blobs_dataset
+        tree = DecisionTreeClassifier(max_features="all")
+        with pytest.raises(ValueError):
+            tree.fit(X, y)
+
+    @pytest.mark.parametrize("kwargs", [{"min_samples_split": 1}, {"min_samples_leaf": 0}])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            DecisionTreeClassifier(**kwargs)
+
+    def test_predict_before_fit_raises(self, blobs_dataset):
+        X, _ = blobs_dataset
+        with pytest.raises(RuntimeError):
+            DecisionTreeClassifier().predict_proba(X)
+
+    def test_constant_features_fall_back_to_leaf(self):
+        X = np.zeros((10, 3))
+        y = np.array([0] * 5 + [1] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        probabilities = tree.predict_proba(X[:1])
+        assert probabilities[0, 0] == pytest.approx(0.5)
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["low", "low", "high", "high"])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.predict(np.array([[5.05]]))[0] == "high"

@@ -1,0 +1,120 @@
+"""Tests for the LSTM and transformer cuisine classifiers.
+
+These run real (small) training loops, so the corpora and model sizes are kept
+tiny; the assertions are about mechanics and better-than-chance learning, not
+about reaching paper-level accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.splits import train_val_test_split
+from repro.models.lstm_classifier import LSTMClassifierConfig, LSTMCuisineClassifier
+from repro.models.transformer_classifier import (
+    BERTCuisineClassifier,
+    RoBERTaCuisineClassifier,
+    TransformerClassifierConfig,
+    TransformerCuisineClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def splits(tiny_corpus):
+    return train_val_test_split(tiny_corpus, seed=2)
+
+
+@pytest.fixture(scope="module")
+def label_space(tiny_corpus):
+    return tiny_corpus.present_cuisines()
+
+
+SMALL_LSTM = LSTMClassifierConfig(
+    embedding_dim=24, hidden_dim=32, num_layers=2, max_length=32, epochs=3, batch_size=32,
+    learning_rate=5e-3, early_stopping_patience=None, seed=1,
+)
+SMALL_TRANSFORMER = TransformerClassifierConfig(
+    dim=32, num_heads=4, num_layers=2, ffn_dim=64, max_length=32, epochs=3, batch_size=32,
+    pretrain_epochs=1, learning_rate=3e-3, early_stopping_patience=None, seed=1,
+)
+
+
+class TestLSTMCuisineClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self, splits, label_space):
+        model = LSTMCuisineClassifier(label_space=label_space, config=SMALL_LSTM)
+        return model.fit(splits.train, splits.validation)
+
+    def test_training_history_recorded(self, fitted):
+        assert fitted.history is not None
+        assert fitted.history.epochs >= 1
+        assert len(fitted.history.val_loss) == fitted.history.epochs
+
+    def test_beats_chance_on_test(self, fitted, splits, label_space):
+        metrics = fitted.evaluate(splits.test)
+        assert metrics.accuracy > 1.5 / len(label_space)
+        assert np.isfinite(metrics.loss)
+
+    def test_probabilities_valid(self, fitted, splits, label_space):
+        probabilities = fitted.predict_proba(splits.test)
+        assert probabilities.shape == (len(splits.test), len(label_space))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self, label_space, splits):
+        with pytest.raises(RuntimeError):
+            LSTMCuisineClassifier(label_space=label_space).predict_proba(splits.test)
+
+    def test_vocabulary_built_from_training_data(self, fitted):
+        assert fitted.vocabulary is not None
+        assert len(fitted.vocabulary) > 10
+
+    def test_two_layer_topology(self, fitted):
+        assert len(fitted.network.lstm.cells) == 2
+
+
+class TestTransformerCuisineClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self, splits, label_space):
+        model = TransformerCuisineClassifier(label_space=label_space, config=SMALL_TRANSFORMER)
+        return model.fit(splits.train, splits.validation)
+
+    def test_pretraining_ran(self, fitted):
+        assert fitted.pretraining_result is not None
+        assert len(fitted.pretraining_result.losses_per_epoch) == 1
+        assert np.isfinite(fitted.pretraining_result.final_loss)
+
+    def test_finetuning_history_recorded(self, fitted):
+        assert fitted.history is not None
+        assert fitted.history.epochs >= 1
+
+    def test_beats_chance_on_test(self, fitted, splits, label_space):
+        metrics = fitted.evaluate(splits.test)
+        assert metrics.accuracy > 1.5 / len(label_space)
+
+    def test_probabilities_valid(self, fitted, splits, label_space):
+        probabilities = fitted.predict_proba(splits.test)
+        assert probabilities.shape == (len(splits.test), len(label_space))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_unfitted_raises(self, label_space, splits):
+        with pytest.raises(RuntimeError):
+            TransformerCuisineClassifier(label_space=label_space).predict_proba(splits.test)
+
+
+class TestBERTvsRoBERTaPresets:
+    def test_bert_uses_static_masking_and_fewer_epochs(self):
+        base = TransformerClassifierConfig(pretrain_epochs=4)
+        bert = BERTCuisineClassifier(config=base)
+        roberta = RoBERTaCuisineClassifier(config=base)
+        assert bert.config.pretrain_dynamic_masking is False
+        assert roberta.config.pretrain_dynamic_masking is True
+        assert roberta.config.pretrain_epochs > bert.config.pretrain_epochs
+
+    def test_presets_with_pretraining_disabled(self):
+        base = TransformerClassifierConfig(pretrain_epochs=0)
+        assert BERTCuisineClassifier(config=base).config.pretrain_epochs == 0
+        assert RoBERTaCuisineClassifier(config=base).config.pretrain_epochs == 0
+
+    def test_names(self):
+        assert BERTCuisineClassifier().name == "bert"
+        assert RoBERTaCuisineClassifier().name == "roberta"
+        assert LSTMCuisineClassifier().name == "lstm"

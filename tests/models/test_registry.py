@@ -1,0 +1,77 @@
+"""Tests for the model registry and paper Table IV constants."""
+
+import pytest
+
+from repro.data.cuisines import CUISINES
+from repro.models.base import CuisineModel
+from repro.models.registry import (
+    DISPLAY_NAMES,
+    MODEL_NAMES,
+    PAPER_TABLE_IV,
+    SEQUENTIAL_MODELS,
+    create_model,
+    describe_architecture,
+    display_name,
+    is_sequential,
+)
+
+
+class TestPaperTableIV:
+    def test_all_seven_models_present(self):
+        assert set(PAPER_TABLE_IV) == set(MODEL_NAMES)
+        assert len(MODEL_NAMES) == 7
+
+    def test_headline_numbers(self):
+        assert PAPER_TABLE_IV["roberta"]["Accuracy"] == 73.30
+        assert PAPER_TABLE_IV["bert"]["Accuracy"] == 68.71
+        assert PAPER_TABLE_IV["logreg"]["Accuracy"] == 57.70
+        assert PAPER_TABLE_IV["lstm"]["Accuracy"] == 53.61
+        assert PAPER_TABLE_IV["roberta"]["Loss"] == 0.10
+
+    def test_paper_ordering_roberta_best(self):
+        accuracies = {name: values["Accuracy"] for name, values in PAPER_TABLE_IV.items()}
+        assert max(accuracies, key=accuracies.get) == "roberta"
+        assert accuracies["bert"] > accuracies["logreg"] > accuracies["lstm"]
+
+    def test_every_row_has_all_five_metrics(self):
+        for values in PAPER_TABLE_IV.values():
+            assert set(values) == {"Accuracy", "Loss", "Precision", "Recall", "F1 Score"}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_create_model_returns_cuisine_model(self, name):
+        model = create_model(name)
+        assert isinstance(model, CuisineModel)
+        assert model.name == name
+        assert model.label_space == CUISINES
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            create_model("gpt17")
+
+    def test_custom_label_space(self):
+        model = create_model("logreg", label_space=("Italian", "Mexican"))
+        assert model.n_classes == 2
+
+    def test_statistical_kwargs_forwarded(self):
+        model = create_model("logreg", C=0.5)
+        assert model.classifier.C == 0.5
+
+    def test_display_names(self):
+        assert display_name("svm_linear") == "SVM (linear)"
+        assert display_name("unknown_thing") == "unknown_thing"
+        assert set(DISPLAY_NAMES) == set(MODEL_NAMES)
+
+    def test_sequential_flag(self):
+        assert SEQUENTIAL_MODELS == {"lstm", "bert", "roberta"}
+        assert is_sequential("lstm") and not is_sequential("logreg")
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_architecture_descriptions_exist(self, name):
+        description = describe_architecture(name)
+        assert isinstance(description, str) and len(description) > 20
+
+    def test_architecture_description_unknown_raises(self):
+        with pytest.raises(KeyError):
+            describe_architecture("mystery")

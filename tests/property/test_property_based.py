@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    evaluate_predictions,
+    log_loss,
+    precision_recall_f1,
+)
+from repro.nn.module import Parameter
+from repro.nn.tensor import Tensor
+from repro.text.cleaning import clean_item
+from repro.text.lemmatizer import lemmatize
+from repro.text.sequences import pad_sequences
+from repro.text.tokenizer import tokenize
+from repro.text.vocabulary import Vocabulary
+
+# ---------------------------------------------------------------------------
+# text invariants
+# ---------------------------------------------------------------------------
+
+tokens_strategy = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_clean_item_output_contains_only_letters_and_spaces(raw):
+    cleaned = clean_item(raw)
+    assert all(ch.isalpha() or ch == " " for ch in cleaned)
+    assert cleaned == cleaned.strip()
+
+
+@given(st.text(max_size=80))
+@settings(max_examples=80, deadline=None)
+def test_tokenize_is_idempotent_on_its_own_output(raw):
+    tokens = tokenize(raw)
+    rejoined = " ".join(tokens)
+    assert tokenize(rejoined) == tokens
+
+
+@given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+@settings(max_examples=120, deadline=None)
+def test_lemmatizer_is_idempotent(word):
+    once = lemmatize(word)
+    assert lemmatize(once) == once
+
+
+@given(tokens_strategy)
+@settings(max_examples=60, deadline=None)
+def test_vocabulary_encode_decode_roundtrip_for_known_tokens(tokens):
+    vocab = Vocabulary.build([tokens])
+    ids = vocab.encode(tokens)
+    assert vocab.decode(ids) == tokens
+
+
+@given(
+    st.lists(st.lists(st.integers(min_value=1, max_value=500), max_size=20), min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=24),
+)
+@settings(max_examples=60, deadline=None)
+def test_pad_sequences_invariants(sequences, max_length):
+    ids, mask = pad_sequences(sequences, max_length=max_length)
+    assert ids.shape == mask.shape == (len(sequences), max_length)
+    for row, sequence in enumerate(sequences):
+        real = min(len(sequence), max_length)
+        assert mask[row].sum() == real
+        # Padding positions hold the pad value.
+        assert (ids[row, real:] == 0).all()
+
+
+# ---------------------------------------------------------------------------
+# metric invariants
+# ---------------------------------------------------------------------------
+
+labels_and_predictions = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n_classes: st.tuples(
+        st.just(n_classes),
+        st.lists(st.integers(min_value=0, max_value=n_classes - 1), min_size=1, max_size=60),
+        st.lists(st.integers(min_value=0, max_value=n_classes - 1), min_size=1, max_size=60),
+    )
+)
+
+
+@given(labels_and_predictions)
+@settings(max_examples=80, deadline=None)
+def test_metric_ranges_and_confusion_total(bundle):
+    n_classes, y_true, y_pred = bundle
+    length = min(len(y_true), len(y_pred))
+    y_true, y_pred = y_true[:length], y_pred[:length]
+    accuracy = accuracy_score(y_true, y_pred)
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred, n_classes)
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    assert 0.0 <= accuracy <= 1.0
+    assert 0.0 <= precision <= 1.0 and 0.0 <= recall <= 1.0 and 0.0 <= f1 <= 1.0
+    assert matrix.sum() == length
+    assert np.trace(matrix) == sum(1 for a, b in zip(y_true, y_pred) if a == b)
+
+
+@given(
+    st.integers(min_value=2, max_value=5),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_evaluate_predictions_bounds(n_classes, n_samples, seed):
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, n_classes, size=n_samples)
+    probabilities = rng.random((n_samples, n_classes)) + 1e-6
+    probabilities /= probabilities.sum(axis=1, keepdims=True)
+    metrics = evaluate_predictions(y_true, probabilities)
+    assert 0.0 <= metrics.accuracy <= 1.0
+    assert metrics.loss >= 0.0
+    assert metrics.confusion.sum() == n_samples
+    assert log_loss(y_true, probabilities) == metrics.loss
+
+
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_perfect_predictions_are_perfect(n_samples, n_classes, seed):
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, n_classes, size=n_samples)
+    accuracy = accuracy_score(y_true, y_true)
+    precision, recall, f1 = precision_recall_f1(y_true, y_true, n_classes)
+    assert accuracy == 1.0 and precision == 1.0 and recall == 1.0 and f1 == 1.0
+
+
+# ---------------------------------------------------------------------------
+# autograd invariants
+# ---------------------------------------------------------------------------
+
+small_arrays = st.integers(min_value=0, max_value=10_000).map(
+    lambda seed: np.random.default_rng(seed).normal(size=(3, 4))
+)
+
+
+@given(small_arrays)
+@settings(max_examples=40, deadline=None)
+def test_softmax_output_is_a_distribution(array):
+    probabilities = Tensor(array).softmax(axis=-1).data
+    assert np.allclose(probabilities.sum(axis=-1), 1.0)
+    assert (probabilities >= 0).all()
+
+
+@given(small_arrays, small_arrays)
+@settings(max_examples=40, deadline=None)
+def test_addition_gradient_is_ones(array_a, array_b):
+    a = Parameter(array_a)
+    b = Parameter(array_b)
+    (a + b).sum().backward()
+    assert np.allclose(a.grad, 1.0)
+    assert np.allclose(b.grad, 1.0)
+
+
+@given(small_arrays)
+@settings(max_examples=40, deadline=None)
+def test_sum_of_parts_equals_whole_gradient(array):
+    """Linearity: d/dx sum(x*c) = c regardless of how the graph is built."""
+    scale = 3.0
+    direct = Parameter(array.copy())
+    (direct * scale).sum().backward()
+    split = Parameter(array.copy())
+    left = (split * scale)[:, :2].sum()
+    right = (split * scale)[:, 2:].sum()
+    (left + right).backward()
+    assert np.allclose(direct.grad, split.grad)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_layernorm_output_statistics(seed):
+    from repro.nn.layers import LayerNorm
+
+    rng = np.random.default_rng(seed)
+    x = rng.normal(loc=rng.uniform(-5, 5), scale=rng.uniform(0.5, 3), size=(4, 16))
+    out = LayerNorm(16)(Tensor(x)).data
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+    assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)

@@ -1,0 +1,83 @@
+"""Tests for the rule-based lemmatizer."""
+
+import pytest
+
+from repro.text.lemmatizer import Lemmatizer, lemmatize
+
+
+class TestPlurals:
+    @pytest.mark.parametrize(
+        "word,lemma",
+        [
+            ("onions", "onion"),
+            ("tomatoes", "tomato"),
+            ("potatoes", "potato"),
+            ("berries", "berry"),
+            ("leaves", "leaf"),
+            ("dishes", "dish"),
+            ("boxes", "box"),
+            ("carrots", "carrot"),
+            ("lentils", "lentil"),
+        ],
+    )
+    def test_plural_nouns(self, word, lemma):
+        assert lemmatize(word) == lemma
+
+    @pytest.mark.parametrize("word", ["couscous", "molasses", "asparagus", "hummus", "swiss"])
+    def test_protected_words_unchanged(self, word):
+        assert lemmatize(word) == word
+
+
+class TestVerbs:
+    @pytest.mark.parametrize(
+        "word,lemma",
+        [
+            ("chopped", "chop"),
+            ("chopping", "chop"),
+            ("simmering", "simmer"),
+            ("simmered", "simmer"),
+            ("grated", "grate"),
+            ("cooking", "cook"),
+            ("baking", "bake"),
+            ("fried", "fry"),
+            ("mixing", "mix"),
+            ("stirring", "stir"),
+        ],
+    )
+    def test_verb_inflections(self, word, lemma):
+        assert lemmatize(word) == lemma
+
+    @pytest.mark.parametrize("word", ["bring", "spring", "string", "dressing", "pudding", "red", "bread"])
+    def test_false_suffix_words_unchanged(self, word):
+        assert lemmatize(word) == word
+
+
+class TestLemmatizerClass:
+    def test_short_words_untouched(self):
+        assert lemmatize("egg") == "egg"
+        assert lemmatize("as") == "as"
+
+    def test_empty_string(self):
+        assert lemmatize("") == ""
+
+    def test_idempotent(self):
+        for word in ["tomatoes", "chopped", "simmering", "leaves", "onion"]:
+            once = lemmatize(word)
+            assert lemmatize(once) == once
+
+    def test_phrase_lemmatization(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemmatize_phrase("red lentils") == "red lentil"
+        assert lemmatizer.lemmatize_phrase("chopped onions") == "chop onion"
+
+    def test_lemmatize_all_preserves_order(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemmatize_all(["onions", "stirred"]) == ["onion", "stir"]
+
+    def test_extra_exceptions_override(self):
+        lemmatizer = Lemmatizer(extra_exceptions={"wok": "frying pan"})
+        assert lemmatizer.lemmatize("wok") == "frying pan"
+
+    def test_cache_returns_consistent_results(self):
+        lemmatizer = Lemmatizer()
+        assert lemmatizer.lemmatize("tomatoes") == lemmatizer.lemmatize("tomatoes")

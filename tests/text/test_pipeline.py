@@ -1,0 +1,69 @@
+"""Tests for the end-to-end preprocessing pipeline (Section IV)."""
+
+from repro.text.pipeline import (
+    PipelineConfig,
+    PreprocessingPipeline,
+    default_sequential_pipeline,
+    default_statistical_pipeline,
+)
+
+
+class TestProcessItem:
+    def test_cleans_and_lemmatizes(self):
+        pipeline = PreprocessingPipeline()
+        assert pipeline.process_item("2 chopped Onions!") == ["chop", "onion"]
+
+    def test_lemmatization_can_be_disabled(self):
+        pipeline = PreprocessingPipeline(PipelineConfig(lemmatize=False))
+        assert pipeline.process_item("chopped onions") == ["chopped", "onions"]
+
+    def test_digit_removal_can_be_disabled(self):
+        pipeline = PreprocessingPipeline(PipelineConfig(remove_digits_symbols=False, lemmatize=False))
+        # Digits are still dropped by tokenization, but symbols don't split words.
+        assert pipeline.process_item("onion") == ["onion"]
+
+    def test_empty_item(self):
+        pipeline = PreprocessingPipeline()
+        assert pipeline.process_item("123!!") == []
+
+
+class TestProcessSequence:
+    def test_item_level_tokens_by_default(self):
+        pipeline = default_sequential_pipeline()
+        tokens = pipeline.process_sequence(["red lentils", "stir", "olive oil"])
+        assert tokens == ["red_lentil", "stir", "olive_oil"]
+
+    def test_word_level_tokens_for_statistical_models(self):
+        pipeline = default_statistical_pipeline()
+        tokens = pipeline.process_sequence(["red lentils", "stir"])
+        assert tokens == ["red", "lentil", "stir"]
+
+    def test_order_preserved(self):
+        pipeline = default_sequential_pipeline()
+        sequence = ["water", "red lentil", "smooth", "stir", "heat"]
+        tokens = pipeline.process_sequence(sequence)
+        assert tokens == ["water", "red_lentil", "smooth", "stir", "heat"]
+
+    def test_empty_items_dropped(self):
+        pipeline = default_sequential_pipeline()
+        assert pipeline.process_sequence(["onion", "123", "stir"]) == ["onion", "stir"]
+
+
+class TestCorpusLevel:
+    def test_process_corpus_and_documents(self, handmade_corpus):
+        pipeline = default_statistical_pipeline()
+        tokenized = pipeline.process_corpus(handmade_corpus)
+        documents = pipeline.documents(handmade_corpus)
+        assert len(tokenized) == len(handmade_corpus) == len(documents)
+        assert documents[0] == " ".join(tokenized[0])
+
+    def test_process_recipe_matches_sequence_processing(self, handmade_corpus):
+        pipeline = default_sequential_pipeline()
+        recipe = handmade_corpus[0]
+        assert pipeline.process_recipe(recipe) == pipeline.process_sequence(recipe.sequence)
+
+    def test_resulting_tokens_contain_no_digits(self, tiny_corpus):
+        pipeline = default_statistical_pipeline()
+        for tokens in pipeline.process_corpus(tiny_corpus)[:30]:
+            for token in tokens:
+                assert not any(ch.isdigit() for ch in token)

@@ -1,0 +1,84 @@
+"""Tests for sequence encoding and padding."""
+
+import numpy as np
+import pytest
+
+from repro.text.sequences import SequenceEncoder, pad_sequences
+from repro.text.vocabulary import Vocabulary
+
+
+class TestPadSequences:
+    def test_pads_to_max_length(self):
+        ids, mask = pad_sequences([[1, 2], [3]], max_length=4)
+        assert ids.shape == (2, 4)
+        assert ids[0].tolist() == [1, 2, 0, 0]
+        assert mask[0].tolist() == [1.0, 1.0, 0.0, 0.0]
+        assert mask[1].tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_truncates_right_keeps_beginning(self):
+        ids, _ = pad_sequences([[1, 2, 3, 4, 5]], max_length=3, truncate="right")
+        assert ids[0].tolist() == [1, 2, 3]
+
+    def test_truncates_left_keeps_end(self):
+        ids, _ = pad_sequences([[1, 2, 3, 4, 5]], max_length=3, truncate="left")
+        assert ids[0].tolist() == [3, 4, 5]
+
+    def test_custom_pad_value(self):
+        ids, _ = pad_sequences([[1]], max_length=3, pad_value=9)
+        assert ids[0].tolist() == [1, 9, 9]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            pad_sequences([[1]], max_length=0)
+        with pytest.raises(ValueError):
+            pad_sequences([[1]], max_length=2, truncate="middle")
+
+    def test_empty_sequences_all_padding(self):
+        ids, mask = pad_sequences([[]], max_length=3)
+        assert ids[0].tolist() == [0, 0, 0]
+        assert mask[0].sum() == 0.0
+
+
+class TestSequenceEncoder:
+    @pytest.fixture()
+    def vocabulary(self):
+        return Vocabulary.build([["onion", "garlic", "stir", "add", "pan"]])
+
+    def test_encodes_tokens_to_ids(self, vocabulary):
+        encoder = SequenceEncoder(vocabulary, max_length=6)
+        batch = encoder.encode([["onion", "stir"]])
+        decoded = vocabulary.decode([i for i in batch.ids[0] if i != vocabulary.pad_id])
+        assert decoded == ["onion", "stir"]
+
+    def test_adds_cls_token(self, vocabulary):
+        encoder = SequenceEncoder(vocabulary, max_length=6, add_cls=True)
+        batch = encoder.encode([["onion"]])
+        assert batch.ids[0, 0] == vocabulary.cls_id
+        assert batch.mask[0, :2].tolist() == [1.0, 1.0]
+
+    def test_unknown_tokens_become_unk(self, vocabulary):
+        encoder = SequenceEncoder(vocabulary, max_length=4)
+        batch = encoder.encode([["dragonfruit"]])
+        assert batch.ids[0, 0] == vocabulary.unk_id
+
+    def test_batch_shape_and_len(self, vocabulary):
+        encoder = SequenceEncoder(vocabulary, max_length=5)
+        batch = encoder.encode([["onion"], ["stir", "add"], ["pan"]])
+        assert len(batch) == 3
+        assert batch.max_length == 5
+        assert batch.ids.dtype == np.int64
+
+    def test_encode_one(self, vocabulary):
+        encoder = SequenceEncoder(vocabulary, max_length=5)
+        batch = encoder.encode_one(["onion", "garlic"])
+        assert len(batch) == 1
+
+    def test_max_length_validation(self, vocabulary):
+        with pytest.raises(ValueError):
+            SequenceEncoder(vocabulary, max_length=1)
+
+    def test_truncation_respects_max_length(self, vocabulary):
+        encoder = SequenceEncoder(vocabulary, max_length=3, add_cls=True)
+        batch = encoder.encode([["onion", "garlic", "stir", "add", "pan"]])
+        assert batch.ids.shape[1] == 3
+        assert batch.mask[0].sum() == 3.0

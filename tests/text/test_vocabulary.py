@@ -1,0 +1,88 @@
+"""Tests for the token vocabulary."""
+
+import pytest
+
+from repro.text.vocabulary import (
+    CLS_TOKEN,
+    MASK_TOKEN,
+    PAD_TOKEN,
+    SPECIAL_TOKENS,
+    UNK_TOKEN,
+    Vocabulary,
+)
+
+
+class TestSpecialTokens:
+    def test_special_tokens_get_first_ids(self):
+        vocab = Vocabulary()
+        assert vocab.pad_id == 0
+        assert vocab.unk_id == 1
+        assert vocab.cls_id == 2
+        assert vocab.mask_id == 3
+        assert vocab.special_ids == (0, 1, 2, 3)
+
+    def test_special_token_constants(self):
+        assert SPECIAL_TOKENS == (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, MASK_TOKEN)
+
+    def test_without_special_tokens(self):
+        vocab = Vocabulary(["a", "b"], include_special=False)
+        assert len(vocab) == 2
+        assert vocab.special_ids == ()
+        with pytest.raises(KeyError):
+            vocab.token_to_id("missing")
+
+
+class TestBuild:
+    def test_orders_by_frequency(self):
+        docs = [["a", "b", "b", "c"], ["b", "c"], ["b"]]
+        vocab = Vocabulary.build(docs)
+        # b (4) before c (2) before a (1); ids start after the 4 specials.
+        assert vocab.token_to_id("b") == 4
+        assert vocab.token_to_id("c") == 5
+        assert vocab.token_to_id("a") == 6
+
+    def test_min_freq_prunes(self):
+        docs = [["a", "b", "b"], ["b"]]
+        vocab = Vocabulary.build(docs, min_freq=2)
+        assert "b" in vocab
+        assert "a" not in vocab
+
+    def test_max_size_caps_regular_tokens(self):
+        docs = [[f"tok{i}" for i in range(20)]]
+        vocab = Vocabulary.build(docs, max_size=5)
+        assert len(vocab) == 5 + len(SPECIAL_TOKENS)
+
+    def test_frequency_recorded(self):
+        docs = [["a", "a", "b"]]
+        vocab = Vocabulary.build(docs)
+        assert vocab.frequency("a") == 2
+        assert vocab.frequency("zzz") == 0
+
+    def test_ties_broken_alphabetically(self):
+        docs = [["zeta", "alpha"]]
+        vocab = Vocabulary.build(docs)
+        assert vocab.token_to_id("alpha") < vocab.token_to_id("zeta")
+
+
+class TestEncodeDecode:
+    def test_roundtrip_known_tokens(self):
+        vocab = Vocabulary.build([["onion", "stir"]])
+        ids = vocab.encode(["onion", "stir"])
+        assert vocab.decode(ids) == ["onion", "stir"]
+
+    def test_unknown_maps_to_unk(self):
+        vocab = Vocabulary.build([["onion"]])
+        assert vocab.encode(["mystery"]) == [vocab.unk_id]
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary.build([["onion"]])
+        assert "onion" in vocab
+        assert "garlic" not in vocab
+        assert PAD_TOKEN in list(vocab)
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("onion")
+        second = vocab.add("onion")
+        assert first == second
+        assert len(vocab) == len(SPECIAL_TOKENS) + 1

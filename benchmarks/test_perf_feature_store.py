@@ -1,0 +1,100 @@
+"""Feature-store performance benchmarks.
+
+Demonstrates the end-to-end win of the shared-artifact refactor: a
+multi-model statistical experiment through one :class:`FeatureStore` runs the
+pure-Python preprocessing pipeline once per (corpus, pipeline configuration)
+pair, while per-model isolated stores (the pre-refactor behaviour) redo it
+for every model.  The head-to-head test asserts both the speedup and that the
+metrics are unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.bench_config import BENCH_SEED
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.data.splits import train_val_test_split
+from repro.models.registry import create_model
+from repro.pipeline.specs import TfidfSpec
+from repro.pipeline.store import FeatureStore
+from repro.text.pipeline import PipelineConfig
+
+#: The four statistical models — they share one preprocessing configuration,
+#: which is exactly the redundancy the feature store removes.
+SUITE = ("logreg", "naive_bayes", "svm_linear", "random_forest")
+
+#: Light training budgets so the comparison is dominated by the pipeline
+#: work being measured, not by classifier convergence.
+FAST_KWARGS: dict[str, dict] = {
+    "logreg": {"max_iter": 60},
+    "svm_linear": {"max_iter": 50},
+    "random_forest": {"n_estimators": 8, "max_depth": 10, "boosting_rounds": 4},
+}
+
+
+@pytest.fixture(scope="module")
+def perf_corpus():
+    return RecipeDBGenerator(GeneratorConfig(scale=0.008, seed=BENCH_SEED)).generate()
+
+
+def _fit_and_evaluate_suite(splits, label_space, store_factory):
+    """Train/evaluate every suite model, resolving artifacts per *store_factory*."""
+    accuracies = {}
+    for name in SUITE:
+        model = create_model(name, label_space=label_space, **FAST_KWARGS.get(name, {}))
+        model.fit(splits.train, splits.validation, store=store_factory())
+        accuracies[name] = model.evaluate(splits.test).accuracy
+    return accuracies
+
+
+def test_perf_shared_store_beats_isolated_preprocessing(perf_corpus):
+    splits = train_val_test_split(perf_corpus, seed=BENCH_SEED)
+    label_space = perf_corpus.present_cuisines()
+
+    start = time.perf_counter()
+    isolated_accuracies = _fit_and_evaluate_suite(splits, label_space, FeatureStore)
+    isolated_seconds = time.perf_counter() - start
+
+    shared_store = FeatureStore()
+    start = time.perf_counter()
+    shared_accuracies = _fit_and_evaluate_suite(splits, label_space, lambda: shared_store)
+    shared_seconds = time.perf_counter() - start
+
+    # Seed behaviour reproduced: sharing artifacts must not change a single
+    # metric — the artifacts are deterministic, only computed less often.
+    assert shared_accuracies == isolated_accuracies
+
+    # The pipeline ran once per split instead of once per model per split.
+    assert shared_store.miss_count("tokens") == 3
+    assert shared_store.hit_count() > 0
+
+    # And the end-to-end run is measurably faster.
+    assert shared_seconds < isolated_seconds
+
+
+def test_perf_experiment_runner_shared_artifacts(benchmark, perf_corpus):
+    """Time a full statistical-suite experiment through the shared store."""
+
+    def run():
+        config = ExperimentConfig(
+            models=SUITE, seed=BENCH_SEED, statistical_kwargs=FAST_KWARGS
+        )
+        return ExperimentRunner(config, corpus=perf_corpus).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert set(result.model_results) == set(SUITE)
+
+
+def test_perf_warm_store_artifact_lookup(benchmark, perf_corpus):
+    """A cache hit must be dictionary-lookup cheap, not pipeline-run expensive."""
+    store = FeatureStore()
+    spec = TfidfSpec(pipeline=PipelineConfig(split_items=True), min_df=2)
+    store.tfidf_matrix(perf_corpus, spec)  # warm
+
+    matrix = benchmark(store.tfidf_matrix, perf_corpus, spec)
+    assert matrix.shape[0] == len(perf_corpus)
+    assert store.miss_count("tfidf_matrix") == 1

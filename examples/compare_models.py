@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core import run_table_iv_experiment
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.evaluation.figures import loss_curves, normalized_accuracy
 from repro.evaluation.reports import format_table, render_ascii_chart
 from repro.evaluation.tables import table_iv
@@ -38,6 +38,10 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--epochs", type=int, default=5, help="neural fine-tuning epochs")
     parser.add_argument("--pretrain-epochs", type=int, default=2,
                         help="transformer MLM pretraining epochs (BERT uses half)")
+    parser.add_argument("--n-jobs", type=int, default=1,
+                        help="models trained concurrently (they share one feature store)")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="persist preprocessing artifacts here and reuse them across runs")
     return parser.parse_args()
 
 
@@ -51,13 +55,17 @@ def main() -> None:
     )
 
     print(f"Running the Table IV experiment on scale={args.scale} with models: {models}")
-    result = run_table_iv_experiment(
+    config = ExperimentConfig(
         models=models,
         scale=args.scale,
         seed=args.seed,
         lstm_config=lstm_config,
         transformer_config=transformer_config,
+        n_jobs=args.n_jobs,
+        cache_dir=args.cache_dir,
     )
+    runner = ExperimentRunner(config)
+    result = runner.run()
 
     print()
     print(format_table(table_iv(result), title="TABLE IV - PERFORMANCE METRICS (measured vs paper)"))
@@ -77,6 +85,15 @@ def main() -> None:
     print(f"Best model: {best} with test accuracy {best_accuracy:.2%}")
     for name, model_result in result.model_results.items():
         print(f"  {name:<14} trained in {model_result.train_seconds:6.1f}s")
+
+    stats = runner.store.stats()
+    print(
+        "Feature store: "
+        f"{sum(stats['hits'].values())} hits, "
+        f"{sum(stats['disk_hits'].values())} disk hits, "
+        f"{sum(stats['misses'].values())} computations "
+        f"({stats['entries']} artifacts resident)"
+    )
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ imbalance trade-off).
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -25,6 +26,7 @@ from repro.data.splits import DatasetSplits, train_val_test_split
 from repro.models.registry import MODEL_NAMES, create_model
 from repro.models.lstm_classifier import LSTMClassifierConfig
 from repro.models.transformer_classifier import TransformerClassifierConfig
+from repro.pipeline.store import FeatureStore
 
 
 @dataclass(frozen=True)
@@ -43,6 +45,12 @@ class ExperimentConfig:
             before splitting — the class-imbalance ablation (0 keeps all).
         lstm_config / transformer_config: Optional model-size overrides.
         statistical_kwargs: Extra constructor arguments per statistical model.
+        n_jobs: Number of models trained concurrently (1 = sequential).
+            Models are independent given the shared feature store, so any
+            value up to ``len(models)`` is safe; results are identical to the
+            sequential order.
+        cache_dir: Optional directory for on-disk feature-store persistence
+            (preprocessing artifacts survive across runs / processes).
     """
 
     models: tuple[str, ...] = MODEL_NAMES
@@ -53,6 +61,8 @@ class ExperimentConfig:
     lstm_config: LSTMClassifierConfig | None = None
     transformer_config: TransformerClassifierConfig | None = None
     statistical_kwargs: dict = field(default_factory=dict)
+    n_jobs: int = 1
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         unknown = set(self.models) - set(MODEL_NAMES)
@@ -60,6 +70,8 @@ class ExperimentConfig:
             raise ValueError(f"unknown models requested: {sorted(unknown)}")
         if not self.models:
             raise ValueError("at least one model must be requested")
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
 
 
 def shuffle_recipe_sequences(corpus: RecipeDB, seed: int = 0) -> RecipeDB:
@@ -89,10 +101,18 @@ def shuffle_recipe_sequences(corpus: RecipeDB, seed: int = 0) -> RecipeDB:
 class ExperimentRunner:
     """Runs the Table IV experiment end to end."""
 
-    def __init__(self, config: ExperimentConfig | None = None, corpus: RecipeDB | None = None) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig | None = None,
+        corpus: RecipeDB | None = None,
+        store: FeatureStore | None = None,
+    ) -> None:
         self.config = config or ExperimentConfig()
         self._corpus = corpus
         self.splits: DatasetSplits | None = None
+        #: Shared across every model of the run (and across runs when the
+        #: runner is reused): preprocessing happens once per configuration.
+        self.store = store if store is not None else FeatureStore(cache_dir=self.config.cache_dir)
 
     # ------------------------------------------------------------------
     def prepare_corpus(self) -> RecipeDB:
@@ -140,27 +160,57 @@ class ExperimentRunner:
                 "shuffle_sequences": self.config.shuffle_sequences,
                 "min_cuisine_recipes": self.config.min_cuisine_recipes,
                 "n_classes": len(label_space),
+                "n_jobs": self.config.n_jobs,
             },
             split_sizes=splits.summary(),
         )
-        for name in self.config.models:
-            result.add(self.run_model(name, splits, label_space))
+        models = {name: self._create_model(name, label_space) for name in self.config.models}
+
+        # Materialise the shared artifacts up front — preprocessing, fitted
+        # vectorizers/vocabularies, transformed matrices, encoded batches and
+        # labels — so concurrent model training resolves pure cache hits.
+        corpora = [c for c in (splits.train, splits.validation, splits.test) if len(c) > 0]
+        self.store.warm(
+            corpora,
+            [model.feature_spec() for model in models.values()],
+            train_corpus=splits.train,
+            label_space=label_space,
+        )
+
+        n_jobs = min(self.config.n_jobs, len(models))
+        if n_jobs > 1:
+            with ThreadPoolExecutor(max_workers=n_jobs) as pool:
+                futures = {
+                    name: pool.submit(self._train_and_evaluate, model, splits)
+                    for name, model in models.items()
+                }
+                for name in self.config.models:
+                    result.add(futures[name].result())
+        else:
+            for model in models.values():
+                result.add(self._train_and_evaluate(model, splits))
         return result
 
     def run_model(
         self, name: str, splits: DatasetSplits, label_space: Sequence[str]
     ) -> ModelResult:
         """Train and evaluate a single named model."""
+        return self._train_and_evaluate(self._create_model(name, label_space), splits)
+
+    def _create_model(self, name: str, label_space: Sequence[str]):
         kwargs = dict(self.config.statistical_kwargs.get(name, {}))
-        model = create_model(
+        return create_model(
             name,
             label_space=label_space,
             lstm_config=self.config.lstm_config,
             transformer_config=self.config.transformer_config,
             **kwargs,
         )
+
+    def _train_and_evaluate(self, model, splits: DatasetSplits) -> ModelResult:
+        name = model.name
         start = time.perf_counter()
-        model.fit(splits.train, splits.validation)
+        model.fit(splits.train, splits.validation, store=self.store)
         elapsed = time.perf_counter() - start
 
         metrics = model.evaluate(splits.test)
@@ -192,6 +242,8 @@ def run_table_iv_experiment(
     corpus: RecipeDB | None = None,
     lstm_config: LSTMClassifierConfig | None = None,
     transformer_config: TransformerClassifierConfig | None = None,
+    n_jobs: int = 1,
+    cache_dir: str | None = None,
 ) -> ExperimentResult:
     """Convenience wrapper running the full Table IV experiment.
 
@@ -201,6 +253,8 @@ def run_table_iv_experiment(
         seed: PRNG seed.
         corpus: Pre-built corpus to use instead of generating one.
         lstm_config / transformer_config: Optional model-size overrides.
+        n_jobs: Models trained concurrently (1 = sequential).
+        cache_dir: Optional on-disk feature-store cache directory.
 
     Returns:
         The experiment result with one :class:`ModelResult` per model.
@@ -211,5 +265,7 @@ def run_table_iv_experiment(
         seed=seed,
         lstm_config=lstm_config,
         transformer_config=transformer_config,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
     )
     return ExperimentRunner(config, corpus=corpus).run()

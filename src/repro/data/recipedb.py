@@ -7,6 +7,7 @@ the preprocessing and modelling layers consume.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
@@ -102,6 +103,37 @@ class RecipeDB:
     def vocabulary(self, kind: TokenKind | None = None) -> tuple[str, ...]:
         """Distinct items in the corpus, optionally per substructure."""
         return tuple(sorted(self.token_counts(kind)))
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of the corpus.
+
+        Covers every recipe field plus the generator configuration, so two
+        corpora with identical content share a fingerprint across processes
+        while any transformation (shuffling, dropping cuisines, subsetting)
+        produces a new one.  The digest is cached per instance and
+        recomputed when the recipe count changes; treat ``recipes`` as
+        immutable after construction for the cache to stay truthful.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None and cached[0] == len(self.recipes):
+            return cached[1]
+        digest = hashlib.blake2b(digest_size=16)
+        if self.generator_config is not None:
+            digest.update(repr(self.generator_config).encode("utf-8"))
+        for recipe in self.recipes:
+            digest.update(
+                f"{recipe.recipe_id}\x1e{recipe.cuisine}\x1e{recipe.continent}\x1e".encode("utf-8")
+            )
+            digest.update("\x1f".join(recipe.sequence).encode("utf-8"))
+            digest.update(b"\x1e")
+            digest.update("\x1f".join(kind.value for kind in recipe.kinds).encode("utf-8"))
+            digest.update(b"\x1d")
+        value = digest.hexdigest()
+        object.__setattr__(self, "_fingerprint_cache", (len(self.recipes), value))
+        return value
 
     # ------------------------------------------------------------------
     # transformation

@@ -16,6 +16,31 @@ import numpy as np
 from scipy import sparse
 
 
+def ngram_features(
+    document: str | Sequence[str], ngram_range: tuple[int, int]
+) -> list[str]:
+    """Turn a document into its n-gram feature list.
+
+    Shared analyzer of :class:`CountVectorizer` and
+    :class:`~repro.features.tfidf.TfidfVectorizer`: a document is either a
+    whitespace-joined string or an already-tokenized sequence; n-grams join
+    consecutive tokens with single spaces.
+    """
+    tokens = document.split() if isinstance(document, str) else list(document)
+    lo, hi = ngram_range
+    if lo == 1 and hi == 1:
+        return tokens
+    features: list[str] = []
+    for n in range(lo, hi + 1):
+        if n == 1:
+            features.extend(tokens)
+        else:
+            features.extend(
+                " ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
+            )
+    return features
+
+
 class CountVectorizer:
     """Convert documents to a sparse matrix of token counts."""
 
@@ -43,19 +68,7 @@ class CountVectorizer:
     # ------------------------------------------------------------------
     def _analyze(self, document: str | Sequence[str]) -> list[str]:
         """Turn a document into the n-gram feature list."""
-        tokens = document.split() if isinstance(document, str) else list(document)
-        lo, hi = self.ngram_range
-        if lo == 1 and hi == 1:
-            return tokens
-        features: list[str] = []
-        for n in range(lo, hi + 1):
-            if n == 1:
-                features.extend(tokens)
-            else:
-                features.extend(
-                    " ".join(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
-                )
-        return features
+        return ngram_features(document, self.ngram_range)
 
     # ------------------------------------------------------------------
     def fit(self, documents: Iterable[str | Sequence[str]]) -> "CountVectorizer":
@@ -85,28 +98,52 @@ class CountVectorizer:
         return self
 
     def transform(self, documents: Iterable[str | Sequence[str]]) -> sparse.csr_matrix:
-        """Vectorize *documents* using the learned vocabulary."""
+        """Vectorize *documents* using the learned vocabulary.
+
+        The CSR arrays are assembled with NumPy: token occurrences become one
+        flat column-index array, duplicates within a document are merged by a
+        single ``np.unique`` over ``row * n_features + column`` keys (which
+        also yields CSR-sorted order), and the row pointer comes from
+        ``np.bincount`` — no per-document ``Counter``/``sorted`` passes.
+        """
         if not self.vocabulary_:
             raise RuntimeError("vectorizer is not fitted; call fit() first")
-        indptr = [0]
-        indices: list[int] = []
-        data: list[float] = []
+        vocabulary_get = self.vocabulary_.get
+        n_features = len(self.vocabulary_)
+        column_chunks: list[list[int]] = []
         for document in documents:
-            counts: Counter = Counter()
-            for feature in self._analyze(document):
-                idx = self.vocabulary_.get(feature)
-                if idx is not None:
-                    counts[idx] += 1
-            for idx, count in sorted(counts.items()):
-                indices.append(idx)
-                data.append(1.0 if self.binary else float(count))
-            indptr.append(len(indices))
-        matrix = sparse.csr_matrix(
-            (data, indices, indptr),
-            shape=(len(indptr) - 1, len(self.vocabulary_)),
-            dtype=np.float64,
+            column_chunks.append(
+                [
+                    idx
+                    for idx in map(vocabulary_get, self._analyze(document))
+                    if idx is not None
+                ]
+            )
+        n_docs = len(column_chunks)
+        occurrence_rows = np.repeat(
+            np.arange(n_docs, dtype=np.int64),
+            [len(chunk) for chunk in column_chunks],
         )
-        return matrix
+        occurrence_columns = np.asarray(
+            [idx for chunk in column_chunks for idx in chunk], dtype=np.int64
+        )
+        # One key per occurrence; np.unique merges duplicates, counts them,
+        # and returns keys sorted — exactly the canonical CSR layout.
+        keys, counts = np.unique(
+            occurrence_rows * n_features + occurrence_columns, return_counts=True
+        )
+        rows = keys // n_features
+        indices = keys % n_features
+        data = (
+            np.ones(len(keys), dtype=np.float64)
+            if self.binary
+            else counts.astype(np.float64)
+        )
+        indptr = np.zeros(n_docs + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n_docs), out=indptr[1:])
+        return sparse.csr_matrix(
+            (data, indices, indptr), shape=(n_docs, n_features), dtype=np.float64
+        )
 
     def fit_transform(self, documents: Iterable[str | Sequence[str]]) -> sparse.csr_matrix:
         """Fit on *documents* and return their vectorization."""

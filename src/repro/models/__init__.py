@@ -13,6 +13,7 @@ Use :func:`repro.models.registry.create_model` (or
 """
 
 from repro.models.base import CuisineModel
+from repro.models.label_space import expand_to_label_space
 from repro.models.lstm_classifier import LSTMClassifierConfig, LSTMCuisineClassifier
 from repro.models.registry import (
     MODEL_NAMES,
@@ -51,4 +52,5 @@ __all__ = [
     "PAPER_TABLE_IV",
     "create_model",
     "describe_architecture",
+    "expand_to_label_space",
 ]

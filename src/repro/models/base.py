@@ -1,4 +1,16 @@
-"""Shared interface of the paper's cuisine classification models."""
+"""Shared interface of the paper's cuisine classification models.
+
+Models implement a **two-phase API**: they declare a
+:class:`~repro.pipeline.specs.FeatureSpec` describing the corpus artifacts
+they consume, and implement :meth:`CuisineModel.fit_features` /
+:meth:`CuisineModel.predict_proba_features` over precomputed
+:class:`~repro.pipeline.specs.ModelInputs`.  The corpus-level
+:meth:`CuisineModel.fit` / :meth:`CuisineModel.predict_proba` remain as thin
+wrappers that resolve artifacts through a
+:class:`~repro.pipeline.store.FeatureStore` — a shared store (as built by the
+experiment runner) makes every preprocessing product compute-once across
+models; a private store is created transparently for standalone use.
+"""
 
 from __future__ import annotations
 
@@ -10,15 +22,17 @@ import numpy as np
 from repro.core.metrics import ClassificationMetrics, evaluate_predictions
 from repro.data.cuisines import CUISINES
 from repro.data.recipedb import RecipeDB
+from repro.pipeline.specs import FeatureSpec, ModelInputs
+from repro.pipeline.store import FeatureStore
 
 
 class CuisineModel(abc.ABC):
     """A cuisine classifier over :class:`~repro.data.recipedb.RecipeDB` corpora.
 
-    Every Table IV model implements this interface: it is fit on a training
-    corpus (optionally using a validation corpus), predicts class
-    probabilities over a fixed cuisine label space, and is evaluated with the
-    shared Table IV metric set.
+    Every Table IV model implements this interface: it declares the features
+    it needs, is fit on precomputed training artifacts (optionally with
+    validation artifacts), predicts class probabilities over a fixed cuisine
+    label space, and is evaluated with the shared Table IV metric set.
 
     Attributes:
         name: Short identifier used by the registry and the report tables.
@@ -32,15 +46,74 @@ class CuisineModel(abc.ABC):
         if len(label_space) < 2:
             raise ValueError("label space must contain at least two cuisines")
         self.label_space: tuple[str, ...] = tuple(label_space)
+        self._store: FeatureStore | None = None
+        self._train_corpus: RecipeDB | None = None
 
     # ------------------------------------------------------------------
+    # two-phase API (the override points)
+    # ------------------------------------------------------------------
     @abc.abstractmethod
-    def fit(self, train: RecipeDB, validation: RecipeDB | None = None) -> "CuisineModel":
-        """Fit the model on *train* (using *validation* where applicable)."""
+    def feature_spec(self) -> FeatureSpec:
+        """The feature artifacts this model consumes."""
 
     @abc.abstractmethod
+    def fit_features(
+        self, train: ModelInputs, validation: ModelInputs | None = None
+    ) -> "CuisineModel":
+        """Fit the model on precomputed training (and validation) artifacts."""
+
+    @abc.abstractmethod
+    def predict_proba_features(self, features) -> np.ndarray:
+        """Class-probability matrix from a precomputed feature artifact."""
+
+    # ------------------------------------------------------------------
+    # corpus-level compatibility wrappers
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: RecipeDB,
+        validation: RecipeDB | None = None,
+        store: FeatureStore | None = None,
+    ) -> "CuisineModel":
+        """Fit the model on *train* (using *validation* where applicable).
+
+        Args:
+            train: Training corpus.
+            validation: Optional validation corpus.
+            store: Feature store to resolve artifacts through.  Pass the
+                experiment's shared store to reuse preprocessing across
+                models; by default a private store is created.
+
+        The model keeps references to the store and the training corpus so
+        that later :meth:`predict_proba` calls can resolve artifacts keyed by
+        the training fingerprint; with a private store this pins the training
+        corpus and its cached (LRU-bounded) artifacts for the model's
+        lifetime.  Share one store across models to keep a single copy.
+        """
+        self._store = store if store is not None else FeatureStore()
+        self._train_corpus = train
+        spec = self.feature_spec()
+        train_inputs = self._store.model_inputs(
+            spec, train, train_corpus=train, label_space=self.label_space
+        )
+        validation_inputs = None
+        if validation is not None and len(validation) > 0:
+            validation_inputs = self._store.model_inputs(
+                spec, validation, train_corpus=train, label_space=self.label_space
+            )
+        return self.fit_features(train_inputs, validation_inputs)
+
     def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
         """Class-probability matrix of shape ``(len(corpus), n_classes)``."""
+        if self._store is None or self._train_corpus is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        inputs = self._store.model_inputs(
+            self.feature_spec(),
+            corpus,
+            train_corpus=self._train_corpus,
+            with_labels=False,
+        )
+        return self.predict_proba_features(inputs.features)
 
     # ------------------------------------------------------------------
     @property

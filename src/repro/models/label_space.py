@@ -1,0 +1,48 @@
+"""Label-space utilities shared by the cuisine models.
+
+A classifier trained on a corpus may have seen only a subset of the full
+cuisine label space (rare cuisines can be missing from a small training
+split).  Its probability columns are indexed by ``classifier.classes_``;
+evaluation, however, runs over the full label space.  The expansion below maps
+classifier columns onto their label-space indices and renormalises.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def expand_to_label_space(
+    probabilities: np.ndarray, classes: Sequence[int], n_classes: int
+) -> np.ndarray:
+    """Scatter classifier probability columns onto the full label space.
+
+    Args:
+        probabilities: ``(n_samples, len(classes))`` probability matrix.
+        classes: Label-space index of each probability column (the
+            classifier's ``classes_`` attribute).
+        n_classes: Size of the full label space.
+
+    Returns:
+        A row-normalised ``(n_samples, n_classes)`` matrix; rows that sum to
+        zero are left as all-zeros rather than divided by zero.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    class_indices = np.asarray(classes, dtype=np.int64)
+    if probabilities.ndim != 2 or probabilities.shape[1] != class_indices.shape[0]:
+        raise ValueError(
+            f"probability matrix of shape {probabilities.shape} does not match "
+            f"{class_indices.shape[0]} classifier classes"
+        )
+    if class_indices.size and (class_indices.min() < 0 or class_indices.max() >= n_classes):
+        raise ValueError(
+            f"classifier classes {class_indices.tolist()} fall outside the "
+            f"label space of size {n_classes}"
+        )
+    full = np.zeros((probabilities.shape[0], n_classes))
+    full[:, class_indices] = probabilities
+    row_sums = full.sum(axis=1, keepdims=True)
+    row_sums[row_sums == 0.0] = 1.0
+    return full / row_sums

@@ -13,7 +13,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.cuisines import CUISINES
-from repro.data.recipedb import RecipeDB
 from repro.models.base import CuisineModel
 from repro.nn.layers import Dropout, Embedding, Linear
 from repro.nn.module import Module
@@ -21,8 +20,9 @@ from repro.nn.optim import Adam
 from repro.nn.rnn import LSTM
 from repro.nn.tensor import Tensor
 from repro.nn.trainer import Trainer, TrainerConfig, TrainingHistory
-from repro.text.pipeline import default_sequential_pipeline
-from repro.text.sequences import SequenceEncoder
+from repro.pipeline.specs import ModelInputs, SequenceSpec
+from repro.text.pipeline import PipelineConfig
+from repro.text.sequences import EncodedBatch, SequenceEncoder
 from repro.text.vocabulary import Vocabulary
 
 
@@ -84,7 +84,6 @@ class LSTMCuisineClassifier(CuisineModel):
     ) -> None:
         super().__init__(label_space)
         self.config = config or LSTMClassifierConfig()
-        self.pipeline = default_sequential_pipeline()
         self.vocabulary: Vocabulary | None = None
         self.encoder: SequenceEncoder | None = None
         self.network: _LSTMNetwork | None = None
@@ -92,19 +91,26 @@ class LSTMCuisineClassifier(CuisineModel):
         self.history: TrainingHistory | None = None
 
     # ------------------------------------------------------------------
-    def fit(
-        self, train: RecipeDB, validation: RecipeDB | None = None
+    def feature_spec(self) -> SequenceSpec:
+        cfg = self.config
+        return SequenceSpec(
+            pipeline=PipelineConfig(split_items=False),
+            min_token_freq=cfg.min_token_freq,
+            max_vocab_size=cfg.max_vocab_size,
+            max_length=cfg.max_length,
+            add_cls=False,
+        )
+
+    def fit_features(
+        self, train: ModelInputs, validation: ModelInputs | None = None
     ) -> "LSTMCuisineClassifier":
         cfg = self.config
-        train_tokens = self.pipeline.process_corpus(train)
-        self.vocabulary = Vocabulary.build(
-            train_tokens, min_freq=cfg.min_token_freq, max_size=cfg.max_vocab_size
-        )
+        self.vocabulary = train.vocabulary
         self.encoder = SequenceEncoder(
             self.vocabulary, max_length=cfg.max_length, add_cls=False
         )
-        train_batch = self.encoder.encode(train_tokens)
-        train_labels = self.labels_of(train)
+        train_batch: EncodedBatch = train.features
+        train_labels = train.labels
 
         self.network = _LSTMNetwork(len(self.vocabulary), self.n_classes, cfg)
         optimizer = Adam(self.network.parameters(), lr=cfg.learning_rate)
@@ -122,21 +128,18 @@ class LSTMCuisineClassifier(CuisineModel):
 
         val_args: tuple = (None, None, None)
         if validation is not None and len(validation) > 0:
-            val_tokens = self.pipeline.process_corpus(validation)
-            val_batch = self.encoder.encode(val_tokens)
-            val_args = (val_batch.ids, val_batch.mask, self.labels_of(validation))
+            val_batch: EncodedBatch = validation.features
+            val_args = (val_batch.ids, val_batch.mask, validation.labels)
 
         self.history = self.trainer.fit(
             train_batch.ids, train_batch.mask, train_labels, *val_args
         )
         return self
 
-    def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
-        if self.trainer is None or self.encoder is None:
+    def predict_proba_features(self, features: EncodedBatch) -> np.ndarray:
+        if self.trainer is None:
             raise RuntimeError("LSTMCuisineClassifier is not fitted; call fit() first")
-        tokens = self.pipeline.process_corpus(corpus)
-        batch = self.encoder.encode(tokens)
-        logits = self.trainer.predict_logits(batch.ids, batch.mask)
+        logits = self.trainer.predict_logits(features.ids, features.mask)
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)

@@ -5,6 +5,11 @@ Each model is the composition of the Section IV statistical preprocessing
 classical classifiers from :mod:`repro.ml`.  These models see recipes as
 unordered bags of items — the paper's point of comparison for the sequential
 models.
+
+The preprocessing/vectorization phase is declared through a
+:class:`~repro.pipeline.specs.TfidfSpec`; the classifiers themselves only see
+precomputed matrices (the two-phase API), so all four statistical models of a
+run share one pipeline pass and one fitted vectorizer per configuration.
 """
 
 from __future__ import annotations
@@ -14,8 +19,6 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.cuisines import CUISINES
-from repro.data.recipedb import RecipeDB
-from repro.features.tfidf import TfidfVectorizer
 from repro.ml.base import BaseClassifier
 from repro.ml.boosting import AdaBoostClassifier
 from repro.ml.forest import RandomForestClassifier
@@ -24,7 +27,9 @@ from repro.ml.naive_bayes import MultinomialNaiveBayes
 from repro.ml.svm import LinearSVMClassifier
 from repro.ml.tree import DecisionTreeClassifier
 from repro.models.base import CuisineModel
-from repro.text.pipeline import default_statistical_pipeline
+from repro.models.label_space import expand_to_label_space
+from repro.pipeline.specs import ModelInputs, TfidfSpec
+from repro.text.pipeline import PipelineConfig
 
 
 class StatisticalModel(CuisineModel):
@@ -50,37 +55,33 @@ class StatisticalModel(CuisineModel):
     ) -> None:
         super().__init__(label_space)
         self.classifier = classifier
-        self.pipeline = default_statistical_pipeline()
-        self.vectorizer = TfidfVectorizer(
-            min_df=min_df, max_features=max_features, sublinear_tf=sublinear_tf
+        self._spec = TfidfSpec(
+            pipeline=PipelineConfig(split_items=True),
+            min_df=min_df,
+            max_features=max_features,
+            sublinear_tf=sublinear_tf,
         )
+        #: The fitted vectorizer artifact, populated by :meth:`fit_features`.
+        self.vectorizer = None
         self._fitted = False
 
     # ------------------------------------------------------------------
-    def fit(self, train: RecipeDB, validation: RecipeDB | None = None) -> "StatisticalModel":
-        documents = self.pipeline.documents(train)
-        features = self.vectorizer.fit_transform(documents)
-        labels = self.labels_of(train)
-        self.classifier.fit(features, labels)
+    def feature_spec(self) -> TfidfSpec:
+        return self._spec
+
+    def fit_features(
+        self, train: ModelInputs, validation: ModelInputs | None = None
+    ) -> "StatisticalModel":
+        self.vectorizer = train.vectorizer
+        self.classifier.fit(train.features, train.labels)
         self._fitted = True
         return self
 
-    def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
+    def predict_proba_features(self, features) -> np.ndarray:
         if not self._fitted:
             raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
-        documents = self.pipeline.documents(corpus)
-        features = self.vectorizer.transform(documents)
         probabilities = self.classifier.predict_proba(features)
-        return self._expand_to_label_space(probabilities)
-
-    def _expand_to_label_space(self, probabilities: np.ndarray) -> np.ndarray:
-        """Map classifier-class columns onto the full label space."""
-        full = np.zeros((probabilities.shape[0], self.n_classes))
-        for column, class_index in enumerate(self.classifier.classes_):
-            full[:, int(class_index)] = probabilities[:, column]
-        row_sums = full.sum(axis=1, keepdims=True)
-        row_sums[row_sums == 0.0] = 1.0
-        return full / row_sums
+        return expand_to_label_space(probabilities, self.classifier.classes_, self.n_classes)
 
 
 class LogisticRegressionModel(StatisticalModel):
@@ -173,33 +174,20 @@ class RandomForestModel(StatisticalModel):
             else None
         )
 
-    def fit(self, train: RecipeDB, validation: RecipeDB | None = None) -> "RandomForestModel":
-        documents = self.pipeline.documents(train)
-        features = self.vectorizer.fit_transform(documents)
-        labels = self.labels_of(train)
-        self.classifier.fit(features, labels)
+    def fit_features(
+        self, train: ModelInputs, validation: ModelInputs | None = None
+    ) -> "RandomForestModel":
+        super().fit_features(train, validation)
         if self.booster is not None:
-            self.booster.fit(features, labels)
-        self._fitted = True
+            self.booster.fit(train.features, train.labels)
         return self
 
-    def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
-        if not self._fitted:
-            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
-        documents = self.pipeline.documents(corpus)
-        features = self.vectorizer.transform(documents)
-        forest_probabilities = self._expand(self.classifier, features)
+    def predict_proba_features(self, features) -> np.ndarray:
+        forest_probabilities = super().predict_proba_features(features)
         if self.booster is None:
             return forest_probabilities
-        boost_probabilities = self._expand(self.booster, features)
+        boost_probabilities = expand_to_label_space(
+            self.booster.predict_proba(features), self.booster.classes_, self.n_classes
+        )
         combined = 0.5 * forest_probabilities + 0.5 * boost_probabilities
         return combined / combined.sum(axis=1, keepdims=True)
-
-    def _expand(self, classifier: BaseClassifier, features) -> np.ndarray:
-        probabilities = classifier.predict_proba(features)
-        full = np.zeros((probabilities.shape[0], self.n_classes))
-        for column, class_index in enumerate(classifier.classes_):
-            full[:, int(class_index)] = probabilities[:, column]
-        row_sums = full.sum(axis=1, keepdims=True)
-        row_sums[row_sums == 0.0] = 1.0
-        return full / row_sums

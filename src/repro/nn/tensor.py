@@ -11,28 +11,31 @@ masks and concatenation.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-_GRAD_ENABLED = True
+# Thread-local so that concurrently trained models (the experiment runner's
+# n_jobs mode) cannot disable each other's graph construction: one thread
+# evaluating under no_grad() must not affect another thread's backward pass.
+_GRAD_STATE = threading.local()
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (for evaluation)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def grad_enabled() -> bool:
-    """Whether operations currently record the autograd graph."""
-    return _GRAD_ENABLED
+    """Whether operations currently record the autograd graph (per thread)."""
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 def _unbroadcast(gradient: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -73,7 +76,7 @@ class Tensor:
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
         self.grad: np.ndarray | None = None
-        self.requires_grad = requires_grad and _GRAD_ENABLED
+        self.requires_grad = requires_grad and grad_enabled()
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
         self.name = name
@@ -194,7 +197,7 @@ class Tensor:
         return value if isinstance(value, Tensor) else Tensor(value)
 
     def _make(self, data: np.ndarray, parents: tuple["Tensor", ...], backward) -> "Tensor":
-        requires = _GRAD_ENABLED and any(
+        requires = grad_enabled() and any(
             p.requires_grad or p._parents for p in parents
         )
         if not requires:

@@ -1,0 +1,28 @@
+"""Shared feature pipeline: content-addressed, compute-once corpus artifacts.
+
+The subsystem has three parts:
+
+* :mod:`repro.pipeline.fingerprint` — stable content hashes for corpora and
+  configurations (the cache keys);
+* :mod:`repro.pipeline.specs` — :class:`FeatureSpec` declarations a model
+  publishes to describe what it consumes, and the :class:`ModelInputs`
+  bundles it receives back;
+* :mod:`repro.pipeline.store` — the :class:`FeatureStore` that materialises
+  each (corpus, pipeline config, vectorizer/vocabulary config) artifact
+  exactly once, with an in-memory LRU layer and optional disk persistence.
+"""
+
+from repro.pipeline.fingerprint import artifact_key, corpus_fingerprint, stable_hash
+from repro.pipeline.specs import FeatureSpec, ModelInputs, SequenceSpec, TfidfSpec
+from repro.pipeline.store import FeatureStore
+
+__all__ = [
+    "FeatureSpec",
+    "FeatureStore",
+    "ModelInputs",
+    "SequenceSpec",
+    "TfidfSpec",
+    "artifact_key",
+    "corpus_fingerprint",
+    "stable_hash",
+]

@@ -1,0 +1,64 @@
+"""Stable content fingerprints for corpora and configurations.
+
+The feature store keys every artifact by *what produced it*: the corpus
+content, the preprocessing configuration and the vectorizer/vocabulary
+configuration.  Fingerprints must therefore be deterministic across processes
+(no ``id()``/``hash()`` randomisation) and sensitive to any change that could
+alter the artifact — a shuffled sequence, a dropped cuisine, a different
+``min_df`` all yield new fingerprints.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.data.recipedb import RecipeDB
+
+
+def _jsonable(value: Any) -> Any:
+    """Reduce *value* to a JSON-serialisable structure, deterministically."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            "fields": {
+                f.name: _jsonable(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [_jsonable(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def stable_hash(value: Any, digest_size: int = 16) -> str:
+    """Deterministic hex digest of an arbitrary (mostly-JSON-able) value.
+
+    Dataclasses (e.g. :class:`~repro.text.pipeline.PipelineConfig`) are hashed
+    field by field, so two equal configurations always collide and any changed
+    field produces a new digest.
+    """
+    payload = json.dumps(_jsonable(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=digest_size).hexdigest()
+
+
+def corpus_fingerprint(corpus: RecipeDB) -> str:
+    """Content fingerprint of a corpus (delegates to :meth:`RecipeDB.fingerprint`)."""
+    return corpus.fingerprint()
+
+
+def artifact_key(*parts: Any) -> str:
+    """Join fingerprint parts into one flat cache key."""
+    resolved = [
+        part if isinstance(part, str) else stable_hash(part) for part in parts
+    ]
+    return "-".join(resolved)

@@ -1,0 +1,103 @@
+"""Feature specifications: what a model needs from the feature store.
+
+A :class:`FeatureSpec` is a frozen, hashable description of the artifacts a
+model consumes.  Two models declaring equal specs share every artifact — the
+preprocessing run, the fitted vectorizer or vocabulary, and each transformed
+corpus — which is what makes the two-phase model API
+(:meth:`~repro.models.base.CuisineModel.fit_features`) compute-once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Union
+
+import numpy as np
+
+from repro.text.pipeline import PipelineConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.features.tfidf import TfidfVectorizer
+    from repro.text.sequences import EncodedBatch
+    from repro.text.vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class TfidfSpec:
+    """Artifacts of a TF-IDF (statistical) model.
+
+    Attributes:
+        pipeline: Preprocessing configuration (word-split for TF-IDF).
+        ngram_range / min_df / max_df / max_features: Vocabulary construction
+            of the underlying count vectorizer.
+        sublinear_tf / smooth_idf / norm: TF-IDF weighting options.
+    """
+
+    pipeline: PipelineConfig = field(default_factory=lambda: PipelineConfig(split_items=True))
+    ngram_range: tuple[int, int] = (1, 1)
+    min_df: int = 2
+    max_df: float = 1.0
+    max_features: int | None = 20000
+    sublinear_tf: bool = True
+    smooth_idf: bool = True
+    norm: str | None = "l2"
+
+    def build_vectorizer(self) -> "TfidfVectorizer":
+        """An unfitted vectorizer configured to this spec."""
+        from repro.features.tfidf import TfidfVectorizer
+
+        return TfidfVectorizer(
+            ngram_range=self.ngram_range,
+            min_df=self.min_df,
+            max_df=self.max_df,
+            max_features=self.max_features,
+            sublinear_tf=self.sublinear_tf,
+            smooth_idf=self.smooth_idf,
+            norm=self.norm,
+        )
+
+
+@dataclass(frozen=True)
+class SequenceSpec:
+    """Artifacts of a sequential (LSTM / transformer) model.
+
+    Attributes:
+        pipeline: Preprocessing configuration (items kept whole).
+        min_token_freq / max_vocab_size: Vocabulary construction.
+        max_length: Padded/truncated sequence length.
+        add_cls: Prepend a ``[CLS]`` token (transformers).
+    """
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    min_token_freq: int = 2
+    max_vocab_size: int | None = 20000
+    max_length: int = 48
+    add_cls: bool = False
+
+
+FeatureSpec = Union[TfidfSpec, SequenceSpec]
+
+
+@dataclass
+class ModelInputs:
+    """Precomputed artifacts handed to a model's two-phase methods.
+
+    Attributes:
+        features: The feature artifact — a CSR TF-IDF matrix for
+            :class:`TfidfSpec`, an :class:`~repro.text.sequences.EncodedBatch`
+            for :class:`SequenceSpec`.
+        labels: Integer labels under the model's label space (``None`` for
+            prediction-only inputs).
+        vocabulary: The train-corpus vocabulary (sequence specs only).
+        vectorizer: The fitted TF-IDF vectorizer (tfidf specs only).
+    """
+
+    features: Any
+    labels: np.ndarray | None = None
+    vocabulary: "Vocabulary | None" = None
+    vectorizer: "TfidfVectorizer | None" = None
+
+    def __len__(self) -> int:
+        if hasattr(self.features, "shape"):
+            return int(self.features.shape[0])
+        return len(self.features)

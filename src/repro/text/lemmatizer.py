@@ -15,6 +15,7 @@ kept.  A small exception dictionary handles irregular forms common in recipes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Iterable
 
 #: Irregular or awkward forms seen in recipe text.
@@ -73,13 +74,28 @@ _VOWELS = "aeiou"
 
 
 class Lemmatizer:
-    """Deterministic suffix-rule lemmatizer with an exception dictionary."""
+    """Deterministic suffix-rule lemmatizer with an exception dictionary.
 
-    def __init__(self, extra_exceptions: dict[str, str] | None = None) -> None:
+    Args:
+        extra_exceptions: Additional irregular forms merged over the built-in
+            exception dictionary.
+        cache_size: Bound on the memoisation cache.  Corpora repeat the same
+            tokens constantly (``add`` alone occurs 188k times at full scale),
+            so the rule engine memoises lemmas in an LRU dict; the bound keeps
+            adversarial vocabularies (e.g. hapax floods) from growing memory
+            without limit.
+    """
+
+    def __init__(
+        self, extra_exceptions: dict[str, str] | None = None, cache_size: int = 32768
+    ) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self._exceptions = dict(_EXCEPTIONS)
         if extra_exceptions:
             self._exceptions.update(extra_exceptions)
-        self._cache: dict[str, str] = {}
+        self._cache: OrderedDict[str, str] = OrderedDict()
+        self._cache_size = cache_size
 
     def lemmatize(self, word: str) -> str:
         """Return the lemma of a single lower-case word."""
@@ -87,9 +103,12 @@ class Lemmatizer:
             return word
         cached = self._cache.get(word)
         if cached is not None:
+            self._cache.move_to_end(word)
             return cached
         lemma = self._lemmatize_uncached(word)
         self._cache[word] = lemma
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
         return lemma
 
     def lemmatize_all(self, words: Iterable[str]) -> list[str]:

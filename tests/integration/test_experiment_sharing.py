@@ -1,0 +1,111 @@
+"""Integration tests for artifact sharing across a multi-model experiment.
+
+The acceptance property of the feature-store refactor: a full
+statistical-suite experiment runs the preprocessing pipeline at most once per
+(corpus, pipeline configuration) pair, every model consumes the shared
+artifacts, and the parallel runner produces the same metrics as the
+sequential one.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.models.lstm_classifier import LSTMClassifierConfig
+
+
+STATISTICAL_SUITE = ("logreg", "naive_bayes", "svm_linear", "random_forest")
+FAST_LSTM = LSTMClassifierConfig(
+    embedding_dim=24, hidden_dim=32, max_length=32, epochs=2, batch_size=32,
+    learning_rate=5e-3, early_stopping_patience=None, seed=0,
+)
+
+
+class TestPreprocessingRunsOnce:
+    def test_statistical_suite_preprocesses_each_corpus_once(self, small_corpus):
+        config = ExperimentConfig(models=STATISTICAL_SUITE, seed=2)
+        runner = ExperimentRunner(config, corpus=small_corpus)
+        runner.run()
+
+        # All four statistical models share one pipeline configuration, so
+        # exactly one tokens artifact exists per split: train, val, test.
+        assert runner.store.miss_count("tokens") == 3
+        assert runner.store.miss_count("documents") == 3
+        # Three models share the 20k-feature vectorizer; random_forest uses
+        # its own 2k-feature configuration.
+        assert runner.store.miss_count("tfidf_vectorizer") == 2
+        # With four models over three splits, everything past the first
+        # model's artifact resolution is cache hits.
+        assert runner.store.hit_count() > 0
+
+    def test_mixed_suite_adds_one_sequential_pass(self, small_corpus):
+        config = ExperimentConfig(
+            models=("naive_bayes", "logreg", "lstm"), seed=3, lstm_config=FAST_LSTM
+        )
+        runner = ExperimentRunner(config, corpus=small_corpus)
+        runner.run()
+
+        # One statistical pipeline pass + one sequential pipeline pass per split.
+        assert runner.store.miss_count("tokens") == 6
+        assert runner.store.miss_count("vocabulary") == 1
+
+    def test_rerun_on_same_runner_is_all_hits(self, small_corpus):
+        config = ExperimentConfig(models=("naive_bayes",), seed=2)
+        runner = ExperimentRunner(config, corpus=small_corpus)
+        runner.run()
+        misses_after_first = runner.store.miss_count()
+        runner.run()
+        assert runner.store.miss_count() == misses_after_first
+
+
+class TestParallelRunner:
+    def test_parallel_statistical_suite_matches_sequential(self, small_corpus):
+        sequential = ExperimentRunner(
+            ExperimentConfig(models=STATISTICAL_SUITE, seed=2), corpus=small_corpus
+        ).run()
+        parallel = ExperimentRunner(
+            ExperimentConfig(models=STATISTICAL_SUITE, seed=2, n_jobs=4),
+            corpus=small_corpus,
+        ).run()
+
+        assert set(parallel.model_results) == set(sequential.model_results)
+        for name, sequential_result in sequential.model_results.items():
+            assert parallel.model_results[name].metrics.accuracy == pytest.approx(
+                sequential_result.metrics.accuracy
+            )
+            assert parallel.model_results[name].metrics.loss == pytest.approx(
+                sequential_result.metrics.loss
+            )
+
+    def test_parallel_mixed_suite_with_neural_model(self, small_corpus):
+        config = ExperimentConfig(
+            models=("naive_bayes", "lstm"), seed=3, n_jobs=2, lstm_config=FAST_LSTM
+        )
+        result = ExperimentRunner(config, corpus=small_corpus).run()
+        assert set(result.model_results) == {"naive_bayes", "lstm"}
+        for model_result in result.model_results.values():
+            assert np.isfinite(model_result.metrics.loss)
+            assert model_result.metrics.accuracy > 1.0 / 26
+
+    def test_invalid_n_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(models=("naive_bayes",), n_jobs=0)
+
+
+class TestDiskBackedRunner:
+    def test_cache_dir_shares_preprocessing_across_runners(self, small_corpus, tmp_path):
+        first = ExperimentRunner(
+            ExperimentConfig(models=("naive_bayes",), seed=2, cache_dir=str(tmp_path)),
+            corpus=small_corpus,
+        )
+        first.run()
+        assert first.store.miss_count("tokens") == 3
+
+        second = ExperimentRunner(
+            ExperimentConfig(models=("naive_bayes",), seed=2, cache_dir=str(tmp_path)),
+            corpus=small_corpus,
+        )
+        result = second.run()
+        assert second.store.miss_count("tokens") == 0
+        assert second.store.disk_hits["tokens"] == 3
+        assert result.model_results["naive_bayes"].metrics.accuracy > 1.0 / 26

@@ -1,0 +1,43 @@
+"""Tests for the shared label-space expansion utility."""
+
+import numpy as np
+import pytest
+
+from repro.models.label_space import expand_to_label_space
+
+
+class TestExpandToLabelSpace:
+    def test_identity_when_all_classes_present(self):
+        probabilities = np.array([[0.2, 0.5, 0.3], [0.1, 0.1, 0.8]])
+        expanded = expand_to_label_space(probabilities, [0, 1, 2], 3)
+        assert np.allclose(expanded, probabilities)
+
+    def test_missing_classes_get_zero_probability(self):
+        probabilities = np.array([[0.25, 0.75]])
+        expanded = expand_to_label_space(probabilities, [1, 3], 5)
+        assert expanded.shape == (1, 5)
+        assert np.allclose(expanded[0], [0.0, 0.25, 0.0, 0.75, 0.0])
+
+    def test_rows_are_renormalised(self):
+        probabilities = np.array([[0.2, 0.2]])  # sums to 0.4
+        expanded = expand_to_label_space(probabilities, [0, 2], 3)
+        assert expanded.sum() == pytest.approx(1.0)
+        assert expanded[0, 0] == pytest.approx(0.5)
+
+    def test_permuted_classes_scatter_correctly(self):
+        probabilities = np.array([[0.7, 0.1, 0.2]])
+        expanded = expand_to_label_space(probabilities, [2, 0, 1], 3)
+        assert np.allclose(expanded[0], [0.1, 0.2, 0.7])
+
+    def test_all_zero_rows_stay_zero(self):
+        probabilities = np.zeros((2, 2))
+        expanded = expand_to_label_space(probabilities, [0, 1], 4)
+        assert np.allclose(expanded, 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            expand_to_label_space(np.ones((2, 3)), [0, 1], 4)
+
+    def test_out_of_range_classes_rejected(self):
+        with pytest.raises(ValueError):
+            expand_to_label_space(np.ones((1, 2)) / 2, [0, 5], 3)

@@ -1,0 +1,177 @@
+"""Tests for FeatureStore semantics: hits/misses, invalidation, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import shuffle_recipe_sequences
+from repro.pipeline.specs import ModelInputs, SequenceSpec, TfidfSpec
+from repro.pipeline.store import FeatureStore
+from repro.text.pipeline import PipelineConfig
+
+
+STAT_PIPELINE = PipelineConfig(split_items=True)
+SEQ_PIPELINE = PipelineConfig(split_items=False)
+
+
+@pytest.fixture()
+def store():
+    return FeatureStore()
+
+
+class TestHitMissCounters:
+    def test_tokens_computed_once_per_corpus_and_config(self, store, tiny_corpus):
+        first = store.tokens(tiny_corpus, STAT_PIPELINE)
+        second = store.tokens(tiny_corpus, STAT_PIPELINE)
+        assert first is second
+        assert store.miss_count("tokens") == 1
+        assert store.hit_count("tokens") == 1
+
+    def test_distinct_pipeline_configs_are_distinct_artifacts(self, store, tiny_corpus):
+        split = store.tokens(tiny_corpus, STAT_PIPELINE)
+        whole = store.tokens(tiny_corpus, SEQ_PIPELINE)
+        assert split != whole
+        assert store.miss_count("tokens") == 2
+
+    def test_documents_build_on_cached_tokens(self, store, tiny_corpus):
+        store.tokens(tiny_corpus, STAT_PIPELINE)
+        documents = store.documents(tiny_corpus, STAT_PIPELINE)
+        assert len(documents) == len(tiny_corpus)
+        assert store.miss_count("tokens") == 1  # reused, not recomputed
+        assert store.miss_count("documents") == 1
+
+    def test_mutated_corpus_misses(self, store, tiny_corpus):
+        store.tokens(tiny_corpus, STAT_PIPELINE)
+        shuffled = shuffle_recipe_sequences(tiny_corpus, seed=3)
+        store.tokens(shuffled, STAT_PIPELINE)
+        assert store.miss_count("tokens") == 2
+
+    def test_stats_and_reset(self, store, tiny_corpus):
+        store.tokens(tiny_corpus, STAT_PIPELINE)
+        store.tokens(tiny_corpus, STAT_PIPELINE)
+        stats = store.stats()
+        assert stats["misses"]["tokens"] == 1
+        assert stats["hits"]["tokens"] == 1
+        assert stats["entries"] == 1
+        store.reset_stats()
+        assert store.hit_count() == 0 and store.miss_count() == 0
+        assert len(store) == 1  # artifacts survive a stats reset
+
+    def test_lru_eviction_is_bounded(self, tiny_corpus):
+        store = FeatureStore(max_entries=1)
+        store.tokens(tiny_corpus, STAT_PIPELINE)
+        store.tokens(tiny_corpus, SEQ_PIPELINE)
+        assert len(store) == 1
+        store.tokens(tiny_corpus, STAT_PIPELINE)  # evicted -> recomputed
+        assert store.miss_count("tokens") == 3
+
+    def test_invalid_max_entries_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureStore(max_entries=0)
+
+
+class TestTfidfArtifacts:
+    def test_vectorizer_fitted_once_and_shared(self, store, tiny_corpus):
+        spec = TfidfSpec(pipeline=STAT_PIPELINE, min_df=2)
+        first = store.tfidf_vectorizer(tiny_corpus, spec)
+        second = store.tfidf_vectorizer(tiny_corpus, spec)
+        assert first is second
+        assert store.miss_count("tfidf_vectorizer") == 1
+
+    def test_matrix_matches_direct_vectorization(self, store, tiny_corpus):
+        spec = TfidfSpec(pipeline=STAT_PIPELINE, min_df=2)
+        matrix = store.tfidf_matrix(tiny_corpus, spec)
+        direct = spec.build_vectorizer().fit_transform(
+            store.documents(tiny_corpus, STAT_PIPELINE)
+        )
+        assert matrix.shape == direct.shape
+        assert np.allclose(matrix.toarray(), direct.toarray())
+
+    def test_different_specs_do_not_share_vectorizers(self, store, tiny_corpus):
+        a = store.tfidf_vectorizer(tiny_corpus, TfidfSpec(pipeline=STAT_PIPELINE, min_df=1))
+        b = store.tfidf_vectorizer(tiny_corpus, TfidfSpec(pipeline=STAT_PIPELINE, min_df=2))
+        assert a is not b
+
+    def test_eval_corpus_uses_train_vectorizer(self, store, small_splits):
+        spec = TfidfSpec(pipeline=STAT_PIPELINE, min_df=2)
+        train_matrix = store.tfidf_matrix(small_splits.train, spec)
+        test_matrix = store.tfidf_matrix(
+            small_splits.test, spec, train_corpus=small_splits.train
+        )
+        assert test_matrix.shape[1] == train_matrix.shape[1]
+        assert store.miss_count("tfidf_vectorizer") == 1
+
+
+class TestSequenceArtifacts:
+    def test_vocabulary_shared_across_max_length_variants(self, store, tiny_corpus):
+        short = SequenceSpec(pipeline=SEQ_PIPELINE, max_length=16, add_cls=False)
+        long = SequenceSpec(pipeline=SEQ_PIPELINE, max_length=48, add_cls=True)
+        assert store.vocabulary(tiny_corpus, short) is store.vocabulary(tiny_corpus, long)
+        assert store.miss_count("vocabulary") == 1
+
+    def test_encoded_batch_shapes(self, store, tiny_corpus):
+        spec = SequenceSpec(pipeline=SEQ_PIPELINE, max_length=24, add_cls=True)
+        batch = store.encoded_batch(tiny_corpus, spec)
+        assert batch.ids.shape == (len(tiny_corpus), 24)
+        assert batch.ids[:, 0].tolist() == [
+            store.vocabulary(tiny_corpus, spec).cls_id
+        ] * len(tiny_corpus)
+
+
+class TestModelInputs:
+    def test_tfidf_inputs(self, store, tiny_corpus):
+        spec = TfidfSpec(pipeline=STAT_PIPELINE, min_df=2)
+        inputs = store.model_inputs(
+            spec, tiny_corpus, label_space=tiny_corpus.present_cuisines()
+        )
+        assert isinstance(inputs, ModelInputs)
+        assert inputs.features.shape[0] == len(tiny_corpus)
+        assert inputs.labels is not None and len(inputs.labels) == len(tiny_corpus)
+        assert inputs.vectorizer is not None
+        assert len(inputs) == len(tiny_corpus)
+
+    def test_sequence_inputs_without_labels(self, store, tiny_corpus):
+        spec = SequenceSpec(pipeline=SEQ_PIPELINE, max_length=16)
+        inputs = store.model_inputs(spec, tiny_corpus, with_labels=False)
+        assert inputs.labels is None
+        assert inputs.vocabulary is not None
+        assert len(inputs) == len(tiny_corpus)
+
+    def test_labels_require_label_space(self, store, tiny_corpus):
+        with pytest.raises(ValueError):
+            store.model_inputs(TfidfSpec(pipeline=STAT_PIPELINE), tiny_corpus)
+
+    def test_unknown_spec_rejected(self, store, tiny_corpus):
+        with pytest.raises(TypeError):
+            store.model_inputs(object(), tiny_corpus, with_labels=False)
+
+
+class TestDiskPersistence:
+    def test_tfidf_matrix_round_trips_equal(self, tmp_path, tiny_corpus):
+        spec = TfidfSpec(pipeline=STAT_PIPELINE, min_df=2)
+        warm_store = FeatureStore(cache_dir=tmp_path)
+        original = warm_store.tfidf_matrix(tiny_corpus, spec)
+
+        cold_store = FeatureStore(cache_dir=tmp_path)  # fresh process, same dir
+        reloaded = cold_store.tfidf_matrix(tiny_corpus, spec)
+        assert cold_store.miss_count("tfidf_matrix") == 0
+        assert cold_store.disk_hits["tfidf_matrix"] == 1
+        assert reloaded.shape == original.shape
+        assert np.array_equal(reloaded.toarray(), original.toarray())
+
+    def test_tokens_and_documents_persist(self, tmp_path, tiny_corpus):
+        warm_store = FeatureStore(cache_dir=tmp_path)
+        tokens = warm_store.tokens(tiny_corpus, STAT_PIPELINE)
+        documents = warm_store.documents(tiny_corpus, STAT_PIPELINE)
+
+        cold_store = FeatureStore(cache_dir=tmp_path)
+        assert cold_store.tokens(tiny_corpus, STAT_PIPELINE) == tokens
+        assert cold_store.documents(tiny_corpus, STAT_PIPELINE) == documents
+        assert cold_store.miss_count() == 0
+
+    def test_disk_survives_lru_eviction(self, tmp_path, tiny_corpus):
+        store = FeatureStore(cache_dir=tmp_path, max_entries=1)
+        tokens = store.tokens(tiny_corpus, STAT_PIPELINE)
+        store.tokens(tiny_corpus, SEQ_PIPELINE)  # evicts the first artifact
+        assert store.tokens(tiny_corpus, STAT_PIPELINE) == tokens
+        assert store.miss_count("tokens") == 2  # reloaded from disk, not recomputed
+        assert store.disk_hits["tokens"] == 1

@@ -1,0 +1,78 @@
+"""Tests for corpus/config fingerprinting (the feature-store cache keys)."""
+
+import pytest
+
+from repro.core.experiment import shuffle_recipe_sequences
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.data.recipedb import RecipeDB
+from repro.pipeline.fingerprint import artifact_key, corpus_fingerprint, stable_hash
+from repro.text.pipeline import PipelineConfig
+
+
+class TestStableHash:
+    def test_deterministic_across_calls(self):
+        config = PipelineConfig(split_items=True)
+        assert stable_hash(config) == stable_hash(PipelineConfig(split_items=True))
+
+    def test_sensitive_to_any_field(self):
+        base = PipelineConfig()
+        assert stable_hash(base) != stable_hash(PipelineConfig(lemmatize=False))
+        assert stable_hash(base) != stable_hash(PipelineConfig(item_separator="-"))
+
+    def test_handles_plain_values_and_collections(self):
+        assert stable_hash((1, "a")) == stable_hash([1, "a"])
+        assert stable_hash({"b": 2, "a": 1}) == stable_hash({"a": 1, "b": 2})
+        assert stable_hash(None) != stable_hash(0)
+
+    def test_artifact_key_joins_parts(self):
+        key = artifact_key("abc", PipelineConfig())
+        assert key.startswith("abc-")
+        assert key == artifact_key("abc", PipelineConfig())
+
+
+class TestCorpusFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = RecipeDBGenerator(GeneratorConfig(scale=0.004, seed=5)).generate()
+        b = RecipeDBGenerator(GeneratorConfig(scale=0.004, seed=5)).generate()
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_different_fingerprint(self):
+        a = RecipeDBGenerator(GeneratorConfig(scale=0.004, seed=5)).generate()
+        b = RecipeDBGenerator(GeneratorConfig(scale=0.004, seed=6)).generate()
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_shuffle_ablation_invalidates_fingerprint(self, tiny_corpus):
+        shuffled = shuffle_recipe_sequences(tiny_corpus, seed=1)
+        assert shuffled.fingerprint() != tiny_corpus.fingerprint()
+
+    def test_drop_rare_cuisines_invalidates_fingerprint(self, small_corpus):
+        reduced = small_corpus.drop_rare_cuisines(60)
+        assert len(reduced) < len(small_corpus)
+        assert reduced.fingerprint() != small_corpus.fingerprint()
+
+    def test_subset_invalidates_fingerprint(self, tiny_corpus):
+        subset = tiny_corpus.subset(range(len(tiny_corpus) // 2))
+        assert subset.fingerprint() != tiny_corpus.fingerprint()
+
+    def test_fingerprint_is_cached_per_instance(self, tiny_corpus):
+        first = tiny_corpus.fingerprint()
+        assert tiny_corpus.fingerprint() is first  # same cached string object
+
+    def test_module_level_helper_delegates(self, tiny_corpus):
+        assert corpus_fingerprint(tiny_corpus) == tiny_corpus.fingerprint()
+
+    def test_fingerprint_covers_labels(self, handmade_corpus):
+        relabelled = RecipeDB(
+            recipes=[
+                type(r)(
+                    recipe_id=r.recipe_id,
+                    cuisine="French" if i == 0 else r.cuisine,
+                    continent=r.continent,
+                    sequence=r.sequence,
+                    kinds=r.kinds,
+                )
+                for i, r in enumerate(handmade_corpus)
+            ]
+        )
+        assert relabelled.fingerprint() != handmade_corpus.fingerprint()

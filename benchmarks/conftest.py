@@ -23,6 +23,17 @@ from repro.data.splits import train_val_test_split
 from repro.models.registry import MODEL_NAMES
 
 
+def pytest_configure(config):
+    """Register the benchmark smoke marker.
+
+    ``pytest benchmarks -m quick`` runs only the fast perf benchmarks (no
+    full Table IV training) — the CI smoke job uses exactly that.
+    """
+    config.addinivalue_line(
+        "markers", "quick: fast benchmark, part of the CI smoke subset"
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_corpus():
     """The benchmark corpus (Table I-III substrate)."""

@@ -51,6 +51,7 @@ def _fit_and_evaluate_suite(splits, label_space, store_factory):
     return accuracies
 
 
+@pytest.mark.quick
 def test_perf_shared_store_beats_isolated_preprocessing(perf_corpus):
     splits = train_val_test_split(perf_corpus, seed=BENCH_SEED)
     label_space = perf_corpus.present_cuisines()
@@ -76,6 +77,7 @@ def test_perf_shared_store_beats_isolated_preprocessing(perf_corpus):
     assert shared_seconds < isolated_seconds
 
 
+@pytest.mark.quick
 def test_perf_experiment_runner_shared_artifacts(benchmark, perf_corpus):
     """Time a full statistical-suite experiment through the shared store."""
 
@@ -89,6 +91,7 @@ def test_perf_experiment_runner_shared_artifacts(benchmark, perf_corpus):
     assert set(result.model_results) == set(SUITE)
 
 
+@pytest.mark.quick
 def test_perf_warm_store_artifact_lookup(benchmark, perf_corpus):
     """A cache hit must be dictionary-lookup cheap, not pipeline-run expensive."""
     store = FeatureStore()

@@ -1,0 +1,85 @@
+"""Train -> export -> serve -> query: the full model-artifact flow.
+
+Trains two Table IV models, exports each as a self-contained bundle
+(``manifest.json`` + ``arrays-<digest>.npz``), then stands up a
+:class:`~repro.serving.PredictionService` over the export directory — in a
+real deployment this second half runs in a different process, loading the
+bundles without any training code or corpus.  The service featurizes raw
+recipe sequences through a shared warm feature store, micro-batches
+concurrent requests, and LRU-caches repeated inputs.
+
+Run with:  python examples/serve_model.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.data import generate_recipedb
+from repro.serving import PredictionService, discover_bundles
+
+
+def main() -> None:
+    print("Generating a synthetic RecipeDB corpus (scale=0.02)...")
+    corpus = generate_recipedb(scale=0.02, seed=7)
+    print(f"  {len(corpus)} recipes across {len(corpus.present_cuisines())} cuisines")
+
+    with tempfile.TemporaryDirectory() as export_dir:
+        print("\nTraining logreg + naive_bayes and exporting bundles...")
+        config = ExperimentConfig(
+            models=("logreg", "naive_bayes"), seed=7, export_dir=export_dir
+        )
+        result = ExperimentRunner(config, corpus=corpus).run()
+        for name, model_result in result.model_results.items():
+            print(
+                f"  {name:<12} accuracy={model_result.metrics.accuracy:.3f} "
+                f"-> {model_result.extra['bundle_path']}"
+            )
+        print(f"  bundles on disk: {sorted(discover_bundles(export_dir))}")
+
+        print("\nServing from the export directory (fresh models, no corpus)...")
+        with PredictionService.from_export_dir(export_dir) as service:
+            recipes = {
+                "curry-like": ["basmati rice", "coconut milk", "turmeric", "cumin",
+                               "ginger", "simmer", "add", "stir", "season", "pot"],
+                "pasta-like": ["pasta", "tomato", "garlic", "olive oil", "basil",
+                               "boil", "add", "toss", "serve", "saucepan"],
+                "taco-like": ["tortilla", "beef", "chunky salsa", "corn", "chili",
+                              "fry", "add", "heat", "serve", "skillet"],
+            }
+
+            print("\nSingle predictions (micro-batched under the hood):")
+            for label, sequence in recipes.items():
+                cuisine = service.predict("logreg", sequence)
+                print(f"  {label:<12} -> {cuisine}")
+
+            print("\nConcurrent clients (one micro-batch per flush):")
+            sequences = list(recipes.values()) * 4
+            threads = [
+                threading.Thread(target=service.predict, args=("naive_bayes", sequence))
+                for sequence in sequences
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            print("\nBatch prediction (one model pass):")
+            for label, cuisine in zip(recipes, service.predict_batch("logreg", list(recipes.values()))):
+                print(f"  {label:<12} -> {cuisine}")
+
+            stats = service.stats()
+            print("\nService counters:")
+            print(f"  requests          {stats['requests']}")
+            print(f"  cache hits/misses {stats['cache_hits']}/{stats['cache_misses']}")
+            print(
+                f"  batches flushed   {stats['batches_flushed']} "
+                f"(mean size {stats['mean_batch_size']:.1f}, largest {stats['largest_batch']})"
+            )
+            print(f"  mean latency      {stats['latency']['mean_ms']:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

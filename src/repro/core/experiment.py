@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -51,6 +52,10 @@ class ExperimentConfig:
             sequential order.
         cache_dir: Optional directory for on-disk feature-store persistence
             (preprocessing artifacts survive across runs / processes).
+        export_dir: Optional directory to export one model bundle per
+            trained model into (``<export_dir>/<model_name>/``), making
+            train -> export -> serve a single flow: the bundles are what
+            :meth:`repro.serving.PredictionService.from_export_dir` loads.
     """
 
     models: tuple[str, ...] = MODEL_NAMES
@@ -63,6 +68,7 @@ class ExperimentConfig:
     statistical_kwargs: dict = field(default_factory=dict)
     n_jobs: int = 1
     cache_dir: str | None = None
+    export_dir: str | None = None
 
     def __post_init__(self) -> None:
         unknown = set(self.models) - set(MODEL_NAMES)
@@ -161,6 +167,7 @@ class ExperimentRunner:
                 "min_cuisine_recipes": self.config.min_cuisine_recipes,
                 "n_classes": len(label_space),
                 "n_jobs": self.config.n_jobs,
+                "export_dir": self.config.export_dir,
             },
             split_sizes=splits.summary(),
         )
@@ -219,6 +226,9 @@ class ExperimentRunner:
         )
         history = {}
         extra: dict = {}
+        if self.config.export_dir is not None:
+            bundle_path = model.save_bundle(Path(self.config.export_dir) / name)
+            extra["bundle_path"] = str(bundle_path)
         if getattr(model, "history", None) is not None:
             history = model.history.as_dict()
         pretraining = getattr(model, "pretraining_result", None)
@@ -244,6 +254,7 @@ def run_table_iv_experiment(
     transformer_config: TransformerClassifierConfig | None = None,
     n_jobs: int = 1,
     cache_dir: str | None = None,
+    export_dir: str | None = None,
 ) -> ExperimentResult:
     """Convenience wrapper running the full Table IV experiment.
 
@@ -255,6 +266,7 @@ def run_table_iv_experiment(
         lstm_config / transformer_config: Optional model-size overrides.
         n_jobs: Models trained concurrently (1 = sequential).
         cache_dir: Optional on-disk feature-store cache directory.
+        export_dir: Optional directory to export one bundle per model into.
 
     Returns:
         The experiment result with one :class:`ModelResult` per model.
@@ -267,5 +279,6 @@ def run_table_iv_experiment(
         transformer_config=transformer_config,
         n_jobs=n_jobs,
         cache_dir=cache_dir,
+        export_dir=export_dir,
     )
     return ExperimentRunner(config, corpus=corpus).run()

@@ -152,6 +152,35 @@ class CountVectorizer:
         return self.transform(documents)
 
     # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted vocabulary plus configuration, JSON-able (artifact protocol)."""
+        if not self.vocabulary_:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        return {
+            "ngram_range": list(self.ngram_range),
+            "min_df": self.min_df,
+            "max_df": self.max_df,
+            "max_features": self.max_features,
+            "binary": self.binary,
+            "feature_names": self.get_feature_names(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CountVectorizer":
+        """Rebuild a fitted vectorizer from :meth:`get_state`."""
+        vectorizer = cls(
+            ngram_range=tuple(state["ngram_range"]),
+            min_df=state["min_df"],
+            max_df=state["max_df"],
+            max_features=state["max_features"],
+            binary=state["binary"],
+        )
+        vectorizer.vocabulary_ = {
+            term: index for index, term in enumerate(state["feature_names"])
+        }
+        return vectorizer
+
+    # ------------------------------------------------------------------
     def get_feature_names(self) -> list[str]:
         """Feature names in column order."""
         return [term for term, _ in sorted(self.vocabulary_.items(), key=lambda kv: kv[1])]

@@ -95,6 +95,41 @@ class TfidfVectorizer:
         return (inverse @ matrix).tocsr()
 
     # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted vocabulary and idf weights (artifact protocol).
+
+        ``idf_`` is returned as a NumPy array; persist it through JSON (where
+        floats round-trip exactly) or ``.npz`` as the caller prefers —
+        :meth:`from_state` accepts both forms.
+        """
+        if self.idf_ is None:
+            raise RuntimeError("vectorizer is not fitted; call fit() first")
+        return {
+            "counter": self._counter.get_state(),
+            "sublinear_tf": self.sublinear_tf,
+            "smooth_idf": self.smooth_idf,
+            "norm": self.norm,
+            "idf": np.asarray(self.idf_, dtype=np.float64),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "TfidfVectorizer":
+        """Rebuild a fitted vectorizer from :meth:`get_state`."""
+        counter_state = state["counter"]
+        vectorizer = cls(
+            ngram_range=tuple(counter_state["ngram_range"]),
+            min_df=counter_state["min_df"],
+            max_df=counter_state["max_df"],
+            max_features=counter_state["max_features"],
+            sublinear_tf=state["sublinear_tf"],
+            smooth_idf=state["smooth_idf"],
+            norm=state["norm"],
+        )
+        vectorizer._counter = CountVectorizer.from_state(counter_state)
+        vectorizer.idf_ = np.asarray(state["idf"], dtype=np.float64)
+        return vectorizer
+
+    # ------------------------------------------------------------------
     def get_feature_names(self) -> list[str]:
         """Feature names in column order."""
         return self._counter.get_feature_names()

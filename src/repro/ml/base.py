@@ -27,7 +27,7 @@ def ensure_dense(X) -> np.ndarray:
     """Return *X* as a dense 2-D float array (densifying sparse input)."""
     matrix = as_matrix(X)
     if sparse.issparse(matrix):
-        return np.asarray(matrix.todense(), dtype=np.float64)
+        return matrix.toarray().astype(np.float64, copy=False)
     return matrix
 
 
@@ -57,6 +57,13 @@ class BaseClassifier(abc.ABC):
     :meth:`decision_function`); :meth:`predict` and :meth:`score` are provided
     here.  ``classes_`` holds the original label values in sorted order, and
     internal computations use indices into that array.
+
+    Estimators additionally implement the **artifact protocol**:
+    :meth:`get_state` returns every fitted attribute needed at prediction time
+    as a nested dict of JSON-able values and NumPy arrays, and
+    :meth:`set_state` restores it onto a fresh instance — the round-trip must
+    reproduce :meth:`predict_proba` bitwise.  Model bundles
+    (:mod:`repro.models.artifacts`) persist these states.
     """
 
     classes_: np.ndarray
@@ -68,6 +75,18 @@ class BaseClassifier(abc.ABC):
     @abc.abstractmethod
     def predict_proba(self, X) -> np.ndarray:
         """Class-membership probabilities, shape ``(n_samples, n_classes)``."""
+
+    def get_state(self) -> dict:
+        """Fitted state as a nested dict of arrays and JSON-able values."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact protocol"
+        )
+
+    def set_state(self, state: dict) -> "BaseClassifier":
+        """Restore the fitted state produced by :meth:`get_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact protocol"
+        )
 
     def predict(self, X) -> np.ndarray:
         """Predicted class label for every sample."""

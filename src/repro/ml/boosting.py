@@ -119,3 +119,23 @@ class AdaBoostClassifier(BaseClassifier):
     def _check_fitted(self) -> None:
         if not self.estimators_:
             raise RuntimeError("AdaBoostClassifier is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted ensemble (trees + weights) — the artifact protocol."""
+        self._check_fitted()
+        return {
+            "classes": self.classes_,
+            "estimator_weights": [float(alpha) for alpha in self.estimator_weights_],
+            "estimators": [tree.get_state() for tree in self.estimators_],
+        }
+
+    def set_state(self, state: dict) -> "AdaBoostClassifier":
+        """Restore a fitted ensemble from :meth:`get_state`."""
+        self.classes_ = np.asarray(state["classes"])
+        self.estimator_weights_ = [float(alpha) for alpha in state["estimator_weights"]]
+        self.estimators_ = [
+            DecisionTreeClassifier().set_state(tree_state)
+            for tree_state in state["estimators"]
+        ]
+        return self

@@ -92,6 +92,24 @@ class RandomForestClassifier(BaseClassifier):
         if not self.estimators_:
             raise RuntimeError("RandomForestClassifier is not fitted; call fit() first")
 
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted forest (every tree's node arrays) — the artifact protocol."""
+        self._check_fitted()
+        return {
+            "classes": self.classes_,
+            "estimators": [tree.get_state() for tree in self.estimators_],
+        }
+
+    def set_state(self, state: dict) -> "RandomForestClassifier":
+        """Restore a fitted forest from :meth:`get_state`."""
+        self.classes_ = np.asarray(state["classes"])
+        self.estimators_ = [
+            DecisionTreeClassifier().set_state(tree_state)
+            for tree_state in state["estimators"]
+        ]
+        return self
+
     @property
     def feature_importances_(self) -> np.ndarray:
         """Split-frequency based feature importances (normalised)."""

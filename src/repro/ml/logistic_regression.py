@@ -116,6 +116,27 @@ class LogisticRegressionClassifier(BaseClassifier):
             self.intercept_[class_idx] = bias
 
     # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted weights plus the prediction-time options (artifact protocol)."""
+        self._check_fitted()
+        return {
+            "multi_class": self.multi_class,
+            "fit_intercept": self.fit_intercept,
+            "classes": self.classes_,
+            "coef": self.coef_,
+            "intercept": self.intercept_,
+        }
+
+    def set_state(self, state: dict) -> "LogisticRegressionClassifier":
+        """Restore fitted weights from :meth:`get_state`."""
+        self.multi_class = str(state["multi_class"])
+        self.fit_intercept = bool(state["fit_intercept"])
+        self.classes_ = np.asarray(state["classes"])
+        self.coef_ = np.asarray(state["coef"], dtype=np.float64)
+        self.intercept_ = np.asarray(state["intercept"], dtype=np.float64)
+        return self
+
+    # ------------------------------------------------------------------
     def _decision(self, X) -> np.ndarray:
         scores = X @ self.coef_.T
         scores = np.asarray(scores)

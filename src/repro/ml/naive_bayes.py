@@ -76,6 +76,23 @@ class MultinomialNaiveBayes(BaseClassifier):
         log_norm = _logsumexp(log_joint, axis=1, keepdims=True)
         return log_joint - log_norm
 
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted log-probability tables (artifact protocol)."""
+        self._check_fitted()
+        return {
+            "classes": self.classes_,
+            "feature_log_prob": self.feature_log_prob_,
+            "class_log_prior": self.class_log_prior_,
+        }
+
+    def set_state(self, state: dict) -> "MultinomialNaiveBayes":
+        """Restore fitted tables from :meth:`get_state`."""
+        self.classes_ = np.asarray(state["classes"])
+        self.feature_log_prob_ = np.asarray(state["feature_log_prob"], dtype=np.float64)
+        self.class_log_prior_ = np.asarray(state["class_log_prior"], dtype=np.float64)
+        return self
+
 
 class BernoulliNaiveBayes(BaseClassifier):
     """Bernoulli Naive Bayes over binarized features.
@@ -142,6 +159,29 @@ class BernoulliNaiveBayes(BaseClassifier):
         probabilities = np.exp(log_joint)
         probabilities /= probabilities.sum(axis=1, keepdims=True)
         return probabilities
+
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted log-probability tables (artifact protocol)."""
+        self._check_fitted()
+        return {
+            "binarize": self.binarize,
+            "classes": self.classes_,
+            "feature_log_prob": self.feature_log_prob_,
+            "neg_feature_log_prob": self.neg_feature_log_prob_,
+            "class_log_prior": self.class_log_prior_,
+        }
+
+    def set_state(self, state: dict) -> "BernoulliNaiveBayes":
+        """Restore fitted tables from :meth:`get_state`."""
+        self.binarize = state["binarize"]
+        self.classes_ = np.asarray(state["classes"])
+        self.feature_log_prob_ = np.asarray(state["feature_log_prob"], dtype=np.float64)
+        self.neg_feature_log_prob_ = np.asarray(
+            state["neg_feature_log_prob"], dtype=np.float64
+        )
+        self.class_log_prior_ = np.asarray(state["class_log_prior"], dtype=np.float64)
+        return self
 
 
 def _logsumexp(array: np.ndarray, axis: int, keepdims: bool = False) -> np.ndarray:

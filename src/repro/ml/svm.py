@@ -96,6 +96,25 @@ class LinearSVMClassifier(BaseClassifier):
         return weights, bias
 
     # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted weights plus the prediction-time options (artifact protocol)."""
+        self._check_fitted()
+        return {
+            "fit_intercept": self.fit_intercept,
+            "classes": self.classes_,
+            "coef": self.coef_,
+            "intercept": self.intercept_,
+        }
+
+    def set_state(self, state: dict) -> "LinearSVMClassifier":
+        """Restore fitted weights from :meth:`get_state`."""
+        self.fit_intercept = bool(state["fit_intercept"])
+        self.classes_ = np.asarray(state["classes"])
+        self.coef_ = np.asarray(state["coef"], dtype=np.float64)
+        self.intercept_ = np.asarray(state["intercept"], dtype=np.float64)
+        return self
+
+    # ------------------------------------------------------------------
     def decision_function(self, X) -> np.ndarray:
         """Real-valued one-vs-rest confidence scores, shape (n_samples, n_classes)."""
         self._check_fitted()

@@ -193,6 +193,54 @@ class DecisionTreeClassifier(BaseClassifier):
                 return node.value
             index = node.left if row[node.feature] <= node.threshold else node.right
 
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted tree as flat node arrays (the artifact protocol)."""
+        self._check_fitted()
+        n_nodes = len(self._nodes)
+        values = np.zeros((n_nodes, self._n_classes), dtype=np.float64)
+        is_leaf = np.zeros(n_nodes, dtype=bool)
+        for index, node in enumerate(self._nodes):
+            if node.is_leaf:
+                is_leaf[index] = True
+                values[index] = node.value
+        return {
+            "classes": self.classes_,
+            "features": np.asarray([node.feature for node in self._nodes], dtype=np.int64),
+            "thresholds": np.asarray([node.threshold for node in self._nodes], dtype=np.float64),
+            "left": np.asarray(
+                [-1 if node.left is None else node.left for node in self._nodes], dtype=np.int64
+            ),
+            "right": np.asarray(
+                [-1 if node.right is None else node.right for node in self._nodes], dtype=np.int64
+            ),
+            "is_leaf": is_leaf,
+            "values": values,
+        }
+
+    def set_state(self, state: dict) -> "DecisionTreeClassifier":
+        """Rebuild the fitted tree from :meth:`get_state` arrays."""
+        self.classes_ = np.asarray(state["classes"])
+        self._n_classes = len(self.classes_)
+        features = np.asarray(state["features"], dtype=np.int64)
+        thresholds = np.asarray(state["thresholds"], dtype=np.float64)
+        left = np.asarray(state["left"], dtype=np.int64)
+        right = np.asarray(state["right"], dtype=np.int64)
+        is_leaf = np.asarray(state["is_leaf"], dtype=bool)
+        values = np.asarray(state["values"], dtype=np.float64)
+        self._nodes = [
+            _Node(value=values[index].copy())
+            if is_leaf[index]
+            else _Node(
+                feature=int(features[index]),
+                threshold=float(thresholds[index]),
+                left=int(left[index]),
+                right=int(right[index]),
+            )
+            for index in range(len(features))
+        ]
+        return self
+
     @property
     def node_count(self) -> int:
         """Number of nodes in the fitted tree."""

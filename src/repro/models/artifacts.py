@@ -1,0 +1,176 @@
+"""Versioned on-disk bundles for fitted models (the artifact protocol).
+
+A **bundle** is a directory that makes one fitted model self-contained:
+
+``manifest.json``
+    Format version, registry name, label space, serialized feature spec,
+    training-corpus fingerprint and the model's state *tree* — a nested
+    JSON structure in which every NumPy array has been replaced by a
+    ``{"__array__": <key>}`` reference.
+``arrays-<digest>.npz``
+    One compressed archive holding every referenced array under its key,
+    named by a content digest and referenced from the manifest.  Every file
+    is written atomically and the archive before the manifest, so a reader
+    racing a re-export always pairs a manifest with exactly the archive it
+    references (superseded archives are left behind for in-flight readers).
+
+The split keeps the manifest human-readable (configs, vocabularies, idf
+weights live in JSON, where floats round-trip exactly) while large weight
+matrices stay in binary form.  :func:`write_bundle` / :func:`read_bundle` are
+the only functions that touch the layout; models interact through
+:meth:`repro.models.base.CuisineModel.save_bundle` /
+:meth:`~repro.models.base.CuisineModel.load_bundle`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.pipeline.store import atomic_replace
+
+#: Bump when the bundle layout changes incompatibly.
+BUNDLE_FORMAT_VERSION = 1
+
+MANIFEST_NAME = "manifest.json"
+
+_ARRAY_REF = "__array__"
+
+
+def _flatten(value: Any, path: str, arrays: dict[str, np.ndarray]) -> Any:
+    """Replace every array in a state tree by a reference into *arrays*."""
+    if isinstance(value, np.ndarray):
+        arrays[path] = value
+        return {_ARRAY_REF: path}
+    if isinstance(value, dict):
+        if _ARRAY_REF in value:
+            raise ValueError(
+                f"state dict at {path!r} uses the reserved key {_ARRAY_REF!r}"
+            )
+        return {
+            str(key): _flatten(item, f"{path}/{key}", arrays)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_flatten(item, f"{path}/{index}", arrays) for index, item in enumerate(value)]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"state value at {path!r} is not bundle-serialisable: {type(value).__name__}"
+    )
+
+
+def _unflatten(tree: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """Inverse of :func:`_flatten`: resolve array references back to arrays."""
+    if isinstance(tree, dict):
+        if set(tree) == {_ARRAY_REF}:
+            return arrays[tree[_ARRAY_REF]]
+        return {key: _unflatten(item, arrays) for key, item in tree.items()}
+    if isinstance(tree, list):
+        return [_unflatten(item, arrays) for item in tree]
+    return tree
+
+
+def _state_digest(tree: Any, arrays: dict[str, np.ndarray]) -> str:
+    """Content digest of a flattened state (tree structure + array bytes)."""
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(json.dumps(tree, sort_keys=True, separators=(",", ":")).encode("utf-8"))
+    for key in sorted(arrays):
+        array = np.ascontiguousarray(arrays[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("utf-8"))
+        digest.update(str(array.shape).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def write_bundle(path: str | Path, manifest: dict, state: dict) -> Path:
+    """Write a model bundle directory.
+
+    Args:
+        path: Bundle directory (created if needed; existing files are
+            overwritten).
+        manifest: Model metadata (name, label space, feature spec, ...).
+            Must not contain the reserved keys ``format_version`` / ``state``
+            / ``arrays``.
+        state: The model's :meth:`get_state` tree — nested dicts/lists with
+            JSON-able leaves and NumPy arrays.
+
+    Returns:
+        The bundle directory path.
+    """
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    reserved = {"format_version", "state", "arrays"} & set(manifest)
+    if reserved:
+        raise ValueError(f"manifest uses reserved keys: {sorted(reserved)}")
+    arrays: dict[str, np.ndarray] = {}
+    tree = _flatten(state, "state", arrays)
+
+    def write_arrays(tmp: Path) -> None:
+        with open(tmp, "wb") as stream:
+            np.savez_compressed(stream, **arrays)
+
+    # The archive carries a content digest in its name and is written
+    # (atomically) before the manifest: a reader racing a re-export either
+    # sees the old manifest + old archive or the new pair — never a mix.
+    # Identical state re-exports to the same name; superseded archives are
+    # left on disk for readers still holding the previous manifest.
+    arrays_name = None
+    if arrays:
+        arrays_name = f"arrays-{_state_digest(tree, arrays)}.npz"
+        atomic_replace(path / arrays_name, write_arrays)
+    payload = {
+        **manifest,
+        "format_version": BUNDLE_FORMAT_VERSION,
+        "arrays": arrays_name,
+        "state": tree,
+    }
+    atomic_replace(
+        path / MANIFEST_NAME,
+        lambda tmp: tmp.write_text(
+            json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+        ),
+    )
+    return path
+
+
+def read_bundle(path: str | Path) -> tuple[dict, dict]:
+    """Read a bundle directory back into ``(manifest, state)``.
+
+    The returned manifest no longer contains the ``state``/``arrays`` keys;
+    the state tree has every array reference resolved.
+
+    Raises:
+        FileNotFoundError: When *path* is not a bundle directory.
+        ValueError: On a format-version mismatch.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no model bundle at {path} (missing {MANIFEST_NAME})")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    version = manifest.pop("format_version", None)
+    if version != BUNDLE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported bundle format version {version!r} at {path}; "
+            f"this build reads version {BUNDLE_FORMAT_VERSION}"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    archive_name = manifest.pop("arrays", None)
+    if archive_name:
+        with np.load(path / archive_name) as archive:
+            arrays = {name: archive[name] for name in archive.files}
+    state = _unflatten(manifest.pop("state"), arrays)
+    return manifest, state
+
+
+def is_bundle(path: str | Path) -> bool:
+    """Whether *path* looks like a model bundle directory."""
+    return (Path(path) / MANIFEST_NAME).is_file()

@@ -15,15 +15,17 @@ models; a private store is created transparently for standalone use.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from pathlib import Path
+from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.metrics import ClassificationMetrics, evaluate_predictions
 from repro.data.cuisines import CUISINES
 from repro.data.recipedb import RecipeDB
-from repro.pipeline.specs import FeatureSpec, ModelInputs
+from repro.pipeline.specs import FeatureSpec, ModelInputs, spec_to_dict
 from repro.pipeline.store import FeatureStore
+from repro.text.pipeline import PreprocessingPipeline
 
 
 class CuisineModel(abc.ABC):
@@ -48,6 +50,10 @@ class CuisineModel(abc.ABC):
         self.label_space: tuple[str, ...] = tuple(label_space)
         self._store: FeatureStore | None = None
         self._train_corpus: RecipeDB | None = None
+        self._train_fingerprint: str | None = None
+        self._serving_pipeline: PreprocessingPipeline | None = None
+        #: Manifest of the bundle this model was loaded from, if any.
+        self.bundle_manifest: dict | None = None
 
     # ------------------------------------------------------------------
     # two-phase API (the override points)
@@ -65,6 +71,65 @@ class CuisineModel(abc.ABC):
     @abc.abstractmethod
     def predict_proba_features(self, features) -> np.ndarray:
         """Class-probability matrix from a precomputed feature artifact."""
+
+    # ------------------------------------------------------------------
+    # the artifact protocol (override points for persistence/serving)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """Fitted state as a nested dict of arrays and JSON-able values.
+
+        Together with :meth:`set_state` this forms the artifact protocol: the
+        round-trip through a saved bundle must reproduce
+        :meth:`predict_proba` bitwise.  Model families implement it by
+        delegating to their substrates (``repro.ml`` estimator states, the
+        ``repro.nn`` module state dicts, vectorizer/vocabulary states).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact protocol"
+        )
+
+    def set_state(self, state: dict) -> "CuisineModel":
+        """Restore the fitted state produced by :meth:`get_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact protocol"
+        )
+
+    def encode_tokens(self, token_lists: Sequence[Sequence[str]]):
+        """Featurize preprocessed token sequences with the *fitted* artifacts.
+
+        Unlike the :class:`FeatureStore` path (which fits vectorizers and
+        vocabularies from a training corpus), this uses the model's own
+        fitted vectorizer/encoder — the prediction-time path for models
+        restored from bundles and for the serving layer.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the artifact protocol"
+        )
+
+    # ------------------------------------------------------------------
+    # raw-sequence prediction (the serving path)
+    # ------------------------------------------------------------------
+    def _pipeline(self) -> PreprocessingPipeline:
+        """The preprocessing pipeline of this model's feature spec (cached)."""
+        config = self.feature_spec().pipeline
+        if self._serving_pipeline is None or self._serving_pipeline.config != config:
+            self._serving_pipeline = PreprocessingPipeline(config)
+        return self._serving_pipeline
+
+    def predict_proba_tokens(self, token_lists: Sequence[Sequence[str]]) -> np.ndarray:
+        """Class probabilities for preprocessed token sequences."""
+        return self.predict_proba_features(self.encode_tokens(token_lists))
+
+    def predict_proba_sequences(self, sequences: Iterable[Sequence[str]]) -> np.ndarray:
+        """Class probabilities for raw recipe item sequences.
+
+        Runs the spec's preprocessing pipeline, featurizes with the fitted
+        artifacts and predicts — no corpus or feature store required, which
+        is exactly what a model restored from a bundle can do.
+        """
+        pipeline = self._pipeline()
+        tokens = [pipeline.process_sequence(sequence) for sequence in sequences]
+        return self.predict_proba_tokens(tokens)
 
     # ------------------------------------------------------------------
     # corpus-level compatibility wrappers
@@ -104,16 +169,22 @@ class CuisineModel(abc.ABC):
         return self.fit_features(train_inputs, validation_inputs)
 
     def predict_proba(self, corpus: RecipeDB) -> np.ndarray:
-        """Class-probability matrix of shape ``(len(corpus), n_classes)``."""
-        if self._store is None or self._train_corpus is None:
-            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
-        inputs = self._store.model_inputs(
-            self.feature_spec(),
-            corpus,
-            train_corpus=self._train_corpus,
-            with_labels=False,
-        )
-        return self.predict_proba_features(inputs.features)
+        """Class-probability matrix of shape ``(len(corpus), n_classes)``.
+
+        Models fitted in-process resolve features through their store (shared
+        artifacts, cached per corpus fingerprint); models restored from a
+        bundle have no training corpus and featurize with their own fitted
+        artifacts instead — both paths produce identical features.
+        """
+        if self._store is not None and self._train_corpus is not None:
+            inputs = self._store.model_inputs(
+                self.feature_spec(),
+                corpus,
+                train_corpus=self._train_corpus,
+                with_labels=False,
+            )
+            return self.predict_proba_features(inputs.features)
+        return self.predict_proba_sequences(corpus.sequences)
 
     # ------------------------------------------------------------------
     @property
@@ -135,6 +206,52 @@ class CuisineModel(abc.ABC):
         return evaluate_predictions(
             self.labels_of(corpus), probabilities, n_classes=self.n_classes
         )
+
+    # ------------------------------------------------------------------
+    # bundle persistence
+    # ------------------------------------------------------------------
+    def save_bundle(self, path: str | Path) -> Path:
+        """Persist the fitted model as a self-contained bundle directory.
+
+        The bundle (``manifest.json`` + ``arrays-<digest>.npz``, see
+        :mod:`repro.models.artifacts`) carries the registry name, label
+        space, serialized feature spec, training-corpus fingerprint and the
+        full :meth:`get_state` tree — everything :meth:`load_bundle` needs to
+        reproduce :meth:`predict_proba` bitwise in another process.
+        """
+        from repro.models.artifacts import write_bundle
+
+        fingerprint = self._train_fingerprint
+        if self._train_corpus is not None:
+            fingerprint = self._train_corpus.fingerprint()
+        manifest = {
+            "model": self.name,
+            "model_class": type(self).__name__,
+            "label_space": list(self.label_space),
+            "feature_spec": spec_to_dict(self.feature_spec()),
+            "corpus_fingerprint": fingerprint,
+        }
+        return write_bundle(path, manifest, self.get_state())
+
+    @classmethod
+    def load_bundle(cls, path: str | Path) -> "CuisineModel":
+        """Load a bundle saved by :meth:`save_bundle` into a fresh model.
+
+        The model class is resolved through the registry by the bundled
+        name, so ``CuisineModel.load_bundle(path)`` restores any registered
+        model.  The returned model predicts without a feature store or
+        training corpus (see :meth:`predict_proba_sequences`) and keeps the
+        bundle's metadata in :attr:`bundle_manifest`.
+        """
+        from repro.models.artifacts import read_bundle
+        from repro.models.registry import create_model
+
+        manifest, state = read_bundle(path)
+        model = create_model(manifest["model"], label_space=manifest["label_space"])
+        model.set_state(state)
+        model._train_fingerprint = manifest.get("corpus_fingerprint")
+        model.bundle_manifest = manifest
+        return model
 
     # ------------------------------------------------------------------
     def describe(self) -> str:

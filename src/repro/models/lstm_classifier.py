@@ -7,7 +7,7 @@ final hidden state (at the last real token) is classified with a linear head.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Sequence
 
 import numpy as np
@@ -143,3 +143,36 @@ class LSTMCuisineClassifier(CuisineModel):
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # the artifact protocol
+    # ------------------------------------------------------------------
+    def encode_tokens(self, token_lists) -> EncodedBatch:
+        if self.encoder is None:
+            raise RuntimeError("LSTMCuisineClassifier is not fitted; call fit() first")
+        return self.encoder.encode(token_lists)
+
+    def get_state(self) -> dict:
+        if self.network is None:
+            raise RuntimeError("LSTMCuisineClassifier is not fitted; call fit() first")
+        return {
+            "config": asdict(self.config),
+            "vocabulary": self.vocabulary.get_state(),
+            "network": self.network.state_dict(),
+        }
+
+    def set_state(self, state: dict) -> "LSTMCuisineClassifier":
+        self.config = LSTMClassifierConfig(**state["config"])
+        cfg = self.config
+        self.vocabulary = Vocabulary.from_state(state["vocabulary"])
+        self.encoder = SequenceEncoder(self.vocabulary, max_length=cfg.max_length, add_cls=False)
+        self.network = _LSTMNetwork(len(self.vocabulary), self.n_classes, cfg)
+        self.network.load_state_dict(dict(state["network"]))
+        # A trainer is (re)attached purely for its batched predict_logits path.
+        self.trainer = Trainer(
+            self.network,
+            Adam(self.network.parameters(), lr=cfg.learning_rate),
+            config=TrainerConfig(epochs=cfg.epochs, batch_size=cfg.batch_size),
+        )
+        self.history = None
+        return self

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.data.cuisines import CUISINES
+from repro.features.tfidf import TfidfVectorizer
 from repro.ml.base import BaseClassifier
 from repro.ml.boosting import AdaBoostClassifier
 from repro.ml.forest import RandomForestClassifier
@@ -28,7 +29,7 @@ from repro.ml.svm import LinearSVMClassifier
 from repro.ml.tree import DecisionTreeClassifier
 from repro.models.base import CuisineModel
 from repro.models.label_space import expand_to_label_space
-from repro.pipeline.specs import ModelInputs, TfidfSpec
+from repro.pipeline.specs import ModelInputs, TfidfSpec, spec_from_dict, spec_to_dict
 from repro.text.pipeline import PipelineConfig
 
 
@@ -82,6 +83,30 @@ class StatisticalModel(CuisineModel):
             raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
         probabilities = self.classifier.predict_proba(features)
         return expand_to_label_space(probabilities, self.classifier.classes_, self.n_classes)
+
+    # ------------------------------------------------------------------
+    # the artifact protocol
+    # ------------------------------------------------------------------
+    def encode_tokens(self, token_lists):
+        if self.vectorizer is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        return self.vectorizer.transform(token_lists)
+
+    def get_state(self) -> dict:
+        if not self._fitted:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        return {
+            "spec": spec_to_dict(self._spec),
+            "vectorizer": self.vectorizer.get_state(),
+            "classifier": self.classifier.get_state(),
+        }
+
+    def set_state(self, state: dict) -> "StatisticalModel":
+        self._spec = spec_from_dict(state["spec"])
+        self.vectorizer = TfidfVectorizer.from_state(state["vectorizer"])
+        self.classifier.set_state(state["classifier"])
+        self._fitted = True
+        return self
 
 
 class LogisticRegressionModel(StatisticalModel):
@@ -191,3 +216,22 @@ class RandomForestModel(StatisticalModel):
         )
         combined = 0.5 * forest_probabilities + 0.5 * boost_probabilities
         return combined / combined.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        state = super().get_state()
+        state["booster"] = self.booster.get_state() if self.booster is not None else None
+        return state
+
+    def set_state(self, state: dict) -> "RandomForestModel":
+        super().set_state(state)
+        booster_state = state.get("booster")
+        if booster_state is None:
+            self.use_boosting = False
+            self.booster = None
+        else:
+            self.use_boosting = True
+            if self.booster is None:
+                self.booster = AdaBoostClassifier()
+            self.booster.set_state(booster_state)
+        return self

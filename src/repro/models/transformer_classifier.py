@@ -17,7 +17,7 @@ MLM pretraining into fine-tuned classification — is the same.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Sequence
 
 import numpy as np
@@ -194,6 +194,53 @@ class TransformerCuisineClassifier(CuisineModel):
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)
+
+    # ------------------------------------------------------------------
+    # the artifact protocol
+    # ------------------------------------------------------------------
+    def encode_tokens(self, token_lists) -> EncodedBatch:
+        if self.encoder is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        return self.encoder.encode(token_lists)
+
+    def get_state(self) -> dict:
+        if self.network is None:
+            raise RuntimeError(f"{type(self).__name__} is not fitted; call fit() first")
+        return {
+            "config": asdict(self.config),
+            "vocabulary": self.vocabulary.get_state(),
+            "network": self.network.state_dict(),
+        }
+
+    def set_state(self, state: dict) -> "TransformerCuisineClassifier":
+        # The saved config is the preset-transformed one (e.g. RoBERTa's
+        # doubled pretraining epochs), so it is restored verbatim rather than
+        # re-derived through the subclass constructor.
+        self.config = TransformerClassifierConfig(**state["config"])
+        cfg = self.config
+        self.vocabulary = Vocabulary.from_state(state["vocabulary"])
+        self.encoder = SequenceEncoder(self.vocabulary, max_length=cfg.max_length, add_cls=True)
+        encoder_config = TransformerConfig(
+            vocab_size=len(self.vocabulary),
+            max_length=cfg.max_length,
+            dim=cfg.dim,
+            num_heads=cfg.num_heads,
+            num_layers=cfg.num_layers,
+            ffn_dim=cfg.ffn_dim,
+            dropout=cfg.dropout,
+            seed=cfg.seed,
+        )
+        self.network = TransformerForSequenceClassification(encoder_config, self.n_classes)
+        self.network.load_state_dict(dict(state["network"]))
+        # A trainer is (re)attached purely for its batched predict_logits path.
+        self.trainer = Trainer(
+            self.network,
+            AdamW(self.network.parameters(), lr=cfg.learning_rate, weight_decay=cfg.weight_decay),
+            config=TrainerConfig(epochs=cfg.epochs, batch_size=cfg.batch_size),
+        )
+        self.history = None
+        self.pretraining_result = None
+        return self
 
 
 class BERTCuisineClassifier(TransformerCuisineClassifier):

@@ -93,20 +93,36 @@ class Module:
         return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
 
     def load_state_dict(self, state: dict[str, np.ndarray], strict: bool = True) -> None:
-        """Load parameter values saved by :meth:`state_dict`."""
+        """Load parameter values saved by :meth:`state_dict`.
+
+        With ``strict=True`` the key sets must match exactly; a mismatch
+        raises listing every missing and unexpected key.  Shapes are always
+        validated for *all* keys before any parameter is assigned, so a
+        failed load never leaves the module partially overwritten.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        unexpected = set(state) - set(own)
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
         if strict and (missing or unexpected):
             raise ValueError(
-                f"state dict mismatch: missing={sorted(missing)} unexpected={sorted(unexpected)}"
+                "state dict key mismatch: "
+                f"missing keys {missing or 'none'}, unexpected keys {unexpected or 'none'} "
+                "(pass strict=False to load the intersection)"
             )
+        prepared: dict[str, np.ndarray] = {}
+        mismatched: list[str] = []
         for name, parameter in own.items():
             if name not in state:
                 continue
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != parameter.data.shape:
-                raise ValueError(
-                    f"shape mismatch for {name}: {value.shape} != {parameter.data.shape}"
-                )
-            parameter.data = value.copy()
+                mismatched.append(f"{name}: saved {value.shape} != model {parameter.data.shape}")
+            else:
+                prepared[name] = value
+        if mismatched:
+            raise ValueError(
+                "state dict shape mismatch, no parameters were modified: "
+                + "; ".join(mismatched)
+            )
+        for name, value in prepared.items():
+            own[name].data = value.copy()

@@ -28,11 +28,26 @@ def save_model(model: Module, path: str | Path) -> Path:
 
 
 def load_model(model: Module, path: str | Path, strict: bool = True) -> Module:
-    """Load parameters saved by :func:`save_model` into *model* (in place)."""
+    """Load parameters saved by :func:`save_model` into *model* (in place).
+
+    Raises:
+        FileNotFoundError: When *path* does not exist.
+        ValueError: When ``strict=True`` and the archive's parameter names do
+            not match the model's (the error lists every missing and
+            unexpected key), or when any shape disagrees — shape validation
+            happens before assignment, so the model is never left with
+            partially loaded weights.
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"no saved model at {path}")
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}
-    model.load_state_dict(state, strict=strict)
+    try:
+        model.load_state_dict(state, strict=strict)
+    except ValueError as error:
+        raise ValueError(
+            f"cannot load {path} into {type(model).__name__} "
+            f"(was it saved under a different configuration?): {error}"
+        ) from None
     return model

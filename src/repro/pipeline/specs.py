@@ -9,6 +9,7 @@ corpus — which is what makes the two-phase model API
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Union
 
@@ -76,6 +77,28 @@ class SequenceSpec:
 
 
 FeatureSpec = Union[TfidfSpec, SequenceSpec]
+
+
+def spec_to_dict(spec: FeatureSpec) -> dict:
+    """JSON-able representation of a feature spec (for bundle manifests)."""
+    if not isinstance(spec, (TfidfSpec, SequenceSpec)):
+        raise TypeError(f"unsupported feature spec {type(spec).__name__}")
+    payload = dataclasses.asdict(spec)
+    payload["kind"] = type(spec).__name__
+    return payload
+
+
+def spec_from_dict(payload: dict) -> FeatureSpec:
+    """Inverse of :func:`spec_to_dict`."""
+    payload = dict(payload)
+    kind = payload.pop("kind")
+    pipeline = PipelineConfig(**payload.pop("pipeline"))
+    if kind == "TfidfSpec":
+        payload["ngram_range"] = tuple(payload["ngram_range"])
+        return TfidfSpec(pipeline=pipeline, **payload)
+    if kind == "SequenceSpec":
+        return SequenceSpec(pipeline=pipeline, **payload)
+    raise ValueError(f"unknown feature spec kind {kind!r}")
 
 
 @dataclass

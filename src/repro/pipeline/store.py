@@ -26,6 +26,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.data.recipedb import RecipeDB
+from repro.features.tfidf import TfidfVectorizer
 from repro.pipeline.fingerprint import artifact_key, stable_hash
 from repro.pipeline.specs import FeatureSpec, ModelInputs, SequenceSpec, TfidfSpec
 from repro.text.pipeline import PipelineConfig, PreprocessingPipeline
@@ -33,11 +34,12 @@ from repro.text.sequences import EncodedBatch, SequenceEncoder
 from repro.text.vocabulary import Vocabulary
 
 
-def _replace_into(path: Path, write: Callable[[Path], None]) -> None:
+def atomic_replace(path: Path, write: Callable[[Path], None]) -> None:
     """Write through a sibling temp file + atomic rename.
 
-    Concurrent processes may share a cache dir; a reader that sees the file
-    exist must never observe a half-written artifact.
+    Concurrent processes may share a cache dir (or a bundle export dir); a
+    reader that sees the file exist must never observe a half-written
+    artifact.
     """
     handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
     os.close(handle)
@@ -51,7 +53,7 @@ def _replace_into(path: Path, write: Callable[[Path], None]) -> None:
 
 
 def _save_json(path: Path, value: Any) -> None:
-    _replace_into(path, lambda tmp: tmp.write_text(json.dumps(value), encoding="utf-8"))
+    atomic_replace(path, lambda tmp: tmp.write_text(json.dumps(value), encoding="utf-8"))
 
 
 def _load_json(path: Path) -> Any:
@@ -69,7 +71,7 @@ def _save_csr(path: Path, matrix: sparse.csr_matrix) -> None:
                 shape=np.asarray(matrix.shape, dtype=np.int64),
             )
 
-    _replace_into(path, write)
+    atomic_replace(path, write)
 
 
 def _load_csr(path: Path) -> sparse.csr_matrix:
@@ -78,6 +80,23 @@ def _load_csr(path: Path) -> sparse.csr_matrix:
             (payload["data"], payload["indices"], payload["indptr"]),
             shape=tuple(payload["shape"]),
         )
+
+
+def _jsonable_state(value: Any) -> Any:
+    """Recursively convert an artifact-protocol state to pure-JSON values.
+
+    Arrays become lists; JSON float round-trips are exact, so states restored
+    with ``np.asarray`` reproduce the original arrays bitwise.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {key: _jsonable_state(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable_state(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
 
 
 class FeatureStore:
@@ -207,6 +226,26 @@ class FeatureStore:
             load=_load_json,
         )
 
+    def sequence_tokens(
+        self, sequence: Sequence[str], pipeline_config: PipelineConfig
+    ) -> list[str]:
+        """Preprocessed tokens of a single raw item sequence (no corpus).
+
+        Keyed by the sequence content alone, so the serving layer reuses
+        preprocessing across arbitrary request-batch compositions: a sequence
+        seen in any earlier batch (or via :meth:`~FeatureStore.sequence_tokens`
+        warm-up) is a pure cache hit regardless of which model or batch asks.
+        """
+        key = artifact_key(stable_hash(tuple(sequence)), pipeline_config)
+        return self._get_or_compute(
+            "sequence_tokens",
+            key,
+            lambda: self._pipeline_for(pipeline_config).process_sequence(list(sequence)),
+            suffix=".json",
+            save=_save_json,
+            load=_load_json,
+        )
+
     def documents(self, corpus: RecipeDB, pipeline_config: PipelineConfig) -> list[str]:
         """Whitespace-joined document strings (the TF-IDF input form)."""
         key = artifact_key(corpus.fingerprint(), pipeline_config)
@@ -232,7 +271,12 @@ class FeatureStore:
     # TF-IDF artifacts
     # ------------------------------------------------------------------
     def tfidf_vectorizer(self, train_corpus: RecipeDB, spec: TfidfSpec):
-        """The TF-IDF vectorizer of *spec*, fitted on *train_corpus* once."""
+        """The TF-IDF vectorizer of *spec*, fitted on *train_corpus* once.
+
+        Fitted vectorizers persist to the disk cache (as JSON artifact-protocol
+        state) like every other artifact, so a warm ``cache_dir`` restores them
+        across processes without re-fitting.
+        """
         key = artifact_key(train_corpus.fingerprint(), spec)
 
         def fit() -> Any:
@@ -240,7 +284,14 @@ class FeatureStore:
             vectorizer.fit(self.documents(train_corpus, spec.pipeline))
             return vectorizer
 
-        return self._get_or_compute("tfidf_vectorizer", key, fit)
+        return self._get_or_compute(
+            "tfidf_vectorizer",
+            key,
+            fit,
+            suffix=".json",
+            save=lambda path, vectorizer: _save_json(path, _jsonable_state(vectorizer.get_state())),
+            load=lambda path: TfidfVectorizer.from_state(_load_json(path)),
+        )
 
     def tfidf_matrix(
         self, corpus: RecipeDB, spec: TfidfSpec, train_corpus: RecipeDB | None = None
@@ -280,6 +331,9 @@ class FeatureStore:
                 min_freq=spec.min_token_freq,
                 max_size=spec.max_vocab_size,
             ),
+            suffix=".json",
+            save=lambda path, vocabulary: _save_json(path, vocabulary.get_state()),
+            load=lambda path: Vocabulary.from_state(_load_json(path)),
         )
 
     def encoded_batch(

@@ -1,0 +1,22 @@
+"""Model serving: bundle loading and the batched prediction service.
+
+The subsystem turns exported model bundles into a running inference layer:
+
+* :mod:`repro.serving.bundle` — discover and load the self-contained bundles
+  written by :meth:`repro.models.base.CuisineModel.save_bundle` (or by the
+  experiment runner's ``export_dir``);
+* :mod:`repro.serving.service` — :class:`PredictionService`, which featurizes
+  raw recipe sequences through a shared warm feature store, micro-batches
+  concurrent single predictions, LRU-caches repeated inputs and exposes
+  hit/latency counters.
+"""
+
+from repro.serving.bundle import ModelBundle, discover_bundles, load_bundles
+from repro.serving.service import PredictionService
+
+__all__ = [
+    "ModelBundle",
+    "PredictionService",
+    "discover_bundles",
+    "load_bundles",
+]

@@ -1,0 +1,91 @@
+"""Bundle discovery and loading for the serving layer.
+
+An **export directory** (as written by
+:class:`~repro.core.experiment.ExperimentRunner` with ``export_dir`` set)
+holds one bundle sub-directory per trained model.  :func:`discover_bundles`
+lists them, :func:`load_bundles` restores them, and :class:`ModelBundle`
+pairs a restored model with its manifest metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.models.artifacts import is_bundle
+from repro.models.base import CuisineModel
+
+
+@dataclass(frozen=True)
+class ModelBundle:
+    """A model restored from disk together with its bundle metadata."""
+
+    path: Path
+    model: CuisineModel
+
+    @property
+    def manifest(self) -> dict:
+        return self.model.bundle_manifest or {}
+
+    @property
+    def name(self) -> str:
+        """Registry name of the bundled model."""
+        return self.model.name
+
+    @property
+    def label_space(self) -> tuple[str, ...]:
+        return self.model.label_space
+
+    @property
+    def corpus_fingerprint(self) -> str | None:
+        """Fingerprint of the corpus the model was trained on."""
+        return self.manifest.get("corpus_fingerprint")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ModelBundle":
+        """Load the bundle at *path* (delegates to the registry-aware loader)."""
+        return cls(path=Path(path), model=CuisineModel.load_bundle(path))
+
+
+def discover_bundles(export_dir: str | Path) -> dict[str, Path]:
+    """Map model name -> bundle path for every bundle under *export_dir*.
+
+    A directory counts as a bundle when it contains a manifest; the model
+    name is taken from the directory name (the convention used by the
+    experiment runner's export step).
+    """
+    export_dir = Path(export_dir)
+    if not export_dir.is_dir():
+        raise FileNotFoundError(f"no export directory at {export_dir}")
+    return {
+        entry.name: entry
+        for entry in sorted(export_dir.iterdir())
+        if entry.is_dir() and is_bundle(entry)
+    }
+
+
+def load_bundles(
+    export_dir: str | Path, names: Sequence[str] | None = None
+) -> dict[str, ModelBundle]:
+    """Load (a subset of) the bundles under *export_dir*, keyed by model name.
+
+    Args:
+        export_dir: Directory of bundle sub-directories.
+        names: Restrict loading to these model names (all when ``None``).
+
+    Raises:
+        KeyError: When a requested name has no bundle.
+    """
+    available = discover_bundles(export_dir)
+    if names is None:
+        selected = available
+    else:
+        missing = sorted(set(names) - set(available))
+        if missing:
+            raise KeyError(
+                f"no bundles for {missing} under {export_dir}; "
+                f"available: {sorted(available)}"
+            )
+        selected = {name: available[name] for name in names}
+    return {name: ModelBundle.load(path) for name, path in selected.items()}

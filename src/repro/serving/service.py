@@ -1,0 +1,487 @@
+"""Batched prediction serving over fitted models.
+
+:class:`PredictionService` is the inference-side counterpart of the
+experiment runner: it holds any number of fitted models (typically restored
+from bundles), featurizes raw recipe item sequences through one shared, warm
+:class:`~repro.pipeline.store.FeatureStore`, and serves predictions through
+three paths:
+
+* :meth:`~PredictionService.predict` / :meth:`~PredictionService.predict_proba`
+  — single requests.  Concurrent callers are **micro-batched**: requests
+  enter a bounded queue and a worker thread flushes them as one model pass
+  when the batch is full or the flush timeout expires.
+* :meth:`~PredictionService.predict_batch` /
+  :meth:`~PredictionService.predict_proba_batch` — explicit batches,
+  featurized and predicted in one pass.
+* An **LRU result cache** short-circuits repeated inputs on every path.
+
+The service keeps per-model request counters and service-wide hit/latency
+counters (:meth:`~PredictionService.stats`).
+
+Determinism note: predicted *labels* and cached results are stable, but
+probability vectors can differ from a full-batch reference in the last ulp
+when micro-batching changes the batch composition — sparse matrix products
+sum in a batch-shape-dependent order.  Compare probabilities across batch
+compositions with ``np.allclose``, not bitwise.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.models.base import CuisineModel
+from repro.pipeline.store import FeatureStore
+from repro.serving.bundle import ModelBundle, load_bundles
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class _Request:
+    """One queued single-prediction request."""
+
+    model_name: str
+    sequence: tuple[str, ...]
+    done: threading.Event = field(default_factory=threading.Event)
+    result: np.ndarray | None = None
+    error: BaseException | None = None
+
+
+class PredictionService:
+    """Serve cuisine predictions from fitted models with micro-batching.
+
+    Args:
+        models: Optional initial ``name -> fitted model`` mapping.
+        store: Feature store used to cache request featurization (token
+            preprocessing); a private store is created by default.
+        max_batch_size: Flush the micro-batch queue at this many requests.
+        flush_interval: Seconds the worker waits for a batch to fill after
+            the first request arrives — a lone request therefore pays up to
+            this much extra latency in exchange for batching under load.
+            ``0`` disables the wait: each flush takes only what is already
+            queued.
+        cache_size: Bound on the LRU result cache (0 disables caching).
+        queue_size: Bound on the request queue; when full, callers block
+            until the worker drains it (backpressure).
+        request_timeout: Seconds a single predict call waits for its batched
+            result before raising ``TimeoutError``.
+    """
+
+    def __init__(
+        self,
+        models: Mapping[str, CuisineModel] | None = None,
+        *,
+        store: FeatureStore | None = None,
+        max_batch_size: int = 32,
+        flush_interval: float = 0.005,
+        cache_size: int = 2048,
+        queue_size: int = 4096,
+        request_timeout: float = 60.0,
+    ) -> None:
+        if max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")
+        if flush_interval < 0:
+            raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
+        if cache_size < 0:
+            raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        self.store = store if store is not None else FeatureStore()
+        self.max_batch_size = max_batch_size
+        self.flush_interval = flush_interval
+        self.cache_size = cache_size
+        self.request_timeout = request_timeout
+
+        self._models: dict[str, CuisineModel] = {}
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._worker: threading.Thread | None = None
+        self._worker_lock = threading.Lock()
+        self._stop = threading.Event()
+
+        self._cache: OrderedDict[tuple[str, tuple[str, ...]], np.ndarray] = OrderedDict()
+        self._cache_lock = threading.Lock()
+        #: Bumped on hot-swap; guards against caching a retired model's result.
+        self._model_epochs: Counter = Counter()
+
+        self._stats_lock = threading.Lock()
+        self._requests_by_model: Counter = Counter()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+        self._latency_total = 0.0
+        self._latency_max = 0.0
+        self._latency_count = 0
+
+        for name, model in (models or {}).items():
+            self.add_model(model, name=name)
+
+    # ------------------------------------------------------------------
+    # construction / model management
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_export_dir(
+        cls,
+        export_dir: str | Path,
+        names: Sequence[str] | None = None,
+        **kwargs,
+    ) -> "PredictionService":
+        """Build a service from an experiment export directory.
+
+        Every bundle under *export_dir* (or the *names* subset) is loaded by
+        name through the registry-aware bundle loader and registered.
+        """
+        service = cls(**kwargs)
+        for name, bundle in load_bundles(export_dir, names).items():
+            service.add_bundle(bundle, name=name)
+        return service
+
+    def add_model(self, model: CuisineModel, name: str | None = None) -> str:
+        """Register a fitted model under *name* (default: its registry name).
+
+        Re-registering an existing name (hot-swapping a retrained model)
+        drops that name's cached results, so stale predictions are never
+        served for the new model.
+        """
+        name = name if name is not None else model.name
+        replaced = self._models.get(name)
+        self._models[name] = model
+        if replaced is not None and replaced is not model:
+            with self._cache_lock:
+                self._model_epochs[name] += 1
+                for key in [k for k in self._cache if k[0] == name]:
+                    del self._cache[key]
+        return name
+
+    def add_bundle(self, bundle: ModelBundle, name: str | None = None) -> str:
+        """Register a loaded :class:`ModelBundle`."""
+        return self.add_model(bundle.model, name=name)
+
+    def model_names(self) -> tuple[str, ...]:
+        """Registered model names, sorted."""
+        return tuple(sorted(self._models))
+
+    def _require_model(self, name: str) -> CuisineModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(
+                f"no model {name!r} registered; available: {sorted(self._models)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # featurization (shared warm store)
+    # ------------------------------------------------------------------
+    def _featurize(self, model: CuisineModel, sequences: Sequence[tuple[str, ...]]):
+        """Tokens for *sequences* under the model's pipeline, via the store.
+
+        Token artifacts are keyed **per sequence** (content + pipeline
+        config), so the heavy pure-Python preprocessing runs once per
+        distinct sequence — independent of batch composition, of which model
+        asks (models sharing a pipeline config share the artifacts), and of
+        whether the request came through :meth:`warm`, the micro-batch
+        worker or an explicit batch.
+        """
+        config = model.feature_spec().pipeline
+        return [self.store.sequence_tokens(sequence, config) for sequence in sequences]
+
+    def _predict_group(
+        self, model_name: str, sequences: Sequence[tuple[str, ...]]
+    ) -> np.ndarray:
+        model = self._require_model(model_name)
+        tokens = self._featurize(model, sequences)
+        return model.predict_proba_tokens(tokens)
+
+    def warm(
+        self,
+        sequences: Iterable[Sequence[str]],
+        names: Sequence[str] | None = None,
+    ) -> None:
+        """Precompute token artifacts of *sequences* for the named models."""
+        sequences = [self._validated(sequence) for sequence in sequences]
+        for name in names if names is not None else self.model_names():
+            self._featurize(self._require_model(name), sequences)
+
+    # ------------------------------------------------------------------
+    # result cache
+    # ------------------------------------------------------------------
+    def _cache_get(self, model_name: str, sequence: tuple[str, ...]) -> np.ndarray | None:
+        if self.cache_size == 0:
+            return None
+        key = (model_name, sequence)
+        with self._cache_lock:
+            value = self._cache.get(key)
+            if value is not None:
+                self._cache.move_to_end(key)
+                return value.copy()
+        return None
+
+    def _model_epoch(self, model_name: str) -> int:
+        with self._cache_lock:
+            return self._model_epochs[model_name]
+
+    def _cache_put(
+        self,
+        model_name: str,
+        sequence: tuple[str, ...],
+        value: np.ndarray,
+        epoch: int | None = None,
+    ) -> None:
+        if self.cache_size == 0:
+            return
+        key = (model_name, sequence)
+        with self._cache_lock:
+            if epoch is not None and self._model_epochs[model_name] != epoch:
+                return  # computed by a model hot-swapped away mid-flight
+            self._cache[key] = value.copy()
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # micro-batching worker
+    # ------------------------------------------------------------------
+    def _ensure_worker(self) -> None:
+        if self._worker is not None and self._worker.is_alive():
+            return
+        with self._worker_lock:
+            if self._worker is not None and self._worker.is_alive():
+                return
+            self._stop.clear()
+            self._worker = threading.Thread(
+                target=self._worker_loop, name="prediction-service", daemon=True
+            )
+            self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                first = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if first is _SHUTDOWN:
+                if self._stop.is_set():
+                    break
+                continue  # stale sentinel from a previous close(); ignore
+            batch = [first]
+            # Flush on size or on timeout: block-accumulate until the batch
+            # is full or flush_interval has elapsed since the first request;
+            # past the deadline, only instantaneously queued requests are
+            # still drained (so flush_interval=0 batches whatever is already
+            # waiting without ever sleeping).
+            deadline = time.monotonic() + self.flush_interval
+            while len(batch) < self.max_batch_size:
+                remaining = deadline - time.monotonic()
+                try:
+                    if remaining > 0:
+                        item = self._queue.get(timeout=remaining)
+                    else:
+                        item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    if self._stop.is_set():
+                        break
+                    continue
+                batch.append(item)
+            self._process_batch(batch)
+
+    def _process_batch(self, batch: list[_Request]) -> None:
+        groups: dict[str, list[_Request]] = {}
+        for request in batch:
+            groups.setdefault(request.model_name, []).append(request)
+        with self._stats_lock:
+            self._batches += 1
+            self._batched_requests += len(batch)
+            self._largest_batch = max(self._largest_batch, len(batch))
+        for model_name, requests in groups.items():
+            epoch = self._model_epoch(model_name)
+            try:
+                probabilities = self._predict_group(
+                    model_name, [request.sequence for request in requests]
+                )
+            except BaseException as exc:  # surfaced to every waiting caller
+                for request in requests:
+                    request.error = exc
+                    request.done.set()
+                continue
+            for request, row in zip(requests, probabilities):
+                self._cache_put(model_name, request.sequence, row, epoch=epoch)
+                request.result = row
+                request.done.set()
+
+    # ------------------------------------------------------------------
+    # the serving API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validated(sequence: Iterable[str]) -> tuple[str, ...]:
+        validated = tuple(str(item) for item in sequence)
+        if not validated:
+            raise ValueError("cannot predict an empty recipe sequence")
+        return validated
+
+    def predict_proba(self, model_name: str, sequence: Iterable[str]) -> np.ndarray:
+        """Class-probability vector for one raw recipe item sequence.
+
+        Cache hits return immediately; misses are micro-batched with any
+        concurrent requests before running the model.
+        """
+        self._require_model(model_name)
+        validated = self._validated(sequence)
+        start = time.perf_counter()
+        with self._stats_lock:
+            self._requests_by_model[model_name] += 1
+        cached = self._cache_get(model_name, validated)
+        if cached is not None:
+            with self._stats_lock:
+                self._cache_hits += 1
+            self._record_latency(start)
+            return cached
+        with self._stats_lock:
+            self._cache_misses += 1
+        self._ensure_worker()
+        request = _Request(model_name=model_name, sequence=validated)
+        self._queue.put(request)
+        if not request.done.wait(timeout=self.request_timeout):
+            raise TimeoutError(
+                f"prediction for model {model_name!r} timed out after "
+                f"{self.request_timeout}s"
+            )
+        if request.error is not None:
+            raise request.error
+        self._record_latency(start)
+        assert request.result is not None
+        return request.result
+
+    def predict(self, model_name: str, sequence: Iterable[str]) -> str:
+        """Predicted cuisine name for one raw recipe item sequence."""
+        model = self._require_model(model_name)
+        probabilities = self.predict_proba(model_name, sequence)
+        return model.label_space[int(np.argmax(probabilities))]
+
+    def predict_proba_batch(
+        self, model_name: str, sequences: Sequence[Iterable[str]]
+    ) -> np.ndarray:
+        """Class-probability matrix for a batch of raw sequences.
+
+        The whole batch is featurized and predicted in one model pass
+        (cache hits are served from the LRU and excluded from the pass).
+        """
+        model = self._require_model(model_name)
+        validated = [self._validated(sequence) for sequence in sequences]
+        if not validated:
+            return np.zeros((0, model.n_classes))
+        start = time.perf_counter()
+        with self._stats_lock:
+            self._requests_by_model[model_name] += len(validated)
+        rows: dict[int, np.ndarray] = {}
+        pending: list[tuple[int, tuple[str, ...]]] = []
+        for index, sequence in enumerate(validated):
+            cached = self._cache_get(model_name, sequence)
+            if cached is not None:
+                rows[index] = cached
+            else:
+                pending.append((index, sequence))
+        with self._stats_lock:
+            self._cache_hits += len(validated) - len(pending)
+            self._cache_misses += len(pending)
+        if pending:
+            epoch = self._model_epoch(model_name)
+            probabilities = self._predict_group(
+                model_name, [sequence for _, sequence in pending]
+            )
+            for (index, sequence), row in zip(pending, probabilities):
+                self._cache_put(model_name, sequence, row, epoch=epoch)
+                rows[index] = row
+        self._record_latency(start, count=len(validated))
+        return np.vstack([rows[index] for index in range(len(validated))])
+
+    def predict_batch(self, model_name: str, sequences: Sequence[Iterable[str]]) -> list[str]:
+        """Predicted cuisine names for a batch of raw sequences."""
+        model = self._require_model(model_name)
+        probabilities = self.predict_proba_batch(model_name, sequences)
+        return [model.label_space[i] for i in probabilities.argmax(axis=1)]
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _record_latency(self, start: float, count: int = 1) -> None:
+        elapsed = time.perf_counter() - start
+        with self._stats_lock:
+            self._latency_total += elapsed
+            self._latency_max = max(self._latency_max, elapsed)
+            self._latency_count += count
+
+    def stats(self) -> dict:
+        """Service counters plus the underlying feature-store statistics."""
+        with self._stats_lock:
+            requests = dict(self._requests_by_model)
+            total = sum(requests.values())
+            batches = self._batches
+            batched = self._batched_requests
+            payload = {
+                "requests": total,
+                "requests_by_model": requests,
+                "cache_hits": self._cache_hits,
+                "cache_misses": self._cache_misses,
+                "batches_flushed": batches,
+                "batched_requests": batched,
+                "mean_batch_size": (batched / batches) if batches else 0.0,
+                "largest_batch": self._largest_batch,
+                "latency": {
+                    "count": self._latency_count,
+                    "total_seconds": self._latency_total,
+                    "mean_ms": (
+                        1000.0 * self._latency_total / self._latency_count
+                        if self._latency_count
+                        else 0.0
+                    ),
+                    "max_ms": 1000.0 * self._latency_max,
+                },
+            }
+        with self._cache_lock:
+            payload["cached_entries"] = len(self._cache)
+        payload["store"] = self.store.stats()
+        return payload
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop the micro-batching worker (idempotent).
+
+        Requests that raced the shutdown into the queue are failed
+        immediately with a ``RuntimeError`` instead of being left to hit the
+        request timeout.  The service remains usable afterwards — the next
+        single predict restarts the worker.
+        """
+        self._stop.set()
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            try:
+                self._queue.put_nowait(_SHUTDOWN)
+            except queue.Full:
+                pass  # the worker polls the stop flag while draining
+            worker.join(timeout=5.0)
+        self._worker = None
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                item.error = RuntimeError("prediction service closed")
+                item.done.set()
+
+    def __enter__(self) -> "PredictionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -155,3 +155,27 @@ class Vocabulary:
     def frequency(self, token: str) -> int:
         """Corpus frequency recorded at build time (0 if unknown or not built)."""
         return getattr(self, "_frequencies", {}).get(token, 0)
+
+    # ------------------------------------------------------------------
+    # persistence (the artifact protocol)
+    # ------------------------------------------------------------------
+    def get_state(self) -> dict:
+        """JSON-able state: tokens in id order plus build-time frequencies."""
+        return {
+            "include_special": self._include_special,
+            "tokens": list(self._id_to_token),
+            "frequencies": dict(getattr(self, "_frequencies", {})),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Vocabulary":
+        """Rebuild a vocabulary with identical token -> id assignments."""
+        vocabulary = cls(include_special=state["include_special"])
+        for token in state["tokens"]:
+            vocabulary.add(token)
+        frequencies = state.get("frequencies")
+        if frequencies:
+            vocabulary._frequencies = {
+                token: int(count) for token, count in frequencies.items()
+            }
+        return vocabulary

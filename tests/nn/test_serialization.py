@@ -1,0 +1,88 @@
+"""Tests for model parameter saving/loading and strict-mismatch behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Embedding, Linear
+from repro.nn.module import Module
+from repro.nn.serialization import load_model, save_model
+
+
+class _Classifier(Module):
+    """A small two-layer network with a configurable hidden size."""
+
+    def __init__(self, hidden: int = 8, with_head: bool = True, seed: int = 0) -> None:
+        super().__init__()
+        self.embedding = Embedding(12, hidden, seed=seed)
+        self.projection = Linear(hidden, hidden, seed=seed + 1)
+        if with_head:
+            self.head = Linear(hidden, 3, seed=seed + 2)
+
+
+def _snapshot(model: Module) -> dict[str, np.ndarray]:
+    return {name: parameter.data.copy() for name, parameter in model.named_parameters()}
+
+
+class TestRoundTrip:
+    def test_save_load_is_exact(self, tmp_path):
+        source = _Classifier(seed=3)
+        path = save_model(source, tmp_path / "model")
+        assert path.suffix == ".npz"
+
+        target = _Classifier(seed=9)
+        load_model(target, path)
+        for name, parameter in target.named_parameters():
+            np.testing.assert_array_equal(parameter.data, dict(source.named_parameters())[name].data)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(_Classifier(), tmp_path / "absent.npz")
+
+    def test_empty_model_cannot_be_saved(self, tmp_path):
+        with pytest.raises(ValueError, match="no parameters"):
+            save_model(Module(), tmp_path / "empty")
+
+
+class TestConfigMismatch:
+    def test_shape_mismatch_fails_loudly_without_corrupting_weights(self, tmp_path):
+        """A model saved under one config loaded under another must not
+        partially overwrite weights: the error lists every mismatched shape
+        and the target model is left untouched."""
+        path = save_model(_Classifier(hidden=8), tmp_path / "hidden8")
+        target = _Classifier(hidden=6)
+        before = _snapshot(target)
+
+        with pytest.raises(ValueError, match="no parameters were modified") as excinfo:
+            load_model(target, path)
+        # Every mismatched parameter is named with both shapes.
+        assert "embedding" in str(excinfo.value)
+        assert "(12, 8)" in str(excinfo.value) and "(12, 6)" in str(excinfo.value)
+
+        after = _snapshot(target)
+        assert set(before) == set(after)
+        for name in before:
+            np.testing.assert_array_equal(before[name], after[name])
+
+    def test_strict_key_mismatch_lists_missing_and_unexpected(self, tmp_path):
+        path = save_model(_Classifier(with_head=True), tmp_path / "with-head")
+        target = _Classifier(with_head=False)
+        with pytest.raises(ValueError) as excinfo:
+            load_model(target, path)
+        message = str(excinfo.value)
+        assert "head" in message and "unexpected" in message
+        assert str(path) in message
+
+    def test_non_strict_loads_intersection(self, tmp_path):
+        source = _Classifier(with_head=True, seed=5)
+        path = save_model(source, tmp_path / "with-head")
+        target = _Classifier(with_head=False, seed=8)
+        load_model(target, path, strict=False)
+        source_params = dict(source.named_parameters())
+        for name, parameter in target.named_parameters():
+            np.testing.assert_array_equal(parameter.data, source_params[name].data)
+
+    def test_non_strict_still_validates_shapes(self, tmp_path):
+        path = save_model(_Classifier(hidden=8), tmp_path / "hidden8")
+        target = _Classifier(hidden=6)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_model(target, path, strict=False)

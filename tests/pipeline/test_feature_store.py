@@ -175,3 +175,35 @@ class TestDiskPersistence:
         assert store.tokens(tiny_corpus, STAT_PIPELINE) == tokens
         assert store.miss_count("tokens") == 2  # reloaded from disk, not recomputed
         assert store.disk_hits["tokens"] == 1
+
+    def test_fitted_vectorizer_persists_without_refitting(self, tmp_path, tiny_corpus):
+        spec = TfidfSpec(pipeline=STAT_PIPELINE, min_df=2)
+        warm_store = FeatureStore(cache_dir=tmp_path)
+        original = warm_store.tfidf_vectorizer(tiny_corpus, spec)
+
+        cold_store = FeatureStore(cache_dir=tmp_path)
+        reloaded = cold_store.tfidf_vectorizer(tiny_corpus, spec)
+        assert cold_store.miss_count("tfidf_vectorizer") == 0
+        assert cold_store.disk_hits["tfidf_vectorizer"] == 1
+        assert reloaded.vocabulary_ == original.vocabulary_
+        np.testing.assert_array_equal(reloaded.idf_, original.idf_)
+        documents = warm_store.documents(tiny_corpus, STAT_PIPELINE)
+        np.testing.assert_array_equal(
+            reloaded.transform(documents).toarray(),
+            original.transform(documents).toarray(),
+        )
+
+    def test_vocabulary_persists_with_identical_ids(self, tmp_path, tiny_corpus):
+        spec = SequenceSpec(pipeline=SEQ_PIPELINE, min_token_freq=2)
+        warm_store = FeatureStore(cache_dir=tmp_path)
+        original = warm_store.vocabulary(tiny_corpus, spec)
+
+        cold_store = FeatureStore(cache_dir=tmp_path)
+        reloaded = cold_store.vocabulary(tiny_corpus, spec)
+        assert cold_store.miss_count("vocabulary") == 0
+        assert cold_store.disk_hits["vocabulary"] == 1
+        assert reloaded.tokens() == original.tokens()
+        assert reloaded.special_ids == original.special_ids
+        sample = original.tokens()[-1]
+        assert reloaded.token_to_id(sample) == original.token_to_id(sample)
+        assert reloaded.frequency(sample) == original.frequency(sample)

@@ -8,6 +8,9 @@ without re-running the full Table IV experiment.
 
 from __future__ import annotations
 
+import re
+import time
+
 import numpy as np
 import pytest
 
@@ -20,6 +23,45 @@ from repro.nn.losses import cross_entropy_logits
 from repro.nn.optim import AdamW
 from repro.nn.transformer import TransformerConfig, TransformerForSequenceClassification
 from repro.text.pipeline import default_statistical_pipeline
+
+
+@pytest.mark.quick
+def test_perf_cleaning_tokenizer_regexes_precompiled(benchmark):
+    """The cleaning/tokenizer regexes must stay compiled at module import.
+
+    The stage chain runs these patterns once (or more) per recipe item over
+    the whole corpus; falling back to per-call ``re`` work in a refactor
+    would silently tax every preprocessing pass.  The identity assertions
+    pin the module-level compiled objects; the throughput assertion keeps a
+    generous per-item ceiling that per-call compilation overhead would blow.
+    """
+    from repro.text import cleaning, tokenizer
+    from repro.text.cleaning import clean_item
+    from repro.text.tokenizer import tokenize
+
+    assert isinstance(cleaning._NON_WORD, re.Pattern)
+    assert isinstance(cleaning._MULTI_SPACE, re.Pattern)
+    assert isinstance(tokenizer._TOKEN, re.Pattern)
+
+    items = [
+        "2 chopped Onions!", "red lentils", "olive oil (extra-virgin)",
+        "Stir-fry the GARLIC", "don't overmix", "simmering tomatoes",
+    ] * 300
+
+    def process_all():
+        return [tokenize(clean_item(item)) for item in items]
+
+    tokens = benchmark(process_all)
+    assert len(tokens) == len(items)
+    timings = []
+    for _ in range(3):
+        start = time.perf_counter()
+        process_all()
+        timings.append(time.perf_counter() - start)
+    per_item = min(timings) / len(items)
+    assert per_item < 50e-6, (
+        f"cleaning+tokenization averaged {per_item * 1e6:.1f}us per item"
+    )
 
 
 def test_perf_corpus_generation(benchmark):

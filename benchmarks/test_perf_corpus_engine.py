@@ -1,0 +1,126 @@
+"""Corpus-engine performance benchmarks.
+
+Demonstrates the two wins of the sharded execution layer on the same corpus,
+with byte-identical outputs in every case:
+
+* **Process parallelism** — mapping the stage chain over shards with worker
+  processes beats the sequential in-process pass (multi-core hosts; the
+  assertion is skipped on single-core runners where no speedup is possible).
+* **Incremental featurization** — after appending recipes to an
+  already-featurized corpus, only the new shards are recomputed, which beats
+  recomputing the grown corpus from scratch on any host.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import replace
+
+import pytest
+
+from benchmarks.bench_config import BENCH_SEED
+from repro.data.generator import GeneratorConfig, RecipeDBGenerator
+from repro.pipeline.engine import SHARD_KIND, CorpusEngine
+from repro.pipeline.fingerprint import stable_hash
+from repro.pipeline.store import FeatureStore
+from repro.text.pipeline import PipelineConfig
+
+PIPELINE = PipelineConfig(split_items=True)
+SHARD_SIZE = 256
+
+
+@pytest.fixture(scope="module")
+def engine_corpus():
+    """Large enough that stage work dominates process/pickling overhead."""
+    return RecipeDBGenerator(GeneratorConfig(scale=0.05, seed=BENCH_SEED)).generate()
+
+
+def _timed_tokens(n_workers: int, corpus):
+    """(seconds, tokens, digest) of a cold engine pass over *corpus*.
+
+    Best of two runs (each on a fresh store, so both are cold) to damp
+    scheduler noise on shared CI runners.
+    """
+    timings = []
+    for _ in range(2):
+        store = FeatureStore(max_entries=4096)
+        with CorpusEngine(store, shard_size=SHARD_SIZE, n_workers=n_workers) as engine:
+            start = time.perf_counter()
+            tokens = engine.tokens(corpus, PIPELINE)
+            timings.append(time.perf_counter() - start)
+    return min(timings), tokens, stable_hash(tokens)
+
+
+@pytest.mark.quick
+def test_perf_parallel_sharding_beats_sequential_with_identical_digests(engine_corpus):
+    sequential_seconds, sequential_tokens, sequential_digest = _timed_tokens(
+        1, engine_corpus
+    )
+    parallel_seconds, parallel_tokens, parallel_digest = _timed_tokens(4, engine_corpus)
+
+    # Bitwise equivalence holds regardless of host parallelism.
+    assert parallel_tokens == sequential_tokens
+    assert parallel_digest == sequential_digest
+
+    cores = os.cpu_count() or 1
+    if cores < 2:
+        pytest.skip("single-core host: no parallel speedup is possible")
+    if cores >= 4:
+        assert parallel_seconds < sequential_seconds, (
+            f"parallel shard pass ({parallel_seconds:.3f}s) did not beat the "
+            f"sequential pass ({sequential_seconds:.3f}s)"
+        )
+    else:
+        # On 2-3 cores, pool + pickling overhead can eat most of the win;
+        # require that parallel execution is at least not pathologically
+        # slower while still reporting both timings.
+        assert parallel_seconds < sequential_seconds * 1.25, (
+            f"parallel shard pass ({parallel_seconds:.3f}s) was much slower than "
+            f"the sequential pass ({sequential_seconds:.3f}s) on {cores} cores"
+        )
+
+
+@pytest.mark.quick
+def test_perf_incremental_append_beats_full_recompute(engine_corpus):
+    # Align the base corpus to the shard size so the append adds exactly one
+    # new shard and leaves every existing shard boundary untouched.
+    base_length = ((len(engine_corpus) - SHARD_SIZE) // SHARD_SIZE) * SHARD_SIZE
+    base = engine_corpus.subset(range(base_length))
+    extra = [
+        replace(recipe, recipe_id=10**7 + i)
+        for i, recipe in enumerate(engine_corpus.recipes[-SHARD_SIZE:])
+    ]
+    grown = base.extend(extra)
+
+    warm_store = FeatureStore(max_entries=4096)
+    warm_engine = CorpusEngine(warm_store, shard_size=SHARD_SIZE)
+    warm_engine.tokens(base, PIPELINE)  # featurize the original corpus
+    warm_store.reset_stats()
+
+    start = time.perf_counter()
+    incremental_tokens = warm_engine.tokens(grown, PIPELINE)
+    incremental_seconds = time.perf_counter() - start
+
+    cold_seconds, cold_tokens, _ = _timed_tokens(1, grown)
+
+    # Only the appended shard was computed; every prefix shard was a hit.
+    assert warm_store.miss_count(SHARD_KIND) == 1
+    assert warm_store.hit_count(SHARD_KIND) == len(base) // SHARD_SIZE
+    assert incremental_tokens == cold_tokens
+    assert incremental_seconds < cold_seconds, (
+        f"incremental refeaturization ({incremental_seconds:.3f}s) did not beat "
+        f"a cold recompute ({cold_seconds:.3f}s)"
+    )
+
+
+@pytest.mark.quick
+def test_perf_warm_shard_lookup_is_cache_cheap(benchmark, engine_corpus):
+    """Re-resolving an already-featurized corpus must be lookup-cheap."""
+    store = FeatureStore(max_entries=4096)
+    engine = CorpusEngine(store, shard_size=SHARD_SIZE)
+    engine.tokens(engine_corpus, PIPELINE)
+
+    tokens = benchmark(engine.tokens, engine_corpus, PIPELINE)
+    assert len(tokens) == len(engine_corpus)
+    assert store.miss_count("tokens") == 1

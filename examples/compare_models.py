@@ -40,6 +40,10 @@ def parse_args() -> argparse.Namespace:
                         help="transformer MLM pretraining epochs (BERT uses half)")
     parser.add_argument("--n-jobs", type=int, default=1,
                         help="models trained concurrently (they share one feature store)")
+    parser.add_argument("--n-workers", type=int, default=1,
+                        help="corpus-engine worker processes for the sharded preprocessing pass")
+    parser.add_argument("--shard-size", type=int, default=512,
+                        help="recipes per corpus shard (the unit of parallel/incremental work)")
     parser.add_argument("--cache-dir", type=str, default=None,
                         help="persist preprocessing artifacts here and reuse them across runs")
     return parser.parse_args()
@@ -62,6 +66,8 @@ def main() -> None:
         lstm_config=lstm_config,
         transformer_config=transformer_config,
         n_jobs=args.n_jobs,
+        n_workers=args.n_workers,
+        shard_size=args.shard_size,
         cache_dir=args.cache_dir,
     )
     runner = ExperimentRunner(config)

@@ -27,6 +27,7 @@ from repro.data.splits import DatasetSplits, train_val_test_split
 from repro.models.registry import MODEL_NAMES, create_model
 from repro.models.lstm_classifier import LSTMClassifierConfig
 from repro.models.transformer_classifier import TransformerClassifierConfig
+from repro.pipeline.engine import CorpusEngine, EngineConfig
 from repro.pipeline.store import FeatureStore
 
 
@@ -50,8 +51,13 @@ class ExperimentConfig:
             Models are independent given the shared feature store, so any
             value up to ``len(models)`` is safe; results are identical to the
             sequential order.
+        n_workers: Worker processes used by the sharded corpus engine for
+            the preprocessing pass (1 = in-process).  Output artifacts are
+            byte-identical for any value.
+        shard_size: Recipes per corpus shard in the engine's partition.
         cache_dir: Optional directory for on-disk feature-store persistence
-            (preprocessing artifacts survive across runs / processes).
+            (preprocessing and per-shard artifacts survive across runs /
+            processes).
         export_dir: Optional directory to export one model bundle per
             trained model into (``<export_dir>/<model_name>/``), making
             train -> export -> serve a single flow: the bundles are what
@@ -67,6 +73,8 @@ class ExperimentConfig:
     transformer_config: TransformerClassifierConfig | None = None
     statistical_kwargs: dict = field(default_factory=dict)
     n_jobs: int = 1
+    n_workers: int = 1
+    shard_size: int = 512
     cache_dir: str | None = None
     export_dir: str | None = None
 
@@ -78,6 +86,8 @@ class ExperimentConfig:
             raise ValueError("at least one model must be requested")
         if self.n_jobs < 1:
             raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        # shard_size / n_workers bounds are validated by EngineConfig.
+        EngineConfig(shard_size=self.shard_size, n_workers=self.n_workers)
 
 
 def shuffle_recipe_sequences(corpus: RecipeDB, seed: int = 0) -> RecipeDB:
@@ -119,6 +129,15 @@ class ExperimentRunner:
         #: Shared across every model of the run (and across runs when the
         #: runner is reused): preprocessing happens once per configuration.
         self.store = store if store is not None else FeatureStore(cache_dir=self.config.cache_dir)
+        #: Sharded corpus engine over the shared store: the preprocessing
+        #: pass runs shard-wise (process-parallel with ``n_workers > 1``)
+        #: and reuses per-shard artifacts across runs and grown corpora.
+        self.engine = CorpusEngine(
+            self.store,
+            EngineConfig(
+                shard_size=self.config.shard_size, n_workers=self.config.n_workers
+            ),
+        )
 
     # ------------------------------------------------------------------
     def prepare_corpus(self) -> RecipeDB:
@@ -167,22 +186,31 @@ class ExperimentRunner:
                 "min_cuisine_recipes": self.config.min_cuisine_recipes,
                 "n_classes": len(label_space),
                 "n_jobs": self.config.n_jobs,
+                "n_workers": self.config.n_workers,
+                "shard_size": self.config.shard_size,
                 "export_dir": self.config.export_dir,
             },
             split_sizes=splits.summary(),
         )
         models = {name: self._create_model(name, label_space) for name in self.config.models}
 
-        # Materialise the shared artifacts up front — preprocessing, fitted
-        # vectorizers/vocabularies, transformed matrices, encoded batches and
-        # labels — so concurrent model training resolves pure cache hits.
+        # Materialise the shared artifacts up front — preprocessing (sharded
+        # and, with n_workers > 1, process-parallel), fitted vectorizers /
+        # vocabularies, transformed matrices, encoded batches and labels —
+        # so concurrent model training resolves pure cache hits.
         corpora = [c for c in (splits.train, splits.validation, splits.test) if len(c) > 0]
-        self.store.warm(
-            corpora,
-            [model.feature_spec() for model in models.values()],
-            train_corpus=splits.train,
-            label_space=label_space,
-        )
+        try:
+            self.engine.warm(
+                corpora,
+                [model.feature_spec() for model in models.values()],
+                train_corpus=splits.train,
+                label_space=label_space,
+            )
+        finally:
+            # The worker pool is only needed for the warm-up's preprocessing
+            # pass; release it so runners never leak idle processes.  The
+            # engine stays usable — a later run lazily recreates the pool.
+            self.engine.close()
 
         n_jobs = min(self.config.n_jobs, len(models))
         if n_jobs > 1:
@@ -253,6 +281,7 @@ def run_table_iv_experiment(
     lstm_config: LSTMClassifierConfig | None = None,
     transformer_config: TransformerClassifierConfig | None = None,
     n_jobs: int = 1,
+    n_workers: int = 1,
     cache_dir: str | None = None,
     export_dir: str | None = None,
 ) -> ExperimentResult:
@@ -265,6 +294,7 @@ def run_table_iv_experiment(
         corpus: Pre-built corpus to use instead of generating one.
         lstm_config / transformer_config: Optional model-size overrides.
         n_jobs: Models trained concurrently (1 = sequential).
+        n_workers: Corpus-engine worker processes for preprocessing.
         cache_dir: Optional on-disk feature-store cache directory.
         export_dir: Optional directory to export one bundle per model into.
 
@@ -278,6 +308,7 @@ def run_table_iv_experiment(
         lstm_config=lstm_config,
         transformer_config=transformer_config,
         n_jobs=n_jobs,
+        n_workers=n_workers,
         cache_dir=cache_dir,
         export_dir=export_dir,
     )

@@ -20,7 +20,7 @@ from repro.data.cuisines import (
     continent_of,
 )
 from repro.data.generator import GeneratorConfig, RecipeDBGenerator, generate_recipedb
-from repro.data.recipedb import RecipeDB
+from repro.data.recipedb import CorpusShard, RecipeDB
 from repro.data.schema import Recipe, TokenKind
 from repro.data.splits import DatasetSplits, train_val_test_split
 from repro.data.statistics import (
@@ -29,9 +29,19 @@ from repro.data.statistics import (
     cumulative_frequency_table,
     sparsity_ratio,
 )
-from repro.data.storage import load_recipes_jsonl, save_recipes_jsonl
+from repro.data.storage import (
+    iter_shards_jsonl,
+    load_recipes_jsonl,
+    load_shards_jsonl,
+    save_recipes_jsonl,
+    save_shards_jsonl,
+)
 
 __all__ = [
+    "CorpusShard",
+    "iter_shards_jsonl",
+    "load_shards_jsonl",
+    "save_shards_jsonl",
     "CONTINENT_OF_CUISINE",
     "CUISINE_RECIPE_COUNTS",
     "CUISINES",

@@ -2,7 +2,10 @@
 
 Holds a collection of :class:`~repro.data.schema.Recipe` objects together with
 convenience accessors for labels, texts and per-cuisine grouping — the views
-the preprocessing and modelling layers consume.
+the preprocessing and modelling layers consume.  Corpora additionally expose a
+partitioned view (:meth:`RecipeDB.shards`): deterministic, individually
+fingerprinted :class:`CorpusShard` chunks that the sharded corpus engine
+featurizes in parallel and caches independently.
 """
 
 from __future__ import annotations
@@ -10,13 +13,76 @@ from __future__ import annotations
 import hashlib
 from collections import Counter
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Sequence
 
 from repro.data.cuisines import CUISINES
 from repro.data.schema import Recipe, TokenKind, validate_recipes
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, type checking only
     from repro.data.generator import GeneratorConfig
+
+
+def _update_recipe_digest(digest, recipe: Recipe) -> None:
+    digest.update(
+        f"{recipe.recipe_id}\x1e{recipe.cuisine}\x1e{recipe.continent}\x1e".encode("utf-8")
+    )
+    digest.update("\x1f".join(recipe.sequence).encode("utf-8"))
+    digest.update(b"\x1e")
+    digest.update("\x1f".join(kind.value for kind in recipe.kinds).encode("utf-8"))
+    digest.update(b"\x1d")
+
+
+def recipes_digest(recipes: Iterable[Recipe]) -> str:
+    """Stable content hash of an ordered collection of recipes.
+
+    Covers every recipe field; used for both corpus and shard fingerprints so
+    any content change (shuffling, dropping, editing) produces a new digest
+    while identical content always collides across processes.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for recipe in recipes:
+        _update_recipe_digest(digest, recipe)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class CorpusShard:
+    """One deterministic, contiguous chunk of a corpus.
+
+    Shards are the unit of parallel featurization and of incremental
+    recomputation: a shard is identified purely by its recipe content
+    (:meth:`fingerprint`), so appending recipes to a corpus leaves every
+    already-full shard's fingerprint unchanged and only the new (or the
+    previously partial trailing) shards miss the cache.
+
+    Attributes:
+        index: Position of the shard in the corpus partition.
+        start: Corpus index of the shard's first recipe.
+        recipes: The shard's recipes, in corpus order.
+    """
+
+    index: int
+    start: int
+    recipes: tuple[Recipe, ...]
+
+    def __len__(self) -> int:
+        return len(self.recipes)
+
+    def __iter__(self) -> Iterator[Recipe]:
+        return iter(self.recipes)
+
+    @property
+    def sequences(self) -> list[tuple[str, ...]]:
+        """Raw item sequences of the shard, in corpus order."""
+        return [recipe.sequence for recipe in self.recipes]
+
+    def fingerprint(self) -> str:
+        """Content-only hash of the shard (independent of corpus provenance)."""
+        cached = self.__dict__.get("_fingerprint_cache")
+        if cached is None:
+            cached = recipes_digest(self.recipes)
+            object.__setattr__(self, "_fingerprint_cache", cached)
+        return cached
 
 
 @dataclass
@@ -49,26 +115,44 @@ class RecipeDB:
         return self.recipes[index]
 
     # ------------------------------------------------------------------
-    # column views
+    # column views (cached)
     # ------------------------------------------------------------------
+    def _column(self, name: str, build: Callable[[], list]) -> list:
+        """Build *name* once and reuse it on every later access.
+
+        Corpora are append-only — every transformation (``filter``,
+        ``subset``, ``extend``) returns a *new* ``RecipeDB`` — so cached
+        views never need invalidation; the recipe-count guard only protects
+        against callers mutating ``recipes`` in place, which (as for
+        :meth:`fingerprint`) is unsupported.  The cached list itself is
+        shared between calls: treat it as read-only.
+        """
+        cache: dict[str, tuple[int, list]] = self.__dict__.setdefault("_column_cache", {})
+        cached = cache.get(name)
+        if cached is not None and cached[0] == len(self.recipes):
+            return cached[1]
+        value = build()
+        cache[name] = (len(self.recipes), value)
+        return value
+
     @property
     def cuisines(self) -> list[str]:
         """Cuisine label of each recipe, in corpus order."""
-        return [recipe.cuisine for recipe in self.recipes]
+        return self._column("cuisines", lambda: [r.cuisine for r in self.recipes])
 
     @property
     def continents(self) -> list[str]:
         """Continent label of each recipe, in corpus order."""
-        return [recipe.continent for recipe in self.recipes]
+        return self._column("continents", lambda: [r.continent for r in self.recipes])
 
     @property
     def sequences(self) -> list[tuple[str, ...]]:
         """Raw item sequences, in corpus order."""
-        return [recipe.sequence for recipe in self.recipes]
+        return self._column("sequences", lambda: [r.sequence for r in self.recipes])
 
     def texts(self) -> list[str]:
         """Whitespace-joined document form of every recipe."""
-        return [recipe.as_text() for recipe in self.recipes]
+        return self._column("texts", lambda: [r.as_text() for r in self.recipes])
 
     def labels(self, label_space: Sequence[str] = CUISINES) -> list[int]:
         """Integer labels of every recipe under *label_space*."""
@@ -124,20 +208,51 @@ class RecipeDB:
         if self.generator_config is not None:
             digest.update(repr(self.generator_config).encode("utf-8"))
         for recipe in self.recipes:
-            digest.update(
-                f"{recipe.recipe_id}\x1e{recipe.cuisine}\x1e{recipe.continent}\x1e".encode("utf-8")
-            )
-            digest.update("\x1f".join(recipe.sequence).encode("utf-8"))
-            digest.update(b"\x1e")
-            digest.update("\x1f".join(kind.value for kind in recipe.kinds).encode("utf-8"))
-            digest.update(b"\x1d")
+            _update_recipe_digest(digest, recipe)
         value = digest.hexdigest()
         object.__setattr__(self, "_fingerprint_cache", (len(self.recipes), value))
         return value
 
     # ------------------------------------------------------------------
+    # partitioned view
+    # ------------------------------------------------------------------
+    def shards(self, shard_size: int) -> list[CorpusShard]:
+        """Partition the corpus into deterministic contiguous shards.
+
+        Every shard except possibly the last holds exactly *shard_size*
+        recipes.  The partition depends only on corpus order and
+        *shard_size*, so two corpora sharing a prefix (e.g. before and after
+        :meth:`extend`) share the fingerprints of every full prefix shard —
+        the property the corpus engine's incremental featurization relies on.
+        """
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        return [
+            CorpusShard(
+                index=index,
+                start=start,
+                recipes=tuple(self.recipes[start : start + shard_size]),
+            )
+            for index, start in enumerate(range(0, len(self.recipes), shard_size))
+        ]
+
+    # ------------------------------------------------------------------
     # transformation
     # ------------------------------------------------------------------
+    def extend(self, recipes: Iterable[Recipe]) -> "RecipeDB":
+        """Return a new corpus with *recipes* appended.
+
+        Appending is the growth path of the sharded engine: the returned
+        corpus has a new fingerprint, but shares every full prefix shard
+        with this one (see :meth:`shards`), so refeaturizing it recomputes
+        only the appended tail.  This corpus — and its cached column views
+        and fingerprint — is left untouched.
+        """
+        return RecipeDB(
+            recipes=[*self.recipes, *recipes],
+            generator_config=self.generator_config,
+        )
+
     def filter(self, predicate: Callable[[Recipe], bool]) -> "RecipeDB":
         """Return a new corpus containing the recipes matching *predicate*."""
         return RecipeDB(

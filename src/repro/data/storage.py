@@ -1,9 +1,13 @@
 """On-disk persistence of RecipeDB corpora.
 
-Two interchange formats are supported:
+Three interchange formats are supported:
 
 * **JSONL** — one JSON object per recipe, lossless (keeps the per-item
   substructure kinds).  This is the native format of the reproduction.
+* **Sharded JSONL** — a directory of per-shard JSONL files plus a
+  ``shards.json`` manifest carrying every shard's content fingerprint.
+  Corpora too large to materialise can be streamed shard-by-shard
+  (:func:`iter_shards_jsonl`) straight into the sharded corpus engine.
 * **CSV** — the flat ``Recipe ID / Continent / Cuisine / Recipe`` layout shown
   in Table I of the paper, convenient for inspection in a spreadsheet.
 """
@@ -13,10 +17,12 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
-from repro.data.recipedb import RecipeDB
+from repro.data.recipedb import CorpusShard, RecipeDB
 from repro.data.schema import Recipe
+
+SHARD_MANIFEST_NAME = "shards.json"
 
 
 def save_recipes_jsonl(corpus: RecipeDB | Iterable[Recipe], path: str | Path) -> int:
@@ -49,6 +55,73 @@ def load_recipes_jsonl(path: str | Path) -> RecipeDB:
             except json.JSONDecodeError as exc:
                 raise ValueError(f"{path}:{line_number}: invalid JSON: {exc}") from exc
             recipes.append(Recipe.from_dict(payload))
+    return RecipeDB(recipes=recipes)
+
+
+def save_shards_jsonl(
+    corpus: RecipeDB, directory: str | Path, shard_size: int = 512
+) -> list[Path]:
+    """Write *corpus* as a directory of per-shard JSONL files.
+
+    Each shard of :meth:`RecipeDB.shards` becomes ``shard-<index>.jsonl``;
+    a ``shards.json`` manifest records the file names, recipe counts and
+    per-shard content fingerprints, so readers can stream, validate or skip
+    shards without touching the recipe payloads.
+
+    Returns the shard file paths, in corpus order.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    manifest: list[dict] = []
+    for shard in corpus.shards(shard_size):
+        path = directory / f"shard-{shard.index:05d}.jsonl"
+        save_recipes_jsonl(shard, path)
+        paths.append(path)
+        manifest.append(
+            {
+                "file": path.name,
+                "start": shard.start,
+                "count": len(shard),
+                "fingerprint": shard.fingerprint(),
+            }
+        )
+    (directory / SHARD_MANIFEST_NAME).write_text(
+        json.dumps({"shard_size": shard_size, "shards": manifest}, indent=2),
+        encoding="utf-8",
+    )
+    return paths
+
+
+def iter_shards_jsonl(directory: str | Path) -> Iterator[CorpusShard]:
+    """Stream the shards of a directory written by :func:`save_shards_jsonl`.
+
+    Shards are yielded one at a time in corpus order — only one shard's
+    recipes are materialised at once, so arbitrarily large corpora can be
+    fed to the corpus engine without loading them fully.  Every shard's
+    content is verified against its manifest fingerprint.
+    """
+    directory = Path(directory)
+    manifest_path = directory / SHARD_MANIFEST_NAME
+    if not manifest_path.exists():
+        raise FileNotFoundError(f"no shard manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    for index, entry in enumerate(manifest["shards"]):
+        recipes = load_recipes_jsonl(directory / entry["file"]).recipes
+        shard = CorpusShard(index=index, start=entry["start"], recipes=tuple(recipes))
+        if shard.fingerprint() != entry["fingerprint"]:
+            raise ValueError(
+                f"shard {entry['file']} content does not match its manifest "
+                f"fingerprint {entry['fingerprint']}"
+            )
+        yield shard
+
+
+def load_shards_jsonl(directory: str | Path) -> RecipeDB:
+    """Assemble a full corpus from a sharded directory."""
+    recipes: list[Recipe] = []
+    for shard in iter_shards_jsonl(directory):
+        recipes.extend(shard.recipes)
     return RecipeDB(recipes=recipes)
 
 

@@ -1,22 +1,40 @@
 """Shared feature pipeline: content-addressed, compute-once corpus artifacts.
 
-The subsystem has three parts:
+The subsystem has four parts:
 
-* :mod:`repro.pipeline.fingerprint` — stable content hashes for corpora and
-  configurations (the cache keys);
+* :mod:`repro.pipeline.fingerprint` — stable content hashes for corpora,
+  shards and configurations (the cache keys);
 * :mod:`repro.pipeline.specs` — :class:`FeatureSpec` declarations a model
   publishes to describe what it consumes, and the :class:`ModelInputs`
   bundles it receives back;
 * :mod:`repro.pipeline.store` — the :class:`FeatureStore` that materialises
   each (corpus, pipeline config, vectorizer/vocabulary config) artifact
-  exactly once, with an in-memory LRU layer and optional disk persistence.
+  exactly once, with an in-memory LRU layer and optional disk persistence;
+* :mod:`repro.pipeline.engine` — the :class:`CorpusEngine` that executes the
+  preprocessing stage chain over content-fingerprinted corpus shards,
+  process-parallel and incrementally (only shards whose fingerprints changed
+  are recomputed).
 """
 
-from repro.pipeline.fingerprint import artifact_key, corpus_fingerprint, stable_hash
-from repro.pipeline.specs import FeatureSpec, ModelInputs, SequenceSpec, TfidfSpec
+from repro.pipeline.engine import CorpusEngine, EngineConfig
+from repro.pipeline.fingerprint import (
+    artifact_key,
+    corpus_fingerprint,
+    sequence_key,
+    stable_hash,
+)
+from repro.pipeline.specs import (
+    FeatureSpec,
+    ModelInputs,
+    SequenceSpec,
+    TfidfSpec,
+    pipeline_configs,
+)
 from repro.pipeline.store import FeatureStore
 
 __all__ = [
+    "CorpusEngine",
+    "EngineConfig",
     "FeatureSpec",
     "FeatureStore",
     "ModelInputs",
@@ -24,5 +42,7 @@ __all__ = [
     "TfidfSpec",
     "artifact_key",
     "corpus_fingerprint",
+    "pipeline_configs",
+    "sequence_key",
     "stable_hash",
 ]

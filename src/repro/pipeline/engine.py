@@ -1,0 +1,257 @@
+"""Sharded corpus-execution engine: parallel + incremental featurization.
+
+The engine replaces the monolithic "preprocess the whole corpus in one
+pure-Python loop" step with a partitioned execution model:
+
+1. The corpus is cut into deterministic, content-fingerprinted
+   :class:`~repro.data.recipedb.CorpusShard` chunks
+   (:meth:`RecipeDB.shards`).
+2. Each shard's token artifact is resolved independently through the
+   :class:`~repro.pipeline.store.FeatureStore` (kind ``shard_tokens``, keyed
+   by shard content + pipeline config).  Shards missing from the cache are
+   computed by mapping the picklable :class:`~repro.text.stages.StageChain`
+   over them — in a ``ProcessPoolExecutor`` when ``n_workers > 1``, inline
+   otherwise.
+3. Shard outputs are reassembled in corpus order and published under the
+   exact corpus-level ``tokens`` key the sequential
+   :meth:`FeatureStore.tokens` path uses, so every downstream artifact
+   (documents, vectorizers, vocabularies, matrices, encoded batches) is
+   byte-identical and shared between both paths.
+
+Because shard fingerprints depend only on shard content, appending recipes to
+a corpus (:meth:`RecipeDB.extend`) leaves every full prefix shard's artifact
+valid — refeaturizing the grown corpus recomputes only the appended tail
+(**incremental featurization**).  The same per-shard cache serves training
+(the experiment runner warms through the engine) and inference (the serving
+layer's corpus warm-up seeds per-sequence artifacts from shard outputs).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Executor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.recipedb import CorpusShard, RecipeDB
+from repro.data.schema import Recipe
+from repro.pipeline.fingerprint import artifact_key, sequence_key
+from repro.pipeline.specs import FeatureSpec, ModelInputs, pipeline_configs
+from repro.pipeline.store import FeatureStore, _load_json, _save_json
+from repro.text.pipeline import PipelineConfig
+from repro.text.stages import StageChain
+
+#: FeatureStore artifact kind of per-shard token lists.
+SHARD_KIND = "shard_tokens"
+
+
+def _process_shard(recipes: tuple[Recipe, ...], chain: StageChain) -> list[list[str]]:
+    """Worker entry point: run the stage chain over one shard's recipes.
+
+    Module-level (and operating only on picklable arguments) so it can be
+    shipped to ``ProcessPoolExecutor`` workers under any start method.
+    """
+    return chain.run_recipes(recipes)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Execution configuration of the corpus engine.
+
+    Attributes:
+        shard_size: Recipes per shard.  Smaller shards recompute less after
+            an append but carry more scheduling/caching overhead; the default
+            keeps shards large enough that stage work dominates.
+        n_workers: Worker processes mapping the stage chain over shards.
+            ``1`` (the default) runs shards sequentially in-process — the
+            output is identical either way.
+    """
+
+    shard_size: int = 512
+    n_workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {self.shard_size}")
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+
+
+class CorpusEngine:
+    """Maps stage chains over corpus shards, through the feature store.
+
+    Args:
+        store: The feature store holding per-shard and corpus-level
+            artifacts.  Sharing one store between an engine, an experiment
+            runner and a prediction service makes every layer consume the
+            same cache.
+        config: Execution configuration; ``shard_size=...`` / ``n_workers=...``
+            keyword shortcuts construct one implicitly.
+    """
+
+    def __init__(
+        self,
+        store: FeatureStore | None = None,
+        config: EngineConfig | None = None,
+        *,
+        shard_size: int | None = None,
+        n_workers: int | None = None,
+    ) -> None:
+        if config is not None and (shard_size is not None or n_workers is not None):
+            raise ValueError("pass either config or shard_size/n_workers, not both")
+        if config is None:
+            config = EngineConfig(
+                shard_size=shard_size if shard_size is not None else 512,
+                n_workers=n_workers if n_workers is not None else 1,
+            )
+        self.store = store if store is not None else FeatureStore()
+        self.config = config
+        self._pool: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # worker pool lifecycle
+    # ------------------------------------------------------------------
+    def _executor(self) -> Executor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.config.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the engine stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "CorpusEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # sharded tokenization
+    # ------------------------------------------------------------------
+    def shard_tokens(
+        self, shard: CorpusShard, pipeline_config: PipelineConfig
+    ) -> list[list[str]]:
+        """Token sequences of a single shard (cached by shard content)."""
+        key = artifact_key(shard.fingerprint(), pipeline_config)
+        found, value = self.store.lookup(SHARD_KIND, key, suffix=".json", load=_load_json)
+        if found:
+            return value
+        value = _process_shard(shard.recipes, StageChain.from_config(pipeline_config))
+        return self.store.insert(SHARD_KIND, key, value, suffix=".json", save=_save_json)
+
+    def _assemble_tokens(
+        self, shards: Sequence[CorpusShard], pipeline_config: PipelineConfig
+    ) -> list[list[str]]:
+        """Resolve every shard (parallelising the misses) and concatenate."""
+        resolved: dict[int, list[list[str]]] = {}
+        missing: list[CorpusShard] = []
+        for shard in shards:
+            key = artifact_key(shard.fingerprint(), pipeline_config)
+            found, value = self.store.lookup(
+                SHARD_KIND, key, suffix=".json", load=_load_json
+            )
+            if found:
+                resolved[shard.index] = value
+            else:
+                missing.append(shard)
+        if missing:
+            chain = StageChain.from_config(pipeline_config)
+            if self.config.n_workers > 1 and len(missing) > 1:
+                outputs = list(
+                    self._executor().map(
+                        _process_shard,
+                        [shard.recipes for shard in missing],
+                        [chain] * len(missing),
+                    )
+                )
+            else:
+                outputs = [_process_shard(shard.recipes, chain) for shard in missing]
+            for shard, output in zip(missing, outputs):
+                key = artifact_key(shard.fingerprint(), pipeline_config)
+                self.store.insert(SHARD_KIND, key, output, suffix=".json", save=_save_json)
+                resolved[shard.index] = output
+        tokens: list[list[str]] = []
+        for shard in shards:
+            tokens.extend(resolved[shard.index])
+        return tokens
+
+    def tokens(self, corpus: RecipeDB, pipeline_config: PipelineConfig) -> list[list[str]]:
+        """Preprocessed token sequences of *corpus*, computed shard-wise.
+
+        The corpus-level artifact lives under the same ``tokens`` kind and
+        key as :meth:`FeatureStore.tokens`, so the sequential and sharded
+        paths hit each other's cache entries and produce byte-identical
+        results; only the *computation* of a cold corpus differs (per-shard,
+        optionally process-parallel, incrementally reusing shard artifacts).
+        """
+        key = artifact_key(corpus.fingerprint(), pipeline_config)
+        return self.store._get_or_compute(
+            "tokens",
+            key,
+            lambda: self._assemble_tokens(corpus.shards(self.config.shard_size), pipeline_config),
+            suffix=".json",
+            save=_save_json,
+            load=_load_json,
+        )
+
+    def documents(self, corpus: RecipeDB, pipeline_config: PipelineConfig) -> list[str]:
+        """Document strings of *corpus*, built on sharded tokens."""
+        self.tokens(corpus, pipeline_config)
+        return self.store.documents(corpus, pipeline_config)
+
+    # ------------------------------------------------------------------
+    # store-facing passthroughs
+    # ------------------------------------------------------------------
+    def model_inputs(
+        self,
+        spec: FeatureSpec,
+        corpus: RecipeDB,
+        train_corpus: RecipeDB | None = None,
+        label_space: Sequence[str] | None = None,
+        with_labels: bool = True,
+    ) -> ModelInputs:
+        """Resolve *spec* with the preprocessing step routed through shards."""
+        self.tokens(corpus, spec.pipeline)
+        if train_corpus is not None and train_corpus is not corpus:
+            self.tokens(train_corpus, spec.pipeline)
+        return self.store.model_inputs(
+            spec,
+            corpus,
+            train_corpus=train_corpus,
+            label_space=label_space,
+            with_labels=with_labels,
+        )
+
+    def warm(
+        self,
+        corpora: Sequence[RecipeDB],
+        specs: Sequence[FeatureSpec],
+        train_corpus: RecipeDB | None = None,
+        label_space: Sequence[str] | None = None,
+    ) -> None:
+        """Sharded-parallel counterpart of :meth:`FeatureStore.warm`.
+
+        The preprocessing pass — the dominant cost — runs through the
+        sharded engine; every downstream artifact is then materialised by
+        the store's own warm-up, resolving the token artifacts as pure
+        cache hits.
+        """
+        populated = [corpus for corpus in corpora if len(corpus) > 0]
+        for config in pipeline_configs(specs):
+            for corpus in populated:
+                self.tokens(corpus, config)
+        self.store.warm(
+            corpora, specs, train_corpus=train_corpus, label_space=label_space
+        )
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def shard_stats(self) -> dict:
+        """Hit/miss counters of the per-shard token artifacts."""
+        return {
+            "hits": self.store.hit_count(SHARD_KIND),
+            "misses": self.store.miss_count(SHARD_KIND),
+        }

@@ -13,9 +13,9 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from typing import Any
+from typing import Any, Sequence
 
-from repro.data.recipedb import RecipeDB
+from repro.data.recipedb import CorpusShard, RecipeDB
 
 
 def _jsonable(value: Any) -> Any:
@@ -51,8 +51,13 @@ def stable_hash(value: Any, digest_size: int = 16) -> str:
     return hashlib.blake2b(payload.encode("utf-8"), digest_size=digest_size).hexdigest()
 
 
-def corpus_fingerprint(corpus: RecipeDB) -> str:
-    """Content fingerprint of a corpus (delegates to :meth:`RecipeDB.fingerprint`)."""
+def corpus_fingerprint(corpus: RecipeDB | CorpusShard) -> str:
+    """Content fingerprint of a corpus or corpus shard.
+
+    Delegates to :meth:`RecipeDB.fingerprint` / :meth:`CorpusShard.fingerprint`;
+    shard fingerprints are content-only, so equal shard content always shares
+    an artifact regardless of which corpus the shard was cut from.
+    """
     return corpus.fingerprint()
 
 
@@ -62,3 +67,14 @@ def artifact_key(*parts: Any) -> str:
         part if isinstance(part, str) else stable_hash(part) for part in parts
     ]
     return "-".join(resolved)
+
+
+def sequence_key(sequence: Sequence[str], pipeline_config: Any) -> str:
+    """Cache key of a single raw item sequence under a pipeline config.
+
+    Shared by :meth:`~repro.pipeline.store.FeatureStore.sequence_tokens` and
+    the corpus engine's serving warm-up, so a sequence featurized as part of
+    a corpus shard and the same sequence arriving as a prediction request
+    resolve to the same artifact.
+    """
+    return artifact_key(stable_hash(tuple(sequence)), pipeline_config)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Union
+from typing import TYPE_CHECKING, Any, Iterable, Sequence, Union
 
 import numpy as np
 
@@ -77,6 +77,16 @@ class SequenceSpec:
 
 
 FeatureSpec = Union[TfidfSpec, SequenceSpec]
+
+
+def pipeline_configs(specs: "Sequence[FeatureSpec] | Iterable[FeatureSpec]") -> set[PipelineConfig]:
+    """The distinct preprocessing configurations declared by *specs*.
+
+    Both the feature store's warm-up and the corpus engine iterate the
+    preprocessing work per distinct config — models sharing a config share
+    one pipeline pass.
+    """
+    return {spec.pipeline for spec in specs}
 
 
 def spec_to_dict(spec: FeatureSpec) -> dict:

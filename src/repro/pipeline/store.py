@@ -19,6 +19,7 @@ import os
 import tempfile
 import threading
 from collections import Counter, OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Sequence
 
@@ -27,8 +28,14 @@ from scipy import sparse
 
 from repro.data.recipedb import RecipeDB
 from repro.features.tfidf import TfidfVectorizer
-from repro.pipeline.fingerprint import artifact_key, stable_hash
-from repro.pipeline.specs import FeatureSpec, ModelInputs, SequenceSpec, TfidfSpec
+from repro.pipeline.fingerprint import artifact_key, sequence_key, stable_hash
+from repro.pipeline.specs import (
+    FeatureSpec,
+    ModelInputs,
+    SequenceSpec,
+    TfidfSpec,
+    pipeline_configs,
+)
 from repro.text.pipeline import PipelineConfig, PreprocessingPipeline
 from repro.text.sequences import EncodedBatch, SequenceEncoder
 from repro.text.vocabulary import Vocabulary
@@ -120,6 +127,15 @@ class FeatureStore:
         self.max_entries = max_entries
         self._entries: OrderedDict[tuple[str, str], Any] = OrderedDict()
         self._lock = threading.RLock()
+        #: Per-key locks serialize concurrent materialization of the *same*
+        #: artifact (so exactly one writer computes and persists it) while
+        #: letting distinct artifacts compute in parallel — the global lock
+        #: is only ever held for bookkeeping, never across a computation.
+        #: Entries are refcounted ``[lock, holders]`` pairs: the mapping
+        #: lives exactly as long as some thread holds or waits on the lock,
+        #: so same-key threads always share one lock (even across LRU
+        #: eviction of the entry) and the dict stays bounded by concurrency.
+        self._key_locks: dict[tuple[str, str], list] = {}
         self.hits: Counter = Counter()
         self.disk_hits: Counter = Counter()
         self.misses: Counter = Counter()
@@ -133,6 +149,39 @@ class FeatureStore:
             return None
         return self.cache_dir / f"{kind}-{key}{suffix}"
 
+    def _memory_get(self, full_key: tuple[str, str]) -> tuple[bool, Any]:
+        """(found, value) from the LRU layer, counting a hit when found."""
+        with self._lock:
+            if full_key in self._entries:
+                self.hits[full_key[0]] += 1
+                self._entries.move_to_end(full_key)
+                return True, self._entries[full_key]
+        return False, None
+
+    def _memory_put(self, full_key: tuple[str, str], value: Any) -> None:
+        with self._lock:
+            self._entries[full_key] = value
+            self._entries.move_to_end(full_key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    @contextmanager
+    def _key_lock(self, full_key: tuple[str, str]):
+        with self._lock:
+            entry = self._key_locks.get(full_key)
+            if entry is None:
+                entry = [threading.RLock(), 0]
+                self._key_locks[full_key] = entry
+            entry[1] += 1
+        try:
+            with entry[0]:
+                yield
+        finally:
+            with self._lock:
+                entry[1] -= 1
+                if entry[1] <= 0:
+                    self._key_locks.pop(full_key, None)
+
     def _get_or_compute(
         self,
         kind: str,
@@ -143,24 +192,90 @@ class FeatureStore:
         load: Callable[[Path], Any] | None = None,
     ) -> Any:
         full_key = (kind, key)
-        with self._lock:
-            if full_key in self._entries:
-                self.hits[kind] += 1
-                self._entries.move_to_end(full_key)
-                return self._entries[full_key]
+        found, value = self._memory_get(full_key)
+        if found:
+            return value
+        with self._key_lock(full_key):
+            # Re-check: another thread may have materialised the artifact
+            # while this one waited on the key lock.
+            found, value = self._memory_get(full_key)
+            if found:
+                return value
             path = self._disk_path(kind, key, suffix) if suffix else None
             if path is not None and load is not None and path.exists():
                 value = load(path)
-                self.disk_hits[kind] += 1
+                with self._lock:
+                    self.disk_hits[kind] += 1
             else:
                 value = compute()
-                self.misses[kind] += 1
+                with self._lock:
+                    self.misses[kind] += 1
                 if path is not None and save is not None:
                     save(path, value)
-            self._entries[full_key] = value
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            self._memory_put(full_key, value)
             return value
+
+    # ------------------------------------------------------------------
+    # raw artifact access (the corpus engine's interface)
+    # ------------------------------------------------------------------
+    def lookup(
+        self,
+        kind: str,
+        key: str,
+        suffix: str | None = None,
+        load: Callable[[Path], Any] | None = None,
+    ) -> tuple[bool, Any]:
+        """(found, value) for an artifact, without computing it.
+
+        Checks the in-memory LRU first, then (when *suffix*/*load* are given
+        and a cache directory is configured) the disk layer, promoting disk
+        finds into memory.  Hits are counted; a miss counts nothing — the
+        caller is expected to compute the artifact itself and record it via
+        :meth:`insert`.
+        """
+        full_key = (kind, key)
+        found, value = self._memory_get(full_key)
+        if found:
+            return True, value
+        path = self._disk_path(kind, key, suffix) if suffix else None
+        if path is not None and load is not None and path.exists():
+            with self._key_lock(full_key):
+                found, value = self._memory_get(full_key)
+                if found:
+                    return True, value
+                value = load(path)
+                with self._lock:
+                    self.disk_hits[kind] += 1
+                self._memory_put(full_key, value)
+                return True, value
+        return False, None
+
+    def insert(
+        self,
+        kind: str,
+        key: str,
+        value: Any,
+        suffix: str | None = None,
+        save: Callable[[Path, Any], None] | None = None,
+        count_miss: bool = True,
+    ) -> Any:
+        """Record an externally computed artifact.
+
+        Counted as a miss by default (the artifact *was* computed, just not
+        inside the store); pass ``count_miss=False`` for pure cache seeding
+        (e.g. the serving layer republishing shard outputs under per-sequence
+        keys).  Persists to disk when *suffix*/*save* are given.
+        """
+        full_key = (kind, key)
+        with self._key_lock(full_key):
+            if count_miss:
+                with self._lock:
+                    self.misses[kind] += 1
+            path = self._disk_path(kind, key, suffix) if suffix else None
+            if path is not None and save is not None:
+                save(path, value)
+            self._memory_put(full_key, value)
+        return value
 
     # ------------------------------------------------------------------
     # statistics
@@ -210,8 +325,8 @@ class FeatureStore:
         key = stable_hash(config)
         pipeline = self._pipelines.get(key)
         if pipeline is None:
-            pipeline = PreprocessingPipeline(config)
-            self._pipelines[key] = pipeline
+            with self._lock:
+                pipeline = self._pipelines.setdefault(key, PreprocessingPipeline(config))
         return pipeline
 
     def tokens(self, corpus: RecipeDB, pipeline_config: PipelineConfig) -> list[list[str]]:
@@ -236,7 +351,7 @@ class FeatureStore:
         seen in any earlier batch (or via :meth:`~FeatureStore.sequence_tokens`
         warm-up) is a pure cache hit regardless of which model or batch asks.
         """
-        key = artifact_key(stable_hash(tuple(sequence)), pipeline_config)
+        key = sequence_key(sequence, pipeline_config)
         return self._get_or_compute(
             "sequence_tokens",
             key,
@@ -402,9 +517,8 @@ class FeatureStore:
         materialised too — the concurrent training phase then resolves
         artifacts as pure cache hits instead of contending on the store lock.
         """
-        pipeline_configs = {spec.pipeline for spec in specs}
         populated = [corpus for corpus in corpora if len(corpus) > 0]
-        for config in pipeline_configs:
+        for config in pipeline_configs(specs):
             for corpus in populated:
                 self.tokens(corpus, config)
         if train_corpus is None:

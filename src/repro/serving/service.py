@@ -37,8 +37,11 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.data.recipedb import RecipeDB
 from repro.models.base import CuisineModel
-from repro.pipeline.store import FeatureStore
+from repro.pipeline.engine import CorpusEngine
+from repro.pipeline.fingerprint import sequence_key
+from repro.pipeline.store import FeatureStore, _save_json
 from repro.serving.bundle import ModelBundle, load_bundles
 
 _SHUTDOWN = object()
@@ -62,6 +65,11 @@ class PredictionService:
         models: Optional initial ``name -> fitted model`` mapping.
         store: Feature store used to cache request featurization (token
             preprocessing); a private store is created by default.
+        engine: Sharded corpus engine used by :meth:`warm_corpus` to
+            featurize whole corpora.  Pass the training side's engine (or
+            one over a shared/cache-dir-backed store) so inference reuses
+            the exact per-shard artifacts training produced; by default an
+            in-process engine over *store* is created.
         max_batch_size: Flush the micro-batch queue at this many requests.
         flush_interval: Seconds the worker waits for a batch to fill after
             the first request arrives — a lone request therefore pays up to
@@ -80,6 +88,7 @@ class PredictionService:
         models: Mapping[str, CuisineModel] | None = None,
         *,
         store: FeatureStore | None = None,
+        engine: CorpusEngine | None = None,
         max_batch_size: int = 32,
         flush_interval: float = 0.005,
         cache_size: int = 2048,
@@ -92,7 +101,12 @@ class PredictionService:
             raise ValueError(f"flush_interval must be >= 0, got {flush_interval}")
         if cache_size < 0:
             raise ValueError(f"cache_size must be >= 0, got {cache_size}")
+        if store is None and engine is not None:
+            store = engine.store
         self.store = store if store is not None else FeatureStore()
+        if engine is not None and engine.store is not self.store:
+            raise ValueError("engine must be built over the service's feature store")
+        self.engine = engine if engine is not None else CorpusEngine(self.store)
         self.max_batch_size = max_batch_size
         self.flush_interval = flush_interval
         self.cache_size = cache_size
@@ -208,6 +222,40 @@ class PredictionService:
         sequences = [self._validated(sequence) for sequence in sequences]
         for name in names if names is not None else self.model_names():
             self._featurize(self._require_model(name), sequences)
+
+    def warm_corpus(self, corpus: RecipeDB, names: Sequence[str] | None = None) -> int:
+        """Warm the service with a whole corpus through the sharded engine.
+
+        The corpus is featurized shard-wise by the :class:`CorpusEngine`
+        (reusing — and contributing to — the same per-shard artifacts the
+        training side computes), and each recipe's token sequence is then
+        republished under its per-sequence cache key, so a later predict for
+        any recipe of *corpus* featurizes as a pure cache hit.  Seeding does
+        not inflate the store's miss counters.
+
+        The seeded artifacts live in the store's bounded LRU layer (plus the
+        disk cache when the store has a ``cache_dir``): to keep a whole large
+        corpus resident, size ``FeatureStore(max_entries=...)`` accordingly
+        or configure disk persistence.
+
+        Returns the number of (sequence, pipeline-config) artifacts seeded.
+        """
+        names = names if names is not None else self.model_names()
+        configs = {self._require_model(name).feature_spec().pipeline for name in names}
+        seeded = 0
+        for config in configs:
+            tokens = self.engine.tokens(corpus, config)
+            for recipe, recipe_tokens in zip(corpus, tokens):
+                self.store.insert(
+                    "sequence_tokens",
+                    sequence_key(recipe.sequence, config),
+                    recipe_tokens,
+                    suffix=".json",
+                    save=_save_json,
+                    count_miss=False,
+                )
+                seeded += 1
+        return seeded
 
     # ------------------------------------------------------------------
     # result cache

@@ -7,12 +7,29 @@ sequence encoding/padding for the neural models.
 
 from repro.text.cleaning import clean_item, clean_sequence, remove_digits_and_symbols
 from repro.text.lemmatizer import Lemmatizer, lemmatize
-from repro.text.pipeline import PreprocessingPipeline
+from repro.text.pipeline import PipelineConfig, PreprocessingPipeline
 from repro.text.sequences import SequenceEncoder, pad_sequences
+from repro.text.stages import (
+    CleanStage,
+    JoinStage,
+    LemmatizeStage,
+    LowercaseStage,
+    Stage,
+    StageChain,
+    TokenizeStage,
+)
 from repro.text.tokenizer import tokenize, tokenize_sequence
 from repro.text.vocabulary import Vocabulary
 
 __all__ = [
+    "CleanStage",
+    "JoinStage",
+    "LemmatizeStage",
+    "LowercaseStage",
+    "PipelineConfig",
+    "Stage",
+    "StageChain",
+    "TokenizeStage",
     "clean_item",
     "clean_sequence",
     "remove_digits_and_symbols",

@@ -15,6 +15,7 @@ kept.  A small exception dictionary handles irregular forms common in recipes.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Iterable
 
@@ -96,19 +97,25 @@ class Lemmatizer:
             self._exceptions.update(extra_exceptions)
         self._cache: OrderedDict[str, str] = OrderedDict()
         self._cache_size = cache_size
+        #: The memoisation cache is shared by every thread using this
+        #: instance (the feature store computes artifacts concurrently);
+        #: OrderedDict reordering is not safe under concurrent mutation.
+        self._cache_lock = threading.Lock()
 
     def lemmatize(self, word: str) -> str:
         """Return the lemma of a single lower-case word."""
         if not word:
             return word
-        cached = self._cache.get(word)
-        if cached is not None:
-            self._cache.move_to_end(word)
-            return cached
+        with self._cache_lock:
+            cached = self._cache.get(word)
+            if cached is not None:
+                self._cache.move_to_end(word)
+                return cached
         lemma = self._lemmatize_uncached(word)
-        self._cache[word] = lemma
-        if len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
+        with self._cache_lock:
+            self._cache[word] = lemma
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
         return lemma
 
     def lemmatize_all(self, words: Iterable[str]) -> list[str]:

@@ -3,6 +3,11 @@
 Combines cleaning, tokenization and lemmatization into a single configurable
 transformation from raw :class:`~repro.data.schema.Recipe` objects (or raw
 item sequences) to token sequences and document strings.
+
+The transformation itself lives in :mod:`repro.text.stages` as a chain of
+composable, picklable stage objects — the form the sharded corpus engine
+ships to worker processes.  :class:`PreprocessingPipeline` is a thin facade
+over that chain with the original monolithic API and identical outputs.
 """
 
 from __future__ import annotations
@@ -12,9 +17,7 @@ from typing import Iterable, Sequence
 
 from repro.data.recipedb import RecipeDB
 from repro.data.schema import Recipe
-from repro.text.cleaning import clean_item
-from repro.text.lemmatizer import Lemmatizer
-from repro.text.tokenizer import tokenize
+from repro.text.stages import StageChain
 
 
 @dataclass(frozen=True)
@@ -37,53 +40,44 @@ class PipelineConfig:
     split_items: bool = False
     item_separator: str = "_"
 
+    def stage_chain(self) -> StageChain:
+        """The equivalent composable stage chain (see :mod:`repro.text.stages`)."""
+        return StageChain.from_config(self)
+
 
 class PreprocessingPipeline:
-    """Transforms recipes into cleaned, lemmatized token sequences."""
+    """Transforms recipes into cleaned, lemmatized token sequences.
+
+    A facade over the compiled :class:`~repro.text.stages.StageChain`; the
+    chain is built once per pipeline instance so its lemmatizer memoisation
+    cache is shared across every recipe the pipeline processes.
+    """
 
     def __init__(self, config: PipelineConfig | None = None) -> None:
         self.config = config or PipelineConfig()
-        self._lemmatizer = Lemmatizer()
+        self.chain = self.config.stage_chain()
 
     # ------------------------------------------------------------------
     # item / sequence level
     # ------------------------------------------------------------------
     def process_item(self, item: str) -> list[str]:
         """Clean, tokenize and lemmatize a single recipe item into words."""
-        cfg = self.config
-        if cfg.remove_digits_symbols:
-            item = clean_item(item, lowercase=cfg.lowercase)
-        elif cfg.lowercase:
-            item = item.lower()
-        words = tokenize(item, lowercase=cfg.lowercase)
-        if cfg.lemmatize:
-            words = self._lemmatizer.lemmatize_all(words)
-        return words
+        return self.chain.run_item(item)
 
     def process_sequence(self, sequence: Iterable[str]) -> list[str]:
         """Process a recipe item sequence into the final token sequence."""
-        cfg = self.config
-        tokens: list[str] = []
-        for item in sequence:
-            words = self.process_item(item)
-            if not words:
-                continue
-            if cfg.split_items:
-                tokens.extend(words)
-            else:
-                tokens.append(cfg.item_separator.join(words))
-        return tokens
+        return self.chain.run_sequence(sequence)
 
     # ------------------------------------------------------------------
     # recipe / corpus level
     # ------------------------------------------------------------------
     def process_recipe(self, recipe: Recipe) -> list[str]:
         """Token sequence of a single recipe."""
-        return self.process_sequence(recipe.sequence)
+        return self.chain.run_sequence(recipe.sequence)
 
     def process_corpus(self, corpus: RecipeDB | Sequence[Recipe]) -> list[list[str]]:
         """Token sequences for every recipe of a corpus, in order."""
-        return [self.process_recipe(recipe) for recipe in corpus]
+        return self.chain.run_recipes(corpus)
 
     def documents(self, corpus: RecipeDB | Sequence[Recipe]) -> list[str]:
         """Whitespace-joined document strings (the TF-IDF input form)."""

@@ -1,0 +1,188 @@
+"""Composable preprocessing stages (the Section IV pipeline, decomposed).
+
+The monolithic per-recipe loop of :class:`~repro.text.pipeline.PreprocessingPipeline`
+is built from four small, picklable, fingerprintable stage objects:
+
+* :class:`CleanStage` — digit/symbol removal (``clean_item``);
+* :class:`TokenizeStage` — word extraction;
+* :class:`LemmatizeStage` — suffix-rule lemmatization;
+* :class:`JoinStage` — per-item word lists → the final token sequence
+  (split into words for TF-IDF, or joined into single item tokens for the
+  sequential models).
+
+A :class:`StageChain` bundles an item-level stage sequence with a terminal
+join stage.  Chains are plain frozen dataclasses: they pickle cheaply (the
+lemmatizer's memoisation cache is transient and rebuilt in each worker), hash
+deterministically through :func:`repro.pipeline.fingerprint.stable_hash`, and
+produce **byte-identical** output to the original monolithic pipeline — the
+equivalence contract the sharded corpus engine depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.text.cleaning import clean_item
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.tokenizer import tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.data.schema import Recipe
+    from repro.text.pipeline import PipelineConfig
+
+
+@dataclass(frozen=True)
+class Stage:
+    """An item-level transformation over a list of word strings.
+
+    Every stage maps a list of strings to a list of strings; a recipe item
+    enters the chain as the single-element list ``[item]`` and leaves it as
+    the item's word tokens.  Subclasses are frozen dataclasses so that equal
+    configurations are equal objects, pickle across process boundaries and
+    fingerprint stably field by field.
+    """
+
+    def run(self, words: list[str]) -> list[str]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CleanStage(Stage):
+    """Digit/symbol removal and whitespace normalisation per string."""
+
+    lowercase: bool = True
+
+    def run(self, words: list[str]) -> list[str]:
+        return [clean_item(word, lowercase=self.lowercase) for word in words]
+
+
+@dataclass(frozen=True)
+class LowercaseStage(Stage):
+    """Plain lower-casing (the ``remove_digits_symbols=False`` path)."""
+
+    def run(self, words: list[str]) -> list[str]:
+        return [word.lower() for word in words]
+
+
+@dataclass(frozen=True)
+class TokenizeStage(Stage):
+    """Split every string into word tokens, flattening the results."""
+
+    lowercase: bool = True
+
+    def run(self, words: list[str]) -> list[str]:
+        tokens: list[str] = []
+        for word in words:
+            tokens.extend(tokenize(word, lowercase=self.lowercase))
+        return tokens
+
+
+@dataclass(frozen=True)
+class LemmatizeStage(Stage):
+    """Lemmatize every word with the rule-based lemmatizer.
+
+    The :class:`~repro.text.lemmatizer.Lemmatizer` instance (which carries a
+    memoisation cache) is created lazily and excluded from pickling, so a
+    stage shipped to a worker process starts with a fresh cache — lemmas are
+    pure functions of the word, so outputs are unaffected.
+    """
+
+    extra_exceptions: tuple[tuple[str, str], ...] = ()
+
+    def _lemmatizer_instance(self) -> Lemmatizer:
+        lemmatizer = self.__dict__.get("_lemmatizer")
+        if lemmatizer is None:
+            lemmatizer = Lemmatizer(extra_exceptions=dict(self.extra_exceptions) or None)
+            object.__setattr__(self, "_lemmatizer", lemmatizer)
+        return lemmatizer
+
+    def run(self, words: list[str]) -> list[str]:
+        return self._lemmatizer_instance().lemmatize_all(words)
+
+    def __getstate__(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def __setstate__(self, state: dict) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
+
+@dataclass(frozen=True)
+class JoinStage:
+    """Assemble per-item word lists into the final token sequence.
+
+    Items whose word list came out empty are dropped; the rest either extend
+    the sequence word by word (``split_items=True``, the TF-IDF form) or
+    contribute one joined item token (the sequential-model form).
+    """
+
+    split_items: bool = False
+    item_separator: str = "_"
+
+    def assemble(self, item_words: Iterable[list[str]]) -> list[str]:
+        tokens: list[str] = []
+        for words in item_words:
+            if not words:
+                continue
+            if self.split_items:
+                tokens.extend(words)
+            else:
+                tokens.append(self.item_separator.join(words))
+        return tokens
+
+
+@dataclass(frozen=True)
+class StageChain:
+    """An ordered item-level stage sequence plus the terminal join stage.
+
+    The chain is the shippable form of a preprocessing configuration: built
+    once from a :class:`~repro.text.pipeline.PipelineConfig`
+    (:meth:`from_config`), pickled to worker processes by the corpus engine,
+    and fingerprinted (via ``stable_hash``) as part of artifact keys.
+    """
+
+    stages: tuple[Stage, ...] = field(default_factory=tuple)
+    join: JoinStage = field(default_factory=JoinStage)
+
+    @classmethod
+    def from_config(cls, config: "PipelineConfig") -> "StageChain":
+        """Compile *config* into the equivalent stage chain.
+
+        The compilation mirrors the original monolithic ``process_item``
+        exactly: cleaning only when ``remove_digits_symbols`` is set, the
+        plain-lowercase fallback otherwise, tokenization always, and
+        lemmatization when enabled.
+        """
+        stages: list[Stage] = []
+        if config.remove_digits_symbols:
+            stages.append(CleanStage(lowercase=config.lowercase))
+        elif config.lowercase:
+            stages.append(LowercaseStage())
+        stages.append(TokenizeStage(lowercase=config.lowercase))
+        if config.lemmatize:
+            stages.append(LemmatizeStage())
+        return cls(
+            stages=tuple(stages),
+            join=JoinStage(
+                split_items=config.split_items, item_separator=config.item_separator
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run_item(self, item: str) -> list[str]:
+        """The word tokens of a single recipe item."""
+        words = [item]
+        for stage in self.stages:
+            words = stage.run(words)
+        return words
+
+    def run_sequence(self, sequence: Iterable[str]) -> list[str]:
+        """The final token sequence of one recipe item sequence."""
+        return self.join.assemble(self.run_item(item) for item in sequence)
+
+    def run_recipes(self, recipes: Iterable["Recipe"]) -> list[list[str]]:
+        """Token sequences for an iterable of recipes, in order."""
+        return [self.run_sequence(recipe.sequence) for recipe in recipes]

@@ -97,3 +97,73 @@ class TestTransformations:
     def test_filter_preserves_generator_config(self, tiny_corpus):
         filtered = tiny_corpus.filter(lambda r: True)
         assert filtered.generator_config is tiny_corpus.generator_config
+
+
+class TestColumnViewCaching:
+    def test_column_views_are_cached_objects(self, handmade_corpus):
+        assert handmade_corpus.cuisines is handmade_corpus.cuisines
+        assert handmade_corpus.continents is handmade_corpus.continents
+        assert handmade_corpus.sequences is handmade_corpus.sequences
+        assert handmade_corpus.texts() is handmade_corpus.texts()
+
+    def test_cached_views_have_correct_content(self, handmade_corpus):
+        assert handmade_corpus.cuisines == [r.cuisine for r in handmade_corpus]
+        assert handmade_corpus.texts() == [r.as_text() for r in handmade_corpus]
+
+    def test_extend_returns_new_corpus_with_untouched_caches(self, handmade_corpus):
+        before = handmade_corpus.cuisines
+        extra = Recipe(
+            recipe_id=99,
+            cuisine="Thai",
+            continent="Asian",
+            sequence=("rice", "steam"),
+        )
+        grown = handmade_corpus.extend([extra])
+        assert len(grown) == len(handmade_corpus) + 1
+        assert handmade_corpus.cuisines is before  # original cache intact
+        assert grown.cuisines[-1] == "Thai"
+        assert grown.fingerprint() != handmade_corpus.fingerprint()
+
+    def test_extend_rejects_duplicate_ids(self, handmade_corpus):
+        with pytest.raises(ValueError):
+            handmade_corpus.extend([handmade_corpus[0]])
+
+
+class TestShards:
+    def test_shards_partition_the_corpus(self, handmade_corpus):
+        shards = handmade_corpus.shards(2)
+        assert [len(s) for s in shards] == [2, 2, 1]
+        assert [s.start for s in shards] == [0, 2, 4]
+        assert [s.index for s in shards] == [0, 1, 2]
+        flattened = [r for shard in shards for r in shard]
+        assert flattened == list(handmade_corpus)
+
+    def test_invalid_shard_size_rejected(self, handmade_corpus):
+        with pytest.raises(ValueError):
+            handmade_corpus.shards(0)
+
+    def test_shard_fingerprints_are_content_stable(self, handmade_corpus):
+        first = handmade_corpus.shards(2)
+        second = handmade_corpus.shards(2)
+        assert [s.fingerprint() for s in first] == [s.fingerprint() for s in second]
+
+    def test_prefix_shards_survive_extend(self, handmade_corpus):
+        extra = Recipe(
+            recipe_id=100,
+            cuisine="Thai",
+            continent="Asian",
+            sequence=("noodles", "wok"),
+        )
+        grown = handmade_corpus.extend([extra])
+        before = handmade_corpus.shards(2)
+        after = grown.shards(2)
+        # Full prefix shards keep their fingerprints; the partial tail changes.
+        assert [s.fingerprint() for s in after[:2]] == [s.fingerprint() for s in before[:2]]
+        assert after[2].fingerprint() != before[2].fingerprint()
+
+    def test_shard_fingerprint_ignores_provenance(self, tiny_corpus):
+        content_twin = RecipeDB(recipes=list(tiny_corpus.recipes))
+        assert content_twin.generator_config is None
+        assert [s.fingerprint() for s in content_twin.shards(16)] == [
+            s.fingerprint() for s in tiny_corpus.shards(16)
+        ]

@@ -5,10 +5,13 @@ import json
 import pytest
 
 from repro.data.storage import (
+    iter_shards_jsonl,
     load_recipes_csv,
     load_recipes_jsonl,
+    load_shards_jsonl,
     save_recipes_csv,
     save_recipes_jsonl,
+    save_shards_jsonl,
 )
 
 
@@ -75,3 +78,55 @@ class TestCsv:
         save_recipes_csv(handmade_corpus, path)
         loaded = load_recipes_csv(path)
         assert all(recipe.kinds == () for recipe in loaded)
+
+
+class TestShardedJsonl:
+    def test_roundtrip_preserves_everything(self, tiny_corpus, tmp_path):
+        paths = save_shards_jsonl(tiny_corpus, tmp_path / "corpus", shard_size=16)
+        assert len(paths) == len(tiny_corpus.shards(16))
+        loaded = load_shards_jsonl(tmp_path / "corpus")
+        assert loaded.recipes == tiny_corpus.recipes
+
+    def test_manifest_records_shard_fingerprints(self, tiny_corpus, tmp_path):
+        save_shards_jsonl(tiny_corpus, tmp_path / "corpus", shard_size=16)
+        manifest = json.loads((tmp_path / "corpus" / "shards.json").read_text())
+        assert manifest["shard_size"] == 16
+        assert [entry["fingerprint"] for entry in manifest["shards"]] == [
+            shard.fingerprint() for shard in tiny_corpus.shards(16)
+        ]
+
+    def test_iter_streams_shards_in_corpus_order(self, tiny_corpus, tmp_path):
+        save_shards_jsonl(tiny_corpus, tmp_path / "corpus", shard_size=16)
+        shards = list(iter_shards_jsonl(tmp_path / "corpus"))
+        assert [s.index for s in shards] == list(range(len(shards)))
+        assert [s.start for s in shards] == [s.index * 16 for s in shards]
+        flattened = [r for shard in shards for r in shard]
+        assert flattened == list(tiny_corpus)
+
+    def test_streamed_shards_feed_the_corpus_engine(self, tiny_corpus, tmp_path):
+        from repro.pipeline.engine import CorpusEngine
+        from repro.pipeline.store import FeatureStore
+        from repro.text.pipeline import PipelineConfig
+
+        save_shards_jsonl(tiny_corpus, tmp_path / "corpus", shard_size=16)
+        config = PipelineConfig(split_items=True)
+        engine = CorpusEngine(FeatureStore(), shard_size=16)
+        streamed = []
+        for shard in iter_shards_jsonl(tmp_path / "corpus"):
+            streamed.extend(engine.shard_tokens(shard, config))
+        assert streamed == FeatureStore().tokens(tiny_corpus, config)
+
+    def test_corrupted_shard_is_detected(self, tiny_corpus, tmp_path):
+        paths = save_shards_jsonl(tiny_corpus, tmp_path / "corpus", shard_size=16)
+        lines = paths[0].read_text().splitlines()
+        payload = json.loads(lines[0])
+        payload["cuisine"] = "Italian" if payload["cuisine"] != "Italian" else "Mexican"
+        payload["continent"] = "European" if payload["cuisine"] == "Italian" else "Latin American"
+        lines[0] = json.dumps(payload)
+        paths[0].write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="fingerprint"):
+            list(iter_shards_jsonl(tmp_path / "corpus"))
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(iter_shards_jsonl(tmp_path / "nowhere"))

@@ -1,0 +1,210 @@
+"""Tests for the sharded corpus engine.
+
+The two acceptance properties of the engine refactor:
+
+* **Equivalence** — for every registry model's feature spec, featurizing
+  through ``CorpusEngine(n_workers=4)`` yields bitwise-identical artifacts
+  (same content digests) as the sequential feature-store path.
+* **Incrementality** — after ``RecipeDB.extend``, refeaturizing recomputes
+  only the shards whose fingerprints changed (verified through the store's
+  per-shard hit/miss counters).
+"""
+
+import hashlib
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.data.recipedb import RecipeDB
+from repro.models.registry import MODEL_NAMES, create_model
+from repro.pipeline.engine import SHARD_KIND, CorpusEngine, EngineConfig
+from repro.pipeline.fingerprint import stable_hash
+from repro.pipeline.specs import SequenceSpec, TfidfSpec
+from repro.pipeline.store import FeatureStore, _jsonable_state
+from repro.text.pipeline import PipelineConfig
+
+STAT_PIPELINE = PipelineConfig(split_items=True)
+
+
+def array_digest(*arrays: np.ndarray) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for array in arrays:
+        digest.update(np.ascontiguousarray(array).tobytes())
+        digest.update(str(array.shape).encode())
+    return digest.hexdigest()
+
+
+def inputs_digests(store: FeatureStore, spec, corpus, train_corpus, label_space) -> dict:
+    """Content digests of every artifact a model consumes under *spec*."""
+    inputs = store.model_inputs(
+        spec, corpus, train_corpus=train_corpus, label_space=label_space
+    )
+    digests = {
+        "tokens": stable_hash(store.tokens(corpus, spec.pipeline)),
+        "labels": array_digest(inputs.labels),
+    }
+    if isinstance(spec, TfidfSpec):
+        matrix = inputs.features
+        digests["features"] = array_digest(matrix.data, matrix.indices, matrix.indptr)
+        digests["documents"] = stable_hash(store.documents(corpus, spec.pipeline))
+        digests["vectorizer"] = stable_hash(_jsonable_state(inputs.vectorizer.get_state()))
+    else:
+        digests["features"] = array_digest(inputs.features.ids, inputs.features.mask)
+        digests["vocabulary"] = stable_hash(_jsonable_state(inputs.vocabulary.get_state()))
+    return digests
+
+
+def renumbered(recipes, start_id):
+    return [replace(r, recipe_id=start_id + i) for i, r in enumerate(recipes)]
+
+
+@pytest.fixture(scope="module")
+def registry_specs():
+    label_space = ("Italian", "Mexican", "Japanese")
+    return {name: create_model(name, label_space=label_space).feature_spec() for name in MODEL_NAMES}
+
+
+class TestEngineConfig:
+    def test_invalid_shard_size_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(shard_size=0)
+
+    def test_invalid_n_workers_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(n_workers=0)
+
+    def test_config_and_shortcuts_are_exclusive(self):
+        with pytest.raises(ValueError):
+            CorpusEngine(FeatureStore(), EngineConfig(), shard_size=8)
+
+
+class TestSequentialEquivalence:
+    def test_tokens_identical_to_store_path(self, tiny_corpus):
+        sequential = FeatureStore().tokens(tiny_corpus, STAT_PIPELINE)
+        engine = CorpusEngine(FeatureStore(), shard_size=16)
+        assert engine.tokens(tiny_corpus, STAT_PIPELINE) == sequential
+
+    def test_engine_and_store_paths_share_the_corpus_artifact(self, tiny_corpus):
+        store = FeatureStore()
+        engine = CorpusEngine(store, shard_size=16)
+        via_engine = engine.tokens(tiny_corpus, STAT_PIPELINE)
+        assert store.tokens(tiny_corpus, STAT_PIPELINE) is via_engine
+        assert store.miss_count("tokens") == 1  # the store path was a pure hit
+
+    def test_single_shard_covers_whole_corpus(self, tiny_corpus):
+        engine = CorpusEngine(FeatureStore(), shard_size=10**6)
+        sequential = FeatureStore().tokens(tiny_corpus, STAT_PIPELINE)
+        assert engine.tokens(tiny_corpus, STAT_PIPELINE) == sequential
+        assert engine.shard_stats()["misses"] == 1
+
+
+class TestParallelEquivalence:
+    def test_registry_specs_bitwise_identical_with_four_workers(
+        self, tiny_corpus, registry_specs
+    ):
+        label_space = tiny_corpus.present_cuisines()
+        train = tiny_corpus.subset(range(0, len(tiny_corpus), 2))
+        evaluation = tiny_corpus.subset(range(1, len(tiny_corpus), 2))
+
+        sequential_store = FeatureStore()
+        engine_store = FeatureStore()
+        with CorpusEngine(engine_store, shard_size=8, n_workers=4) as engine:
+            for name, spec in registry_specs.items():
+                for corpus in (train, evaluation):
+                    engine.tokens(corpus, spec.pipeline)
+                for corpus in (train, evaluation):
+                    assert inputs_digests(
+                        engine_store, spec, corpus, train, label_space
+                    ) == inputs_digests(
+                        sequential_store, spec, corpus, train, label_space
+                    ), name
+        assert engine_store.miss_count(SHARD_KIND) > 0
+
+    def test_parallel_model_inputs_match_sequential(self, tiny_corpus):
+        spec = SequenceSpec(max_length=24, add_cls=True)
+        sequential = FeatureStore().model_inputs(
+            spec, tiny_corpus, label_space=tiny_corpus.present_cuisines()
+        )
+        with CorpusEngine(FeatureStore(), shard_size=8, n_workers=2) as engine:
+            parallel = engine.model_inputs(
+                spec, tiny_corpus, label_space=tiny_corpus.present_cuisines()
+            )
+        np.testing.assert_array_equal(parallel.features.ids, sequential.features.ids)
+        np.testing.assert_array_equal(parallel.features.mask, sequential.features.mask)
+        np.testing.assert_array_equal(parallel.labels, sequential.labels)
+
+
+class TestIncrementalFeaturization:
+    def test_extend_recomputes_only_new_shards(self, tiny_corpus):
+        base = tiny_corpus.subset(range(60))
+        extra = renumbered(
+            tiny_corpus.subset(range(60, 80)).recipes,
+            start_id=10**6,
+        )
+        store = FeatureStore()
+        engine = CorpusEngine(store, shard_size=20)
+
+        engine.tokens(base, STAT_PIPELINE)
+        assert store.miss_count(SHARD_KIND) == 3
+
+        grown = base.extend(extra)
+        assert grown.fingerprint() != base.fingerprint()
+        store.reset_stats()
+        tokens = engine.tokens(grown, STAT_PIPELINE)
+
+        # 60 % 20 == 0: the three prefix shards are untouched cache hits and
+        # only the appended shard is computed.
+        assert store.hit_count(SHARD_KIND) == 3
+        assert store.miss_count(SHARD_KIND) == 1
+        assert tokens == FeatureStore().tokens(grown, STAT_PIPELINE)
+
+    def test_partial_trailing_shard_is_recomputed_after_extend(self, tiny_corpus):
+        base = tiny_corpus.subset(range(50))  # 50 % 20 != 0 -> partial tail
+        extra = renumbered(tiny_corpus.subset(range(50, 60)).recipes, start_id=10**6)
+        store = FeatureStore()
+        engine = CorpusEngine(store, shard_size=20)
+        engine.tokens(base, STAT_PIPELINE)
+        store.reset_stats()
+
+        engine.tokens(base.extend(extra), STAT_PIPELINE)
+        # Two full prefix shards survive; the previously-partial third shard
+        # changed content and is recomputed along with the rest of the tail.
+        assert store.hit_count(SHARD_KIND) == 2
+        assert store.miss_count(SHARD_KIND) == 1
+
+    def test_shard_artifacts_persist_across_processes(self, tiny_corpus, tmp_path):
+        warm = CorpusEngine(FeatureStore(cache_dir=tmp_path), shard_size=16)
+        tokens = warm.tokens(tiny_corpus, STAT_PIPELINE)
+
+        cold_store = FeatureStore(cache_dir=tmp_path)
+        cold = CorpusEngine(cold_store, shard_size=16)
+        # The corpus-level artifact itself is a disk hit; drop it to force
+        # the shard path and show the per-shard artifacts also persisted.
+        (tmp_path / next(p.name for p in tmp_path.iterdir() if p.name.startswith("tokens-"))).unlink()
+        assert cold.tokens(tiny_corpus, STAT_PIPELINE) == tokens
+        assert cold_store.miss_count(SHARD_KIND) == 0
+        assert cold_store.disk_hits[SHARD_KIND] > 0
+
+
+class TestEngineWarm:
+    def test_warm_covers_every_downstream_artifact(self, tiny_corpus):
+        specs = [TfidfSpec(), SequenceSpec()]
+        label_space = tiny_corpus.present_cuisines()
+        train = tiny_corpus.subset(range(0, len(tiny_corpus), 2))
+        evaluation = tiny_corpus.subset(range(1, len(tiny_corpus), 2))
+        store = FeatureStore()
+        engine = CorpusEngine(store, shard_size=16)
+        engine.warm([train, evaluation], specs, train_corpus=train, label_space=label_space)
+
+        store.reset_stats()
+        for spec in specs:
+            for corpus in (train, evaluation):
+                store.model_inputs(spec, corpus, train_corpus=train, label_space=label_space)
+        assert store.miss_count() == 0  # everything was materialised up front
+
+    def test_empty_corpus_is_skipped(self):
+        engine = CorpusEngine(FeatureStore(), shard_size=4)
+        empty = RecipeDB(recipes=[])
+        engine.warm([empty], [TfidfSpec()])
+        assert engine.tokens(empty, STAT_PIPELINE) == []

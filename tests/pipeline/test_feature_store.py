@@ -207,3 +207,103 @@ class TestDiskPersistence:
         sample = original.tokens()[-1]
         assert reloaded.token_to_id(sample) == original.token_to_id(sample)
         assert reloaded.frequency(sample) == original.frequency(sample)
+
+
+class TestConcurrentMaterialization:
+    def test_concurrent_same_key_writers_compute_once(self, tmp_path, tiny_corpus):
+        """Two threads materializing the same disk-backed artifact must not
+        race: the per-key lock elects one writer, the other gets a hit."""
+        import threading
+
+        store = FeatureStore(cache_dir=tmp_path)
+        results: list = []
+        barrier = threading.Barrier(4)
+
+        def materialize():
+            barrier.wait()
+            results.append(store.tokens(tiny_corpus, STAT_PIPELINE))
+
+        threads = [threading.Thread(target=materialize) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(results) == 4
+        assert all(r == results[0] for r in results)
+        assert store.miss_count("tokens") == 1
+        assert store.hit_count("tokens") == 3
+        # Exactly one complete artifact file, no leftover temp files.
+        artifacts = [p.name for p in tmp_path.iterdir()]
+        assert len([n for n in artifacts if n.startswith("tokens-")]) == 1
+        assert not [n for n in artifacts if n.endswith(".tmp")]
+
+    def test_concurrent_distinct_keys_all_materialize(self, tmp_path, tiny_corpus):
+        import threading
+
+        store = FeatureStore(cache_dir=tmp_path)
+        configs = [STAT_PIPELINE, SEQ_PIPELINE, PipelineConfig(lemmatize=False),
+                   PipelineConfig(lowercase=False)]
+        barrier = threading.Barrier(len(configs))
+
+        def materialize(config):
+            barrier.wait()
+            store.tokens(tiny_corpus, config)
+
+        threads = [threading.Thread(target=materialize, args=(c,)) for c in configs]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store.miss_count("tokens") == len(configs)
+
+    def test_lookup_and_insert_round_trip(self, tmp_path):
+        from repro.pipeline.store import _load_json, _save_json
+
+        store = FeatureStore(cache_dir=tmp_path)
+        found, value = store.lookup("shard_tokens", "k1", suffix=".json", load=_load_json)
+        assert not found and value is None
+        assert store.miss_count("shard_tokens") == 0  # lookup misses count nothing
+
+        store.insert("shard_tokens", "k1", [["a"]], suffix=".json", save=_save_json)
+        assert store.miss_count("shard_tokens") == 1
+        found, value = store.lookup("shard_tokens", "k1")
+        assert found and value == [["a"]]
+        assert store.hit_count("shard_tokens") == 1
+
+        # A fresh store sees the persisted artifact as a disk hit.
+        cold = FeatureStore(cache_dir=tmp_path)
+        found, value = cold.lookup("shard_tokens", "k1", suffix=".json", load=_load_json)
+        assert found and value == [["a"]]
+        assert cold.disk_hits["shard_tokens"] == 1
+
+    def test_insert_can_seed_without_counting_misses(self):
+        store = FeatureStore()
+        store.insert("sequence_tokens", "seeded", ["a"], count_miss=False)
+        assert store.miss_count("sequence_tokens") == 0
+        found, value = store.lookup("sequence_tokens", "seeded")
+        assert found and value == ["a"]
+
+    def test_key_locks_are_released_after_materialization(self, tiny_corpus):
+        """The per-key lock table is refcounted: it must drain back to empty
+        once no thread is computing, even across LRU eviction churn."""
+        import threading
+
+        store = FeatureStore(max_entries=2)  # constant eviction pressure
+        configs = [STAT_PIPELINE, SEQ_PIPELINE, PipelineConfig(lemmatize=False)]
+        barrier = threading.Barrier(6)
+
+        def materialize(config):
+            barrier.wait()
+            for _ in range(3):
+                store.tokens(tiny_corpus, config)
+
+        threads = [
+            threading.Thread(target=materialize, args=(configs[i % len(configs)],))
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert store._key_locks == {}

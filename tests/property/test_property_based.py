@@ -187,3 +187,74 @@ def test_layernorm_output_statistics(seed):
     out = LayerNorm(16)(Tensor(x)).data
     assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
     assert np.allclose(out.var(axis=-1), 1.0, atol=1e-2)
+
+
+# ---------------------------------------------------------------------------
+# sharded corpus engine invariants
+# ---------------------------------------------------------------------------
+
+
+def _random_corpus(rng, n_recipes: int):
+    """A seeded-random corpus with messy multi-word, digit-laden items."""
+    from repro.data.recipedb import RecipeDB
+    from repro.data.schema import Recipe
+
+    vocabulary = [
+        "red lentil", "olive oil", "2 onions", "salt", "STIR", "don't overmix",
+        "chop", "pan-fry", "tomatoes (diced)", "water", "simmering", "123",
+        "garlic", "rice", "soy sauce", "whisked eggs", "heat", "serve!",
+    ]
+    cuisines = [("Italian", "European"), ("Mexican", "Latin American"), ("Thai", "Asian")]
+    recipes = []
+    for recipe_id in range(n_recipes):
+        cuisine, continent = cuisines[rng.integers(len(cuisines))]
+        length = int(rng.integers(1, 9))
+        sequence = tuple(vocabulary[rng.integers(len(vocabulary))] for _ in range(length))
+        recipes.append(
+            Recipe(
+                recipe_id=recipe_id,
+                cuisine=cuisine,
+                continent=continent,
+                sequence=sequence,
+            )
+        )
+    return RecipeDB(recipes=recipes)
+
+
+def test_parallel_engine_is_equivalent_to_sequential_for_all_configs():
+    """CorpusEngine(n_workers=4) output — token sequences, documents and
+    artifact digests — is identical to the sequential path for seeded-random
+    corpora under every ``PipelineConfig`` combination."""
+    import itertools
+
+    from repro.pipeline.engine import CorpusEngine
+    from repro.pipeline.fingerprint import stable_hash
+    from repro.pipeline.store import FeatureStore
+    from repro.text.pipeline import PipelineConfig
+
+    configs = [
+        PipelineConfig(
+            lowercase=lowercase,
+            remove_digits_symbols=remove,
+            lemmatize=lemmatize,
+            split_items=split,
+        )
+        for lowercase, remove, lemmatize, split in itertools.product(
+            (True, False), repeat=4
+        )
+    ]
+    rng = np.random.default_rng(20260726)
+    parallel_store = FeatureStore()
+    with CorpusEngine(parallel_store, shard_size=8, n_workers=4) as engine:
+        for trial, config in enumerate(configs):
+            corpus = _random_corpus(rng, n_recipes=int(rng.integers(20, 50)))
+            sequential_store = FeatureStore()
+            expected_tokens = sequential_store.tokens(corpus, config)
+            expected_documents = sequential_store.documents(corpus, config)
+
+            tokens = engine.tokens(corpus, config)
+            documents = engine.documents(corpus, config)
+            assert tokens == expected_tokens, (trial, config)
+            assert documents == expected_documents, (trial, config)
+            assert stable_hash(tokens) == stable_hash(expected_tokens)
+            assert stable_hash(documents) == stable_hash(expected_documents)

@@ -9,7 +9,9 @@ from repro.core.experiment import ExperimentConfig, ExperimentRunner
 from repro.data.splits import train_val_test_split
 from repro.models.base import CuisineModel
 from repro.models.lstm_classifier import LSTMClassifierConfig, LSTMCuisineClassifier
+from repro.pipeline.store import FeatureStore
 from repro.serving import ModelBundle, PredictionService, discover_bundles, load_bundles
+from repro.text.pipeline import PipelineConfig
 
 MODELS = ("logreg", "naive_bayes")
 FAST_KWARGS = {"logreg": {"max_iter": 30}}
@@ -305,3 +307,61 @@ class TestObservability:
             # model's featurization is a pure cache hit.
             service.predict_proba_batch("naive_bayes", request_sequences[:4])
             assert service.store.miss_count("sequence_tokens") == misses
+
+
+class TestCorpusWarm:
+    def test_warm_corpus_seeds_per_sequence_artifacts(self, export_dir, tiny_corpus):
+        # The store must be sized for the corpus: seeded artifacts live in
+        # the bounded LRU layer (no cache_dir here) and evict oldest-first.
+        store = FeatureStore(max_entries=4 * len(tiny_corpus))
+        with PredictionService.from_export_dir(export_dir, store=store) as service:
+            seeded = service.warm_corpus(tiny_corpus)
+            # Both bundled models share one pipeline config.
+            assert seeded == len(tiny_corpus)
+            assert service.store.miss_count("sequence_tokens") == 0
+
+            sequences = [r.sequence for r in tiny_corpus.recipes[:20]]
+            service.predict_proba_batch("logreg", sequences)
+            # Featurization of warmed recipes is pure cache hits.
+            assert service.store.miss_count("sequence_tokens") == 0
+            assert service.store.hit_count("sequence_tokens") >= len(sequences)
+
+    def test_warm_corpus_shares_shard_cache_with_training_engine(
+        self, export_dir, tiny_corpus, tmp_path
+    ):
+        from repro.pipeline.engine import SHARD_KIND, CorpusEngine
+
+        cache_dir = tmp_path / "shared-cache"
+        # Training side featurizes the corpus shard-wise into a shared cache.
+        training = CorpusEngine(FeatureStore(cache_dir=cache_dir), shard_size=16)
+        training.tokens(tiny_corpus, PipelineConfig(split_items=True))
+        training_misses = training.store.miss_count(SHARD_KIND)
+        assert training_misses > 0
+
+        # The serving side, given an engine over the same cache dir, reuses
+        # the training shards instead of re-running preprocessing.
+        store = FeatureStore(cache_dir=cache_dir)
+        engine = CorpusEngine(store, shard_size=16)
+        with PredictionService.from_export_dir(export_dir, engine=engine) as service:
+            assert service.store is store
+            service.warm_corpus(tiny_corpus, names=["logreg"])
+            assert store.miss_count(SHARD_KIND) == 0
+            assert store.miss_count("tokens") == 0
+            assert store.disk_hits["tokens"] == 1
+
+    def test_engine_over_foreign_store_rejected(self, export_dir):
+        from repro.pipeline.engine import CorpusEngine
+        from repro.pipeline.store import FeatureStore
+
+        with pytest.raises(ValueError, match="feature store"):
+            PredictionService(store=FeatureStore(), engine=CorpusEngine(FeatureStore()))
+
+    def test_warm_corpus_matches_request_path_output(self, export_dir, tiny_corpus):
+        with PredictionService.from_export_dir(export_dir) as warmed, \
+             PredictionService.from_export_dir(export_dir) as cold:
+            warmed.warm_corpus(tiny_corpus)
+            sequences = [r.sequence for r in tiny_corpus.recipes[:10]]
+            np.testing.assert_array_equal(
+                warmed.predict_proba_batch("logreg", sequences),
+                cold.predict_proba_batch("logreg", sequences),
+            )

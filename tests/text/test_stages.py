@@ -1,0 +1,155 @@
+"""Tests for the composable preprocessing stages.
+
+The load-bearing property is equivalence: the stage chain compiled from any
+``PipelineConfig`` must reproduce the original monolithic pipeline's output
+byte for byte — the reference implementation is inlined here from the seed
+``PreprocessingPipeline.process_item`` so the facade can never drift silently.
+"""
+
+import itertools
+import pickle
+import random
+
+from repro.pipeline.fingerprint import stable_hash
+from repro.text.cleaning import clean_item
+from repro.text.lemmatizer import Lemmatizer
+from repro.text.pipeline import PipelineConfig, PreprocessingPipeline
+from repro.text.stages import (
+    CleanStage,
+    JoinStage,
+    LemmatizeStage,
+    LowercaseStage,
+    StageChain,
+    TokenizeStage,
+)
+from repro.text.tokenizer import tokenize
+
+
+def reference_process_sequence(sequence, config: PipelineConfig) -> list[str]:
+    """The seed implementation of the monolithic pipeline, verbatim."""
+    lemmatizer = Lemmatizer()
+    tokens: list[str] = []
+    for item in sequence:
+        if config.remove_digits_symbols:
+            item = clean_item(item, lowercase=config.lowercase)
+        elif config.lowercase:
+            item = item.lower()
+        words = tokenize(item, lowercase=config.lowercase)
+        if config.lemmatize:
+            words = lemmatizer.lemmatize_all(words)
+        if not words:
+            continue
+        if config.split_items:
+            tokens.extend(words)
+        else:
+            tokens.append(config.item_separator.join(words))
+    return tokens
+
+
+ALL_CONFIGS = [
+    PipelineConfig(
+        lowercase=lowercase,
+        remove_digits_symbols=remove,
+        lemmatize=lemmatize,
+        split_items=split,
+        item_separator=separator,
+    )
+    for lowercase, remove, lemmatize, split, separator in itertools.product(
+        (True, False), (True, False), (True, False), (True, False), ("_", "+")
+    )
+]
+
+MESSY_SEQUENCE = [
+    "2 chopped Onions!",
+    "red lentils",
+    "olive oil",
+    "123!!",
+    "Stir-fry the GARLIC",
+    "don't overmix",
+    "   ",
+    "simmering tomatoes (diced)",
+]
+
+
+class TestCompilation:
+    def test_default_config_compiles_to_full_chain(self):
+        chain = StageChain.from_config(PipelineConfig())
+        assert [type(s) for s in chain.stages] == [CleanStage, TokenizeStage, LemmatizeStage]
+        assert chain.join == JoinStage(split_items=False, item_separator="_")
+
+    def test_no_clean_lowercase_uses_lowercase_stage(self):
+        config = PipelineConfig(remove_digits_symbols=False, lemmatize=False)
+        chain = StageChain.from_config(config)
+        assert [type(s) for s in chain.stages] == [LowercaseStage, TokenizeStage]
+
+    def test_no_clean_no_lowercase_tokenizes_only(self):
+        config = PipelineConfig(lowercase=False, remove_digits_symbols=False, lemmatize=False)
+        chain = StageChain.from_config(config)
+        assert [type(s) for s in chain.stages] == [TokenizeStage]
+
+    def test_equal_configs_compile_to_equal_chains(self):
+        assert StageChain.from_config(PipelineConfig()) == StageChain.from_config(
+            PipelineConfig()
+        )
+
+
+class TestEquivalence:
+    def test_matches_reference_for_every_config(self):
+        for config in ALL_CONFIGS:
+            chain = StageChain.from_config(config)
+            assert chain.run_sequence(MESSY_SEQUENCE) == reference_process_sequence(
+                MESSY_SEQUENCE, config
+            ), config
+
+    def test_facade_matches_reference_for_every_config(self):
+        for config in ALL_CONFIGS:
+            pipeline = PreprocessingPipeline(config)
+            assert pipeline.process_sequence(MESSY_SEQUENCE) == reference_process_sequence(
+                MESSY_SEQUENCE, config
+            ), config
+
+    def test_matches_reference_on_random_items(self):
+        rng = random.Random(20260726)
+        alphabet = "abcDEF123 _-'!é"
+        for trial in range(50):
+            sequence = [
+                "".join(rng.choice(alphabet) for _ in range(rng.randint(1, 18)))
+                for _ in range(rng.randint(1, 8))
+            ]
+            config = ALL_CONFIGS[trial % len(ALL_CONFIGS)]
+            chain = StageChain.from_config(config)
+            assert chain.run_sequence(sequence) == reference_process_sequence(
+                sequence, config
+            ), (sequence, config)
+
+
+class TestShippability:
+    def test_chain_pickle_round_trip_preserves_output(self):
+        for config in ALL_CONFIGS[:8]:
+            chain = StageChain.from_config(config)
+            chain.run_sequence(MESSY_SEQUENCE)  # populate the lemmatizer cache
+            restored = pickle.loads(pickle.dumps(chain))
+            assert restored == chain
+            assert restored.run_sequence(MESSY_SEQUENCE) == chain.run_sequence(MESSY_SEQUENCE)
+
+    def test_lemmatizer_cache_is_not_pickled(self):
+        stage = LemmatizeStage()
+        stage.run(["tomatoes", "chopped"])
+        assert "_lemmatizer" in stage.__dict__
+        restored = pickle.loads(pickle.dumps(stage))
+        assert "_lemmatizer" not in restored.__dict__
+        assert restored.run(["tomatoes"]) == ["tomato"]
+
+    def test_chain_fingerprints_are_stable_and_config_sensitive(self):
+        base = stable_hash(StageChain.from_config(PipelineConfig()))
+        assert base == stable_hash(StageChain.from_config(PipelineConfig()))
+        for config in ALL_CONFIGS:
+            if config != PipelineConfig():
+                assert stable_hash(StageChain.from_config(config)) != base or (
+                    StageChain.from_config(config) == StageChain.from_config(PipelineConfig())
+                )
+
+    def test_distinct_separators_fingerprint_differently(self):
+        a = stable_hash(StageChain.from_config(PipelineConfig(item_separator="_")))
+        b = stable_hash(StageChain.from_config(PipelineConfig(item_separator="+")))
+        assert a != b

@@ -1,0 +1,99 @@
+"""Train -> export -> deploy v1 -> canary v2 -> promote: the gateway flow.
+
+Demonstrates the `repro.gateway` deployment subsystem end to end:
+
+1. train two models and export them as versioned bundles;
+2. stand up a :class:`~repro.gateway.ModelGateway`, deploy the first bundle
+   as ``cuisine@v1`` and take live traffic;
+3. deploy a candidate as ``v2`` *dark* (no traffic), qualify it with shadow
+   mirroring (agreement vs. the primary, off the critical path);
+4. open a deterministic 20% canary — the same request key always lands on
+   the same side, so users never flap between variants;
+5. promote ``v2`` with an atomic hot-swap, then show rollback; and
+6. read the shared observability: per-route counters, shadow agreement and
+   rolling latency quantiles, plus the underlying service stats.
+
+Run with:  python examples/gateway_demo.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.data import generate_recipedb
+from repro.gateway import Canary, ModelGateway, Shadow
+
+
+def main() -> None:
+    print("Generating a synthetic RecipeDB corpus (scale=0.02)...")
+    corpus = generate_recipedb(scale=0.02, seed=7)
+    requests = [recipe.sequence for recipe in corpus.recipes[:300]]
+
+    with tempfile.TemporaryDirectory() as export_dir:
+        print("\n[1] Training logreg (v1) + naive_bayes (v2 candidate), exporting bundles...")
+        config = ExperimentConfig(
+            models=("logreg", "naive_bayes"), seed=7, export_dir=export_dir
+        )
+        result = ExperimentRunner(config, corpus=corpus).run()
+        for name, model_result in result.model_results.items():
+            print(f"    {name:<12} accuracy={model_result.metrics.accuracy:.3f}")
+
+        with ModelGateway() as gateway:
+            print("\n[2] Deploying v1 and serving traffic...")
+            gateway.deploy("cuisine", "v1", f"{export_dir}/logreg")
+            for sequence in requests[:50]:
+                gateway.predict("cuisine", sequence)
+            print(f"    active={gateway.registry.active_version('cuisine')}")
+
+            print("\n[3] Deploying v2 dark + shadow-qualifying it...")
+            gateway.deploy("cuisine", "v2", f"{export_dir}/naive_bayes", activate=False)
+            gateway.set_policy("cuisine", Shadow(candidate="v2"))
+            for sequence in requests[50:150]:
+                gateway.predict("cuisine", sequence)
+            gateway.flush_shadows()
+            shadow = gateway.registry.metrics("cuisine").snapshot()["shadow"]
+            print(
+                f"    mirrored {shadow['requests']} requests off the critical path: "
+                f"{shadow['agreements']} agree / {shadow['disagreements']} disagree "
+                f"(rate {shadow['agreement_rate']:.2f})"
+            )
+
+            print("\n[4] Opening a deterministic 20% canary on v2...")
+            gateway.set_policy("cuisine", Canary(candidate="v2", fraction=0.2))
+            for index, sequence in enumerate(requests):
+                gateway.predict("cuisine", sequence, key=f"user-{index % 100}")
+            by_variant = gateway.registry.metrics("cuisine").snapshot()["by_variant"]
+            print(f"    requests by variant: {by_variant}")
+            same_key = {gateway.predict("cuisine", requests[0], key="user-3") for _ in range(5)}
+            print(f"    5 repeats of one key hit one variant -> {len(same_key)} distinct answer(s)")
+
+            print("\n[5] Promoting v2 (atomic hot-swap) and rolling back...")
+            gateway.clear_policy("cuisine")
+            gateway.swap("cuisine", "v2")
+            print(f"    active={gateway.registry.active_version('cuisine')}")
+            gateway.rollback("cuisine")
+            print(f"    after rollback: active={gateway.registry.active_version('cuisine')}")
+            gateway.swap("cuisine", "v2")  # promote for good
+
+            print("\n[6] Health snapshot (shared observability):")
+            snapshot = gateway.health_snapshot()
+            route = snapshot["routes"]["cuisine"]
+            latency = route["latency"]
+            print(f"    status            {snapshot['status']}")
+            print(f"    route requests    {route['requests']} (errors {route['errors']})")
+            print(f"    by variant        {route['by_variant']}")
+            print(
+                f"    latency           p50={latency['p50_ms']:.2f}ms "
+                f"p95={latency['p95_ms']:.2f}ms p99={latency['p99_ms']:.2f}ms"
+            )
+            service = snapshot["service"]
+            print(
+                f"    service           {service['requests']} requests, "
+                f"{service['cache_hits']} cache hits, "
+                f"{service['batches_flushed']} batches"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,129 @@
+"""Probability combination for ensemble routes.
+
+All arithmetic here is deliberately boring NumPy — a fixed operation order
+with no data-dependent branching — so that the gateway's combined output is
+**bitwise reproducible**: combining the same member outputs with the same
+method and weights yields the same float64 bits, every time, in every
+process.  The test suite holds the gateway to that by re-deriving the
+combination offline.
+
+Member outputs may live in different label spaces (a canary retrained after
+the class-imbalance ablation dropped cuisines, say); they are first scattered
+onto the route's label space through the existing
+:func:`repro.models.label_space.expand_to_label_space` machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.models.label_space import expand_to_label_space
+
+
+def align_to_label_space(
+    probabilities: np.ndarray,
+    model_label_space: Sequence[str],
+    route_label_space: Sequence[str],
+) -> np.ndarray:
+    """Map a model's probability columns onto the route's label space.
+
+    Identical label spaces pass through untouched (bit-for-bit); otherwise
+    every model label must exist in the route label space and the columns are
+    scattered + renormalised by :func:`expand_to_label_space`.
+    """
+    model_label_space = tuple(model_label_space)
+    route_label_space = tuple(route_label_space)
+    if model_label_space == route_label_space:
+        return np.asarray(probabilities, dtype=np.float64)
+    positions = {label: index for index, label in enumerate(route_label_space)}
+    missing = [label for label in model_label_space if label not in positions]
+    if missing:
+        raise ValueError(
+            f"model labels {missing} are not in the route label space "
+            f"{list(route_label_space)}"
+        )
+    classes = [positions[label] for label in model_label_space]
+    return expand_to_label_space(
+        np.atleast_2d(np.asarray(probabilities, dtype=np.float64)),
+        classes,
+        len(route_label_space),
+    )
+
+
+def _combine_mean(stacked: np.ndarray, weights: Sequence[float] | None) -> np.ndarray:
+    return np.mean(stacked, axis=0)
+
+
+def _combine_weighted(stacked: np.ndarray, weights: Sequence[float] | None) -> np.ndarray:
+    if weights is None:
+        raise ValueError("weighted combination requires weights")
+    weight_vector = np.asarray(weights, dtype=np.float64)
+    if weight_vector.shape != (stacked.shape[0],):
+        raise ValueError(
+            f"got {weight_vector.shape[0] if weight_vector.ndim else 0} weights "
+            f"for {stacked.shape[0]} members"
+        )
+    if not np.all(weight_vector > 0):
+        raise ValueError("ensemble weights must be positive")
+    combined = np.tensordot(weight_vector, stacked, axes=1)
+    return combined / weight_vector.sum()
+
+def _combine_majority(stacked: np.ndarray, weights: Sequence[float] | None) -> np.ndarray:
+    # One argmax vote per member (ties -> lowest index, NumPy's argmax rule),
+    # scattered to one-hot rows and averaged: the result is the vote-share
+    # distribution, so the route's argmax is the majority label.
+    members, n_samples, n_classes = stacked.shape
+    votes = np.zeros((n_samples, n_classes), dtype=np.float64)
+    winners = np.argmax(stacked, axis=2)  # (members, n_samples)
+    rows = np.arange(n_samples)
+    for member in range(members):
+        votes[rows, winners[member]] += 1.0
+    return votes / float(members)
+
+
+COMBINERS: dict[str, Callable[[np.ndarray, Sequence[float] | None], np.ndarray]] = {
+    "mean": _combine_mean,
+    "weighted": _combine_weighted,
+    "majority": _combine_majority,
+}
+
+
+def combine_probabilities(
+    member_probabilities: Sequence[np.ndarray],
+    method: str = "mean",
+    weights: Sequence[float] | None = None,
+) -> np.ndarray:
+    """Combine label-space-aligned member outputs into one matrix.
+
+    Args:
+        member_probabilities: One ``(n_samples, n_classes)`` matrix per
+            member, all in the **same** (route) label space and the same
+            member order the caller will use for *weights*.
+        method: ``"mean"`` (unweighted average), ``"weighted"``
+            (weight-normalised linear combination) or ``"majority"``
+            (argmax vote shares).
+        weights: Per-member weights, aligned with *member_probabilities*
+            (``"weighted"`` only).
+
+    Returns:
+        The combined ``(n_samples, n_classes)`` float64 matrix.
+    """
+    if not member_probabilities:
+        raise ValueError("cannot combine an empty ensemble")
+    try:
+        combiner = COMBINERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown ensemble method {method!r}; known: {sorted(COMBINERS)}"
+        ) from None
+    stacked = np.stack(
+        [np.asarray(matrix, dtype=np.float64) for matrix in member_probabilities]
+    )
+    if stacked.ndim != 3:
+        raise ValueError(
+            f"member outputs must be 2-D (n_samples, n_classes) matrices, "
+            f"got stacked shape {stacked.shape}"
+        )
+    return combiner(stacked, weights)

@@ -1,0 +1,399 @@
+"""The deployment gateway: the single front door for multi-model traffic.
+
+:class:`ModelGateway` composes the pieces of this package into the request
+path clients actually call:
+
+1. the :class:`~repro.gateway.registry.DeploymentRegistry` hands out one
+   atomic :class:`~repro.gateway.registry.RouteSnapshot` per request —
+   active pointer, policy, metrics and deployment table captured under a
+   single lock acquisition;
+2. the snapshot's :class:`~repro.gateway.policies.TrafficPolicy` turns the
+   request key into a :class:`~repro.gateway.policies.RoutingDecision`;
+3. the decision resolves against the *same snapshot*, pinning the request
+   to a :class:`~repro.gateway.registry.Deployment` — no interleaving of
+   swap/retire can redirect or strand it — and the underlying
+   :class:`~repro.serving.PredictionService` does the batched, cached
+   inference;
+4. shadow traffic is handed to a small background executor (never blocking
+   the primary response) which records label agreement with the primary;
+5. ensemble routes fan the request across members and combine their
+   label-space-aligned outputs (:mod:`repro.gateway.ensemble`);
+6. every route records requests / errors / per-variant counts / shadow
+   agreement and rolling latency quantiles through
+   :mod:`repro.gateway.observability`, aggregated by
+   :meth:`ModelGateway.health_snapshot`.
+
+Responses are always probability vectors over the **route's** label space
+(identical label spaces pass through bit-for-bit).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gateway.ensemble import align_to_label_space, combine_probabilities
+from repro.gateway.policies import (
+    Ensemble,
+    RoutingDecision,
+    TrafficPolicy,
+    derive_request_key,
+)
+from repro.gateway.registry import Deployment, DeploymentRegistry, RouteSnapshot
+from repro.models.base import CuisineModel
+from repro.serving.bundle import ModelBundle
+from repro.serving.service import PredictionService
+
+
+class ModelGateway:
+    """Route requests across versioned deployments with live traffic control.
+
+    Args:
+        registry: The deployment registry to route over; a private one (with
+            a private :class:`PredictionService`) is created by default.
+        shadow_workers: Threads mirroring shadow traffic off the critical
+            path.
+        **service_kwargs: Forwarded to the private registry's service when
+            *registry* is ``None``.
+    """
+
+    def __init__(
+        self,
+        registry: DeploymentRegistry | None = None,
+        *,
+        shadow_workers: int = 2,
+        **service_kwargs,
+    ) -> None:
+        if registry is not None and service_kwargs:
+            raise ValueError("pass either a registry or service kwargs, not both")
+        if shadow_workers < 1:
+            raise ValueError(f"shadow_workers must be >= 1, got {shadow_workers}")
+        #: Whether this gateway created (and therefore owns) its registry and
+        #: service; an injected registry's service is never torn down here.
+        self._owns_registry = registry is None
+        self.registry = registry if registry is not None else DeploymentRegistry(**service_kwargs)
+        self._shadow_pool = ThreadPoolExecutor(
+            max_workers=shadow_workers, thread_name_prefix="gateway-shadow"
+        )
+        self._shadow_lock = threading.Lock()
+        self._shadow_futures: set = set()
+        self._closed = False
+
+    @property
+    def service(self) -> PredictionService:
+        return self.registry.service
+
+    # ------------------------------------------------------------------
+    # control plane (thin delegation to the registry)
+    # ------------------------------------------------------------------
+    def deploy(
+        self,
+        route: str,
+        version: str,
+        model: CuisineModel | ModelBundle | str | Path,
+        **kwargs,
+    ) -> Deployment:
+        return self.registry.deploy(route, version, model, **kwargs)
+
+    def deploy_export_dir(
+        self, export_dir: str | Path, version: str, routes: Sequence[str] | None = None, **kwargs
+    ) -> dict[str, Deployment]:
+        return self.registry.deploy_export_dir(export_dir, version, routes, **kwargs)
+
+    def swap(self, route: str, version: str) -> Deployment:
+        return self.registry.swap(route, version)
+
+    def rollback(self, route: str) -> Deployment:
+        return self.registry.rollback(route)
+
+    def retire(self, route: str, version: str) -> None:
+        self.registry.retire(route, version)
+
+    def set_policy(self, route: str, policy: TrafficPolicy) -> None:
+        self.registry.set_policy(route, policy)
+
+    def clear_policy(self, route: str) -> None:
+        self.registry.clear_policy(route)
+
+    # ------------------------------------------------------------------
+    # data plane
+    # ------------------------------------------------------------------
+    # Shared with the serving layer so the two can never diverge; validating
+    # here keeps routing (key derivation, grouping) over canonical tuples.
+    _validated = staticmethod(PredictionService._validated)
+
+    def predict_proba(
+        self,
+        route: str,
+        sequence: Iterable[str],
+        *,
+        key: str | None = None,
+        version: str | None = None,
+    ) -> np.ndarray:
+        """Probability vector over the route's label space for one request.
+
+        Args:
+            route: Route name.
+            sequence: Raw recipe item sequence.
+            key: Request key driving split/canary assignment; defaults to a
+                content-derived key (identical sequences → identical
+                variants, across processes).
+            version: Bypass the policy and pin a specific deployed version
+                (debugging / offline comparison).
+        """
+        start = time.perf_counter()
+        validated = self._validated(sequence)
+        snapshot = self.registry.route_snapshot(route)
+        metrics = snapshot.metrics
+        if version is not None:
+            decision = RoutingDecision(primary=version)
+        else:
+            request_key = key if key is not None else derive_request_key(validated)
+            decision = snapshot.policy.decide(request_key, snapshot.view)
+        try:
+            if decision.ensemble:
+                matrix, variant = self._predict_ensemble(
+                    snapshot, decision.ensemble, [validated]
+                )
+                result = matrix[0]
+            else:
+                deployment = snapshot.deployment(decision.primary)
+                variant = deployment.version
+                row = self.service.predict_proba(deployment.service_name, validated)
+                result = self._aligned(
+                    row[np.newaxis, :], deployment, snapshot.label_space
+                )[0]
+        except BaseException:
+            metrics.record_error()
+            raise
+        metrics.record_request(variant, time.perf_counter() - start)
+        if decision.shadows:
+            self._mirror(snapshot, decision.shadows, [validated], result[np.newaxis, :])
+        return result
+
+    def predict(
+        self,
+        route: str,
+        sequence: Iterable[str],
+        *,
+        key: str | None = None,
+        version: str | None = None,
+    ) -> str:
+        """Predicted cuisine name (in the route's label space)."""
+        probabilities = self.predict_proba(route, sequence, key=key, version=version)
+        route_space = self.registry.label_space(route)
+        return route_space[int(np.argmax(probabilities))]
+
+    def predict_proba_batch(
+        self,
+        route: str,
+        sequences: Sequence[Iterable[str]],
+        *,
+        keys: Sequence[str] | None = None,
+        version: str | None = None,
+    ) -> np.ndarray:
+        """Probability matrix for a batch, each request routed by its own key.
+
+        Requests landing on the same variant share one model pass; shadow
+        mirrors are likewise batched per shadow version.
+        """
+        start = time.perf_counter()
+        validated = [self._validated(sequence) for sequence in sequences]
+        snapshot = self.registry.route_snapshot(route)
+        metrics = snapshot.metrics
+        if not validated:
+            return np.zeros((0, len(snapshot.label_space)))
+        if keys is not None and len(keys) != len(validated):
+            raise ValueError(
+                f"got {len(keys)} keys for {len(validated)} sequences"
+            )
+
+        groups: dict[tuple, list[int]] = {}
+        shadow_groups: dict[str, list[int]] = {}
+        for index, item in enumerate(validated):
+            if version is not None:
+                decision = RoutingDecision(primary=version)
+            else:
+                request_key = keys[index] if keys is not None else derive_request_key(item)
+                decision = snapshot.policy.decide(request_key, snapshot.view)
+            groups.setdefault((decision.primary, decision.ensemble), []).append(index)
+            for shadow in decision.shadows:
+                shadow_groups.setdefault(shadow, []).append(index)
+
+        results = np.zeros((len(validated), len(snapshot.label_space)))
+        variant_counts: dict[str, int] = {}
+        try:
+            for (primary, ensemble), indices in groups.items():
+                group_sequences = [validated[i] for i in indices]
+                if ensemble:
+                    matrix, variant = self._predict_ensemble(
+                        snapshot, ensemble, group_sequences
+                    )
+                else:
+                    deployment = snapshot.deployment(primary)
+                    variant = deployment.version
+                    matrix = self.service.predict_proba_batch(
+                        deployment.service_name, group_sequences
+                    )
+                    matrix = self._aligned(matrix, deployment, snapshot.label_space)
+                results[indices] = matrix
+                variant_counts[variant] = variant_counts.get(variant, 0) + len(indices)
+        except BaseException:
+            metrics.record_error(len(validated))
+            raise
+        metrics.record_batch(variant_counts, time.perf_counter() - start)
+        for shadow, indices in shadow_groups.items():
+            self._mirror(
+                snapshot,
+                (shadow,),
+                [validated[i] for i in indices],
+                results[indices],
+            )
+        return results
+
+    def predict_batch(
+        self,
+        route: str,
+        sequences: Sequence[Iterable[str]],
+        *,
+        keys: Sequence[str] | None = None,
+        version: str | None = None,
+    ) -> list[str]:
+        """Predicted cuisine names for a batch of raw sequences."""
+        probabilities = self.predict_proba_batch(route, sequences, keys=keys, version=version)
+        route_space = self.registry.label_space(route)
+        return [route_space[i] for i in probabilities.argmax(axis=1)]
+
+    # ------------------------------------------------------------------
+    # ensemble + alignment
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aligned(
+        matrix: np.ndarray, deployment: Deployment, route_space: tuple[str, ...]
+    ) -> np.ndarray:
+        return align_to_label_space(matrix, deployment.label_space, route_space)
+
+    def _predict_ensemble(
+        self,
+        snapshot: RouteSnapshot,
+        members: tuple[str, ...],
+        sequences: Sequence[tuple[str, ...]],
+    ) -> tuple[np.ndarray, str]:
+        """Fan *sequences* across *members* and combine; returns (matrix, variant)."""
+        method, weights = "mean", None
+        if isinstance(snapshot.policy, Ensemble):
+            method, weights = snapshot.policy.method, snapshot.policy.member_weights()
+        aligned = []
+        for member in members:
+            deployment = snapshot.deployment(member)
+            matrix = self.service.predict_proba_batch(deployment.service_name, sequences)
+            aligned.append(self._aligned(matrix, deployment, snapshot.label_space))
+        combined = combine_probabilities(aligned, method=method, weights=weights)
+        return combined, "+".join(members)
+
+    # ------------------------------------------------------------------
+    # shadow traffic
+    # ------------------------------------------------------------------
+    def _mirror(
+        self,
+        snapshot: RouteSnapshot,
+        shadows: tuple[str, ...],
+        sequences: Sequence[tuple[str, ...]],
+        primary_probabilities: np.ndarray,
+    ) -> None:
+        """Queue shadow predictions; the caller's response is already final."""
+        primary_labels = primary_probabilities.argmax(axis=1).copy()
+        for shadow in shadows:
+            if self._closed:
+                break
+            try:
+                future = self._shadow_pool.submit(
+                    self._run_shadow, snapshot, shadow, list(sequences), primary_labels
+                )
+            except RuntimeError:
+                # close() shut the executor down between the flag check and
+                # the submit; mirrors are best-effort — the caller already
+                # has its (successful) primary response.
+                break
+            with self._shadow_lock:
+                self._shadow_futures.add(future)
+            future.add_done_callback(self._discard_shadow_future)
+
+    def _discard_shadow_future(self, future) -> None:
+        with self._shadow_lock:
+            self._shadow_futures.discard(future)
+
+    def _run_shadow(
+        self,
+        snapshot: RouteSnapshot,
+        shadow: str,
+        sequences: list[tuple[str, ...]],
+        primary_labels: np.ndarray,
+    ) -> None:
+        metrics = snapshot.metrics
+        try:
+            # Resolved from the request's snapshot: the mirror is pinned to
+            # the deployment table its primary saw, like any other request.
+            deployment = snapshot.deployment(shadow)
+            matrix = self.service.predict_proba_batch(deployment.service_name, sequences)
+            shadow_labels = self._aligned(
+                matrix, deployment, snapshot.label_space
+            ).argmax(axis=1)
+            agreements = int(np.sum(shadow_labels == primary_labels))
+            metrics.record_shadow(shadow, agreements, len(sequences) - agreements)
+        except BaseException:
+            metrics.record_shadow_error(len(sequences))
+
+    def flush_shadows(self, timeout: float | None = 10.0) -> None:
+        """Block until all queued shadow mirrors have completed."""
+        with self._shadow_lock:
+            pending = list(self._shadow_futures)
+        if pending:
+            wait(pending, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # observability / lifecycle
+    # ------------------------------------------------------------------
+    def health_snapshot(self) -> dict:
+        """Aggregate health of every route plus the underlying service.
+
+        ``status`` is ``"ok"`` with no recorded errors, ``"degraded"``
+        otherwise; each route reports its deployment topology, policy,
+        counters, shadow agreement and rolling latency quantiles.
+        """
+        described = self.registry.describe()
+        routes = {}
+        errors = 0
+        for name, description in described.items():
+            snapshot = self.registry.metrics(name).snapshot()
+            errors += snapshot["errors"] + snapshot["shadow"]["errors"]
+            routes[name] = {**description, **snapshot}
+        return {
+            "status": "ok" if errors == 0 else "degraded",
+            "routes": routes,
+            "service": self.service.stats(),
+        }
+
+    def close(self) -> None:
+        """Stop shadow mirroring; tear down the service only if owned.
+
+        A gateway built over an injected registry leaves that registry's
+        prediction service running — other components may share it.  The
+        service of a privately-created registry is closed terminally.
+        """
+        self._closed = True
+        self.flush_shadows()
+        self._shadow_pool.shutdown(wait=True)
+        if self._owns_registry:
+            self.service.close()
+
+    def __enter__(self) -> "ModelGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

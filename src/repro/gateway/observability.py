@@ -1,0 +1,22 @@
+"""Gateway-facing facade over the shared observability primitives.
+
+The implementation lives in :mod:`repro.observability` — a neutral module
+below every traffic layer — so that `repro.serving` can record its counters
+and latencies through the **same primitives** as the gateway's routes
+without importing upward into this package.  See that module for
+:class:`CounterSet`, :class:`RollingLatency` and :class:`RouteMetrics`.
+"""
+
+from repro.observability import (
+    LATENCY_QUANTILES,
+    CounterSet,
+    RollingLatency,
+    RouteMetrics,
+)
+
+__all__ = [
+    "LATENCY_QUANTILES",
+    "CounterSet",
+    "RollingLatency",
+    "RouteMetrics",
+]

@@ -1,0 +1,298 @@
+"""Traffic policies: how a gateway route maps a request onto versions.
+
+A policy is a small, immutable routing rule.  Given a **request key** (an
+opaque string — user id, session id, or a content hash derived from the
+request itself) and a :class:`RouteView` of the route's deployed versions, it
+returns a :class:`RoutingDecision` naming the version that serves the
+response, any versions the request is mirrored to off the critical path, and
+(for ensembles) the member versions whose outputs are combined.
+
+Determinism is the load-bearing property: bucketing uses BLAKE2b over the
+key bytes — not Python's per-process-salted ``hash()`` — so the same key maps
+to the same variant in every process, on every run, forever.  Changing a
+policy's ``salt`` reshuffles the assignment wholesale (the standard trick for
+running independent experiments over the same user population).
+"""
+
+from __future__ import annotations
+
+import abc
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+#: Separator for hashing structured keys; never appears in recipe tokens.
+_KEY_SEPARATOR = "\x1f"
+
+
+def derive_request_key(sequence: Iterable[str]) -> str:
+    """A stable request key derived from the request content itself.
+
+    Used when the caller supplies no explicit key: identical sequences get
+    identical keys (and therefore identical variant assignments) across
+    processes and runs.
+    """
+    joined = _KEY_SEPARATOR.join(str(item) for item in sequence)
+    return hashlib.blake2b(joined.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def request_bucket(key: str, salt: str = "") -> float:
+    """Map a request key to a deterministic bucket in ``[0, 1)``.
+
+    BLAKE2b over ``salt + separator + key``; the top 8 digest bytes are read
+    as an unsigned integer and scaled.  Uniform over keys, stable across
+    processes, and independent between salts.
+    """
+    payload = f"{salt}{_KEY_SEPARATOR}{key}".encode("utf-8")
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class RouteView:
+    """The immutable facts a policy may consult about a route."""
+
+    name: str
+    active: str
+    versions: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one request goes.
+
+    Attributes:
+        primary: Version that serves the response (``None`` only when
+            *ensemble* is set).
+        shadows: Versions the request is mirrored to, off the critical path.
+        ensemble: Member versions fanned out and combined into the response.
+    """
+
+    primary: str | None = None
+    shadows: tuple[str, ...] = ()
+    ensemble: tuple[str, ...] = ()
+
+
+class TrafficPolicy(abc.ABC):
+    """Deterministic routing rule for one gateway route."""
+
+    kind: str = "base"
+
+    @abc.abstractmethod
+    def decide(self, key: str, view: RouteView) -> RoutingDecision:
+        """The routing decision for a request key on *view*."""
+
+    def versions_referenced(self) -> tuple[str, ...]:
+        """Versions this policy names explicitly (must stay deployed)."""
+        return ()
+
+    def describe(self) -> dict:
+        """JSON-able policy description for health snapshots."""
+        return {"kind": self.kind}
+
+
+@dataclass(frozen=True)
+class ActiveVersion(TrafficPolicy):
+    """Route everything to the registry's active version (the default).
+
+    Hot-swap and rollback move the active pointer, so this policy follows
+    them with no reconfiguration.
+    """
+
+    kind = "active"
+
+    def decide(self, key: str, view: RouteView) -> RoutingDecision:
+        return RoutingDecision(primary=view.active)
+
+
+@dataclass(frozen=True)
+class ABSplit(TrafficPolicy):
+    """Deterministic hash split across weighted variants.
+
+    Variants partition ``[0, 1)`` into contiguous intervals proportional to
+    their weights, in sorted-version order; a request lands in the interval
+    containing its bucket.  The same key therefore always hits the same
+    variant, in every process.
+
+    Args:
+        variants: ``version -> weight`` (weights are normalised; must be
+            positive).
+        salt: Experiment salt — distinct salts assign independently.
+    """
+
+    variants: Mapping[str, float]
+    salt: str = ""
+    kind = "ab_split"
+
+    def __post_init__(self) -> None:
+        if not self.variants:
+            raise ValueError("ABSplit needs at least one variant")
+        bad = {v: w for v, w in self.variants.items() if not w > 0}
+        if bad:
+            raise ValueError(f"variant weights must be positive, got {bad}")
+        # Freeze into a plain dict and precompute the cumulative interval
+        # edges once — _pick on the request hot path is a pure compare loop.
+        object.__setattr__(self, "variants", dict(self.variants))
+        names = sorted(self.variants)
+        total = sum(self.variants[name] for name in names)
+        edge = 0.0
+        edges = []
+        for name in names:
+            edge += self.variants[name] / total
+            edges.append((name, edge))
+        object.__setattr__(self, "_edges", tuple(edges))
+
+    def versions_referenced(self) -> tuple[str, ...]:
+        return tuple(sorted(self.variants))
+
+    def _pick(self, key: str) -> str:
+        bucket = request_bucket(key, self.salt)
+        for name, edge in self._edges:
+            if bucket < edge:
+                return name
+        return self._edges[-1][0]  # float round-off on the last edge
+
+    def decide(self, key: str, view: RouteView) -> RoutingDecision:
+        return RoutingDecision(primary=self._pick(key))
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "variants": dict(self.variants), "salt": self.salt}
+
+
+@dataclass(frozen=True)
+class Canary(TrafficPolicy):
+    """Send a deterministic fraction of traffic to a candidate version.
+
+    Args:
+        candidate: Version receiving the canary fraction.
+        fraction: Share of keys routed to the candidate, in ``[0, 1]``.
+        stable: Version serving the rest; defaults to the route's active
+            version (so promoting the candidate is just ``swap`` +
+            dropping the policy).
+        salt: Bucketing salt.
+    """
+
+    candidate: str
+    fraction: float
+    stable: str | None = None
+    salt: str = ""
+    kind = "canary"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {self.fraction}")
+
+    def versions_referenced(self) -> tuple[str, ...]:
+        referenced = [self.candidate]
+        if self.stable is not None:
+            referenced.append(self.stable)
+        return tuple(referenced)
+
+    def decide(self, key: str, view: RouteView) -> RoutingDecision:
+        stable = self.stable if self.stable is not None else view.active
+        if request_bucket(key, self.salt) < self.fraction:
+            return RoutingDecision(primary=self.candidate)
+        return RoutingDecision(primary=stable)
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "candidate": self.candidate,
+            "fraction": self.fraction,
+            "stable": self.stable,
+            "salt": self.salt,
+        }
+
+
+@dataclass(frozen=True)
+class Shadow(TrafficPolicy):
+    """Serve from the primary, mirror every request to a candidate.
+
+    The mirror runs off the critical path (the gateway hands it to a
+    background executor) and the gateway records per-route agreement /
+    disagreement between the candidate's predicted label and the primary's —
+    the safest way to qualify a new version against live traffic.
+
+    Args:
+        candidate: Version receiving the mirrored traffic.
+        primary: Version serving responses; defaults to the active version.
+    """
+
+    candidate: str
+    primary: str | None = None
+    kind = "shadow"
+
+    def versions_referenced(self) -> tuple[str, ...]:
+        referenced = [self.candidate]
+        if self.primary is not None:
+            referenced.append(self.primary)
+        return tuple(referenced)
+
+    def decide(self, key: str, view: RouteView) -> RoutingDecision:
+        primary = self.primary if self.primary is not None else view.active
+        return RoutingDecision(primary=primary, shadows=(self.candidate,))
+
+    def describe(self) -> dict:
+        return {"kind": self.kind, "candidate": self.candidate, "primary": self.primary}
+
+
+@dataclass(frozen=True)
+class Ensemble(TrafficPolicy):
+    """Fan each request across member versions and combine their outputs.
+
+    Members are evaluated in sorted-version order and combined by
+    :func:`repro.gateway.ensemble.combine_probabilities` with the configured
+    method/weights — see that module for the exact (bitwise-reproducible)
+    arithmetic.
+
+    Args:
+        members: Versions whose outputs are combined.
+        method: ``"mean"`` | ``"weighted"`` | ``"majority"``.
+        weights: ``version -> weight`` (``"weighted"`` only).
+    """
+
+    members: Sequence[str]
+    method: str = "mean"
+    weights: Mapping[str, float] | None = None
+    kind = "ensemble"
+
+    def __post_init__(self) -> None:
+        members = tuple(sorted(dict.fromkeys(self.members)))
+        if len(members) < 2:
+            raise ValueError("Ensemble needs at least two distinct members")
+        object.__setattr__(self, "members", members)
+        from repro.gateway.ensemble import COMBINERS
+
+        if self.method not in COMBINERS:
+            raise ValueError(
+                f"unknown ensemble method {self.method!r}; known: {sorted(COMBINERS)}"
+            )
+        if self.method == "weighted":
+            if self.weights is None:
+                raise ValueError("method 'weighted' requires weights")
+            missing = sorted(set(members) - set(self.weights))
+            if missing:
+                raise ValueError(f"weights missing for ensemble members {missing}")
+            object.__setattr__(self, "weights", dict(self.weights))
+        elif self.weights is not None:
+            raise ValueError(f"method {self.method!r} does not take weights")
+
+    def versions_referenced(self) -> tuple[str, ...]:
+        return tuple(self.members)
+
+    def member_weights(self) -> tuple[float, ...] | None:
+        """Weights aligned with :attr:`members` order (``None`` unless weighted)."""
+        if self.weights is None:
+            return None
+        return tuple(self.weights[member] for member in self.members)
+
+    def decide(self, key: str, view: RouteView) -> RoutingDecision:
+        return RoutingDecision(ensemble=tuple(self.members))
+
+    def describe(self) -> dict:
+        return {
+            "kind": self.kind,
+            "members": list(self.members),
+            "method": self.method,
+            "weights": dict(self.weights) if self.weights is not None else None,
+        }

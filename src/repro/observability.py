@@ -1,0 +1,190 @@
+"""Shared observability primitives for the serving/gateway stack.
+
+Every traffic-carrying component — the deployment gateway's routes and the
+:class:`~repro.serving.service.PredictionService` underneath them — records
+its counters and latencies through the same two primitives:
+
+* :class:`CounterSet` — a thread-safe bag of named monotonic counters;
+* :class:`RollingLatency` — total/mean/max latency accounting plus rolling
+  p50/p95/p99 quantiles over a fixed-size ring buffer of recent samples.
+
+:class:`RouteMetrics` composes the two into the per-route unit the gateway
+aggregates into its ``health_snapshot()``.
+
+This module lives *below* every traffic layer (it imports only NumPy), so
+both `repro.serving` and `repro.gateway` depend on it downward;
+:mod:`repro.gateway.observability` re-exports it as the gateway-facing
+facade.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter
+from typing import Mapping
+
+import numpy as np
+
+#: Quantiles reported by every latency snapshot.
+LATENCY_QUANTILES: tuple[float, ...] = (0.50, 0.95, 0.99)
+
+
+class CounterSet:
+    """A thread-safe set of named monotonic counters."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Counter = Counter()
+
+    def increment(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            self._counts[name] += by
+
+    def value(self, name: str) -> int:
+        with self._lock:
+            return self._counts[name]
+
+    def snapshot(self) -> dict[str, int]:
+        """All counters as a plain dict (zero-valued names omitted)."""
+        with self._lock:
+            return {name: count for name, count in self._counts.items() if count}
+
+
+class RollingLatency:
+    """Latency accounting with rolling quantiles over a ring buffer.
+
+    Total/count/max cover the whole lifetime; the p50/p95/p99 quantiles are
+    computed over the most recent ``window`` recorded samples, so they track
+    current behaviour instead of being dominated by history.
+
+    ``record(seconds, count=n)`` attributes one observed wall-clock duration
+    to *n* logical requests (a batch): the duration enters the ring buffer
+    once, while ``count`` advances by *n* — mirroring how the prediction
+    service has always counted batched latency.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._lock = threading.Lock()
+        self._ring = np.zeros(window, dtype=np.float64)
+        self._filled = 0
+        self._next = 0
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, seconds: float, count: int = 1) -> None:
+        with self._lock:
+            self._ring[self._next] = seconds
+            self._next = (self._next + 1) % self.window
+            self._filled = min(self._filled + 1, self.window)
+            self._count += count
+            self._total += seconds
+            self._max = max(self._max, seconds)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Rolling quantile (seconds) over the ring buffer; 0.0 when empty."""
+        with self._lock:
+            if self._filled == 0:
+                return 0.0
+            samples = self._ring[: self._filled].copy()
+        return float(np.quantile(samples, q))
+
+    def snapshot(self) -> dict:
+        """Lifetime totals plus rolling quantiles, in milliseconds."""
+        with self._lock:
+            filled = self._filled
+            samples = self._ring[:filled].copy() if filled else None
+            count = self._count
+            total = self._total
+            maximum = self._max
+        payload = {
+            "count": count,
+            "total_seconds": total,
+            "mean_ms": (1000.0 * total / count) if count else 0.0,
+            "max_ms": 1000.0 * maximum,
+            "window": self.window,
+        }
+        for q in LATENCY_QUANTILES:
+            key = f"p{int(q * 100)}_ms"
+            payload[key] = (
+                1000.0 * float(np.quantile(samples, q)) if samples is not None else 0.0
+            )
+        return payload
+
+
+class RouteMetrics:
+    """Counters + latency for one gateway route.
+
+    Counter names used by the gateway:
+
+    * ``requests`` / ``errors`` — primary-path totals;
+    * ``variant:<version>`` — requests served by each deployed version;
+    * ``shadow_requests`` / ``shadow_agreements`` / ``shadow_disagreements``
+      / ``shadow_errors`` — mirrored-traffic accounting.
+    """
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self.counters = CounterSet()
+        self.latency = RollingLatency(window=latency_window)
+
+    def record_request(self, version: str, seconds: float, count: int = 1) -> None:
+        self.counters.increment("requests", count)
+        self.counters.increment(f"variant:{version}", count)
+        self.latency.record(seconds, count=count)
+
+    def record_batch(self, variant_counts: Mapping[str, int], seconds: float) -> None:
+        """One batched request: per-variant counts, one latency observation."""
+        total = sum(variant_counts.values())
+        self.counters.increment("requests", total)
+        for version, count in variant_counts.items():
+            self.counters.increment(f"variant:{version}", count)
+        self.latency.record(seconds, count=total)
+
+    def record_error(self, count: int = 1) -> None:
+        self.counters.increment("requests", count)
+        self.counters.increment("errors", count)
+
+    def record_shadow(self, version: str, agreements: int, disagreements: int) -> None:
+        self.counters.increment("shadow_requests", agreements + disagreements)
+        self.counters.increment(f"shadow:{version}", agreements + disagreements)
+        if agreements:
+            self.counters.increment("shadow_agreements", agreements)
+        if disagreements:
+            self.counters.increment("shadow_disagreements", disagreements)
+
+    def record_shadow_error(self, count: int = 1) -> None:
+        self.counters.increment("shadow_errors", count)
+
+    def snapshot(self) -> dict:
+        counters = self.counters.snapshot()
+        variants = {
+            name.split(":", 1)[1]: count
+            for name, count in counters.items()
+            if name.startswith("variant:")
+        }
+        shadow_requests = counters.get("shadow_requests", 0)
+        return {
+            "requests": counters.get("requests", 0),
+            "errors": counters.get("errors", 0),
+            "by_variant": variants,
+            "shadow": {
+                "requests": shadow_requests,
+                "agreements": counters.get("shadow_agreements", 0),
+                "disagreements": counters.get("shadow_disagreements", 0),
+                "errors": counters.get("shadow_errors", 0),
+                "agreement_rate": (
+                    counters.get("shadow_agreements", 0) / shadow_requests
+                    if shadow_requests
+                    else None
+                ),
+            },
+            "latency": self.latency.snapshot(),
+        }

@@ -11,7 +11,12 @@ The subsystem turns exported model bundles into a running inference layer:
   hit/latency counters.
 """
 
-from repro.serving.bundle import ModelBundle, discover_bundles, load_bundles
+from repro.serving.bundle import (
+    ModelBundle,
+    discover_bundles,
+    load_bundles,
+    validate_manifest,
+)
 from repro.serving.service import PredictionService
 
 __all__ = [
@@ -19,4 +24,5 @@ __all__ = [
     "PredictionService",
     "discover_bundles",
     "load_bundles",
+    "validate_manifest",
 ]

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.data.recipedb import RecipeDB
 from repro.models.base import CuisineModel
+from repro.observability import CounterSet, RollingLatency
 from repro.pipeline.engine import CorpusEngine
 from repro.pipeline.fingerprint import sequence_key
 from repro.pipeline.store import FeatureStore, _save_json
@@ -49,10 +50,18 @@ _SHUTDOWN = object()
 
 @dataclass
 class _Request:
-    """One queued single-prediction request."""
+    """One queued single-prediction request.
+
+    The request carries the resolved model object and its cache epoch, so it
+    is **pinned** at submission time: a concurrent hot-swap or removal of the
+    name cannot change (or break) what this request predicts against, and
+    its result is never cached for the successor model.
+    """
 
     model_name: str
     sequence: tuple[str, ...]
+    model: CuisineModel
+    epoch: int
     done: threading.Event = field(default_factory=threading.Event)
     result: np.ndarray | None = None
     error: BaseException | None = None
@@ -116,23 +125,23 @@ class PredictionService:
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._worker: threading.Thread | None = None
         self._worker_lock = threading.Lock()
-        self._stop = threading.Event()
+        #: Serializes queue submission against close(): the shutdown sentinel
+        #: is always the last item ever enqueued, so drain-on-close cannot
+        #: strand a racing request behind it.
+        self._submit_lock = threading.Lock()
+        self._closed = False
 
         self._cache: OrderedDict[tuple[str, tuple[str, ...]], np.ndarray] = OrderedDict()
         self._cache_lock = threading.Lock()
-        #: Bumped on hot-swap; guards against caching a retired model's result.
+        #: Bumped on hot-swap/removal; guards against caching a retired
+        #: model's result.
         self._model_epochs: Counter = Counter()
 
+        # Shared observability primitives (same as the gateway's routes).
+        self._counters = CounterSet()
+        self._latency = RollingLatency()
         self._stats_lock = threading.Lock()
-        self._requests_by_model: Counter = Counter()
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._batches = 0
-        self._batched_requests = 0
         self._largest_batch = 0
-        self._latency_total = 0.0
-        self._latency_max = 0.0
-        self._latency_count = 0
 
         for name, model in (models or {}).items():
             self.add_model(model, name=name)
@@ -178,6 +187,22 @@ class PredictionService:
         """Register a loaded :class:`ModelBundle`."""
         return self.add_model(bundle.model, name=name)
 
+    def remove_model(self, name: str) -> CuisineModel:
+        """Unregister *name*, dropping its cached results.
+
+        In-flight requests already pinned to the model (queued micro-batch
+        entries, running batch predicts) complete normally against the model
+        object they captured; their results are not cached (the epoch bump),
+        and *new* requests for the name fail with ``KeyError``.
+        """
+        model = self._require_model(name)
+        del self._models[name]
+        with self._cache_lock:
+            self._model_epochs[name] += 1
+            for key in [k for k in self._cache if k[0] == name]:
+                del self._cache[key]
+        return model
+
     def model_names(self) -> tuple[str, ...]:
         """Registered model names, sorted."""
         return tuple(sorted(self._models))
@@ -207,9 +232,8 @@ class PredictionService:
         return [self.store.sequence_tokens(sequence, config) for sequence in sequences]
 
     def _predict_group(
-        self, model_name: str, sequences: Sequence[tuple[str, ...]]
+        self, model: CuisineModel, sequences: Sequence[tuple[str, ...]]
     ) -> np.ndarray:
-        model = self._require_model(model_name)
         tokens = self._featurize(model, sequences)
         return model.predict_proba_tokens(tokens)
 
@@ -300,24 +324,22 @@ class PredictionService:
         if self._worker is not None and self._worker.is_alive():
             return
         with self._worker_lock:
+            if self._closed:
+                raise RuntimeError("prediction service is closed")
             if self._worker is not None and self._worker.is_alive():
                 return
-            self._stop.clear()
             self._worker = threading.Thread(
                 target=self._worker_loop, name="prediction-service", daemon=True
             )
             self._worker.start()
 
     def _worker_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                first = self._queue.get(timeout=0.1)
-            except queue.Empty:
-                continue
+        # The loop exits only on the close() sentinel, after draining every
+        # request queued before it — shutdown never drops accepted work.
+        while True:
+            first = self._queue.get()
             if first is _SHUTDOWN:
-                if self._stop.is_set():
-                    break
-                continue  # stale sentinel from a previous close(); ignore
+                return
             batch = [first]
             # Flush on size or on timeout: block-accumulate until the batch
             # is full or flush_interval has elapsed since the first request;
@@ -325,6 +347,7 @@ class PredictionService:
             # still drained (so flush_interval=0 batches whatever is already
             # waiting without ever sleeping).
             deadline = time.monotonic() + self.flush_interval
+            sentinel_seen = False
             while len(batch) < self.max_batch_size:
                 remaining = deadline - time.monotonic()
                 try:
@@ -335,25 +358,28 @@ class PredictionService:
                 except queue.Empty:
                     break
                 if item is _SHUTDOWN:
-                    if self._stop.is_set():
-                        break
-                    continue
+                    sentinel_seen = True
+                    break
                 batch.append(item)
             self._process_batch(batch)
+            if sentinel_seen:
+                return
 
     def _process_batch(self, batch: list[_Request]) -> None:
-        groups: dict[str, list[_Request]] = {}
+        # Group by the *pinned* model object (not just the name): requests
+        # queued across a hot-swap of the same name predict against the
+        # model each of them started on.
+        groups: dict[tuple[str, int], list[_Request]] = {}
         for request in batch:
-            groups.setdefault(request.model_name, []).append(request)
+            groups.setdefault((request.model_name, id(request.model)), []).append(request)
+        self._counters.increment("batches_flushed")
+        self._counters.increment("batched_requests", len(batch))
         with self._stats_lock:
-            self._batches += 1
-            self._batched_requests += len(batch)
             self._largest_batch = max(self._largest_batch, len(batch))
-        for model_name, requests in groups.items():
-            epoch = self._model_epoch(model_name)
+        for (model_name, _), requests in groups.items():
             try:
                 probabilities = self._predict_group(
-                    model_name, [request.sequence for request in requests]
+                    requests[0].model, [request.sequence for request in requests]
                 )
             except BaseException as exc:  # surfaced to every waiting caller
                 for request in requests:
@@ -361,7 +387,7 @@ class PredictionService:
                     request.done.set()
                 continue
             for request, row in zip(requests, probabilities):
-                self._cache_put(model_name, request.sequence, row, epoch=epoch)
+                self._cache_put(model_name, request.sequence, row, epoch=request.epoch)
                 request.result = row
                 request.done.set()
 
@@ -375,28 +401,45 @@ class PredictionService:
             raise ValueError("cannot predict an empty recipe sequence")
         return validated
 
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "prediction service is closed and no longer accepts requests"
+            )
+
     def predict_proba(self, model_name: str, sequence: Iterable[str]) -> np.ndarray:
         """Class-probability vector for one raw recipe item sequence.
 
         Cache hits return immediately; misses are micro-batched with any
-        concurrent requests before running the model.
+        concurrent requests before running the model.  After :meth:`close`,
+        new submissions are rejected with ``RuntimeError``.
         """
-        self._require_model(model_name)
+        self._ensure_open()
+        # Epoch before model: if a swap lands between the two reads, the
+        # stale model's result fails the epoch check and is not cached.  The
+        # reverse order would cache the old model's output under the new
+        # epoch.
+        epoch = self._model_epoch(model_name)
+        model = self._require_model(model_name)
         validated = self._validated(sequence)
         start = time.perf_counter()
-        with self._stats_lock:
-            self._requests_by_model[model_name] += 1
+        self._counters.increment(f"requests:{model_name}")
         cached = self._cache_get(model_name, validated)
         if cached is not None:
-            with self._stats_lock:
-                self._cache_hits += 1
+            self._counters.increment("cache_hits")
             self._record_latency(start)
             return cached
-        with self._stats_lock:
-            self._cache_misses += 1
-        self._ensure_worker()
-        request = _Request(model_name=model_name, sequence=validated)
-        self._queue.put(request)
+        self._counters.increment("cache_misses")
+        request = _Request(
+            model_name=model_name,
+            sequence=validated,
+            model=model,
+            epoch=epoch,
+        )
+        with self._submit_lock:
+            self._ensure_open()  # re-checked: no submission after the sentinel
+            self._ensure_worker()
+            self._queue.put(request)
         if not request.done.wait(timeout=self.request_timeout):
             raise TimeoutError(
                 f"prediction for model {model_name!r} timed out after "
@@ -422,13 +465,14 @@ class PredictionService:
         The whole batch is featurized and predicted in one model pass
         (cache hits are served from the LRU and excluded from the pass).
         """
+        self._ensure_open()
+        epoch = self._model_epoch(model_name)  # before the model; see predict_proba
         model = self._require_model(model_name)
         validated = [self._validated(sequence) for sequence in sequences]
         if not validated:
             return np.zeros((0, model.n_classes))
         start = time.perf_counter()
-        with self._stats_lock:
-            self._requests_by_model[model_name] += len(validated)
+        self._counters.increment(f"requests:{model_name}", len(validated))
         rows: dict[int, np.ndarray] = {}
         pending: list[tuple[int, tuple[str, ...]]] = []
         for index, sequence in enumerate(validated):
@@ -437,13 +481,11 @@ class PredictionService:
                 rows[index] = cached
             else:
                 pending.append((index, sequence))
-        with self._stats_lock:
-            self._cache_hits += len(validated) - len(pending)
-            self._cache_misses += len(pending)
+        self._counters.increment("cache_hits", len(validated) - len(pending))
+        self._counters.increment("cache_misses", len(pending))
         if pending:
-            epoch = self._model_epoch(model_name)
             probabilities = self._predict_group(
-                model_name, [sequence for _, sequence in pending]
+                model, [sequence for _, sequence in pending]
             )
             for (index, sequence), row in zip(pending, probabilities):
                 self._cache_put(model_name, sequence, row, epoch=epoch)
@@ -461,39 +503,37 @@ class PredictionService:
     # observability
     # ------------------------------------------------------------------
     def _record_latency(self, start: float, count: int = 1) -> None:
-        elapsed = time.perf_counter() - start
-        with self._stats_lock:
-            self._latency_total += elapsed
-            self._latency_max = max(self._latency_max, elapsed)
-            self._latency_count += count
+        self._latency.record(time.perf_counter() - start, count=count)
 
     def stats(self) -> dict:
-        """Service counters plus the underlying feature-store statistics."""
+        """Service counters plus the underlying feature-store statistics.
+
+        Counters and latency come from the shared
+        :mod:`repro.gateway.observability` primitives — the latency dict
+        includes rolling p50/p95/p99 quantiles alongside the lifetime
+        totals.
+        """
+        counters = self._counters.snapshot()
+        requests = {
+            name.split(":", 1)[1]: count
+            for name, count in counters.items()
+            if name.startswith("requests:")
+        }
+        batches = counters.get("batches_flushed", 0)
+        batched = counters.get("batched_requests", 0)
         with self._stats_lock:
-            requests = dict(self._requests_by_model)
-            total = sum(requests.values())
-            batches = self._batches
-            batched = self._batched_requests
-            payload = {
-                "requests": total,
-                "requests_by_model": requests,
-                "cache_hits": self._cache_hits,
-                "cache_misses": self._cache_misses,
-                "batches_flushed": batches,
-                "batched_requests": batched,
-                "mean_batch_size": (batched / batches) if batches else 0.0,
-                "largest_batch": self._largest_batch,
-                "latency": {
-                    "count": self._latency_count,
-                    "total_seconds": self._latency_total,
-                    "mean_ms": (
-                        1000.0 * self._latency_total / self._latency_count
-                        if self._latency_count
-                        else 0.0
-                    ),
-                    "max_ms": 1000.0 * self._latency_max,
-                },
-            }
+            largest = self._largest_batch
+        payload = {
+            "requests": sum(requests.values()),
+            "requests_by_model": requests,
+            "cache_hits": counters.get("cache_hits", 0),
+            "cache_misses": counters.get("cache_misses", 0),
+            "batches_flushed": batches,
+            "batched_requests": batched,
+            "mean_batch_size": (batched / batches) if batches else 0.0,
+            "largest_batch": largest,
+            "latency": self._latency.snapshot(),
+        }
         with self._cache_lock:
             payload["cached_entries"] = len(self._cache)
         payload["store"] = self.store.stats()
@@ -503,29 +543,43 @@ class PredictionService:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop the micro-batching worker (idempotent).
+        """Shut the service down: reject new requests, drain accepted ones.
 
-        Requests that raced the shutdown into the queue are failed
-        immediately with a ``RuntimeError`` instead of being left to hit the
-        request timeout.  The service remains usable afterwards — the next
-        single predict restarts the worker.
+        Idempotent and terminal.  Submissions arriving after ``close()``
+        raise ``RuntimeError`` immediately; every request that was accepted
+        into the micro-batch queue before shutdown is still **processed to
+        completion** (its caller receives a real result, not an error).  Only
+        requests that race the shutdown into the queue after the drain
+        sentinel are failed — with the same clear ``RuntimeError``, never a
+        silent drop or a timeout.
         """
-        self._stop.set()
-        worker = self._worker
-        if worker is not None and worker.is_alive():
-            try:
-                self._queue.put_nowait(_SHUTDOWN)
-            except queue.Full:
-                pass  # the worker polls the stop flag while draining
-            worker.join(timeout=5.0)
+        with self._submit_lock:
+            with self._worker_lock:
+                if self._closed:
+                    return  # another close() owns (or finished) the shutdown
+                self._closed = True
+                worker = self._worker
+            if worker is not None and worker.is_alive():
+                # The worker drains everything queued before this sentinel,
+                # and the submit lock guarantees nothing is queued after it.
+                self._queue.put(_SHUTDOWN)
+        if worker is not None:
+            worker.join(timeout=30.0)
+            if worker.is_alive():
+                # Still draining a deep backlog: leave the queue to it — it
+                # will complete every accepted request and exit at the
+                # sentinel.  Touching the queue here would steal its work.
+                return
         self._worker = None
-        while True:
+        while True:  # fail (don't drop) anything left behind by a dead worker
             try:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
             if item is not _SHUTDOWN:
-                item.error = RuntimeError("prediction service closed")
+                item.error = RuntimeError(
+                    "prediction service is closed and no longer accepts requests"
+                )
                 item.done.set()
 
     def __enter__(self) -> "PredictionService":

@@ -1,0 +1,45 @@
+"""Shared fixtures for the gateway test suite.
+
+Two statistical models are trained once per session on the tiny corpus and
+exported as bundles; most gateway tests deploy fresh gateways over that
+export directory (loading a bundle is cheap, training is not).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.serving import ModelBundle
+
+GATEWAY_MODELS = ("logreg", "naive_bayes")
+FAST_KWARGS = {"logreg": {"max_iter": 30}}
+
+
+@pytest.fixture(scope="session")
+def gateway_export_dir(tiny_corpus, tmp_path_factory):
+    """Bundles of two trained models, the raw material for deployments."""
+    path = tmp_path_factory.mktemp("gateway-bundles")
+    config = ExperimentConfig(
+        models=GATEWAY_MODELS,
+        seed=3,
+        statistical_kwargs=FAST_KWARGS,
+        export_dir=str(path),
+    )
+    ExperimentRunner(config, corpus=tiny_corpus).run()
+    return path
+
+
+@pytest.fixture(scope="session")
+def logreg_bundle(gateway_export_dir):
+    return ModelBundle.load(gateway_export_dir / "logreg")
+
+
+@pytest.fixture(scope="session")
+def nb_bundle(gateway_export_dir):
+    return ModelBundle.load(gateway_export_dir / "naive_bayes")
+
+
+@pytest.fixture(scope="session")
+def gateway_sequences(tiny_corpus):
+    return [recipe.sequence for recipe in tiny_corpus.recipes[:30]]

@@ -1,0 +1,155 @@
+"""Concurrent hot-swap: swapping a live route under load is safe.
+
+Satellite + acceptance criterion of the gateway issue: N threads predict
+through a route while its active version is swapped (and rolled back).  The
+bar is:
+
+* no request raises — zero dropped requests;
+* after ``swap()`` returns, every *newly started* request is served by the
+  new version — no stale-version responses;
+* the service's result cache never serves the retired version's
+  probabilities under the new version's identity.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.gateway import ModelGateway
+
+N_THREADS = 8
+REQUESTS_PER_THREAD = 40
+
+
+@pytest.fixture()
+def swap_gateway(logreg_bundle, nb_bundle):
+    gateway = ModelGateway()
+    gateway.deploy("cuisine", "v1", logreg_bundle)
+    gateway.deploy("cuisine", "v2", nb_bundle, activate=False)
+    with gateway:
+        yield gateway
+
+
+class TestConcurrentHotSwap:
+    def test_swap_under_load(self, swap_gateway, gateway_sequences):
+        gateway = swap_gateway
+        sequence = gateway_sequences[0]
+        # The two versions are different model families, so their probability
+        # vectors for this sequence are distinguishable fingerprints.
+        v1_row = gateway.service.predict_proba("cuisine@v1", sequence)
+        v2_row = gateway.service.predict_proba("cuisine@v2", sequence)
+        assert not np.array_equal(v1_row, v2_row)
+
+        swapped = threading.Event()
+        stop = threading.Event()
+        errors: list = []
+        post_swap_stale = []
+        served = {"v1": 0, "v2": 0, "post_swap": 0, "total": 0}
+        count_lock = threading.Lock()
+
+        def client() -> None:
+            while not stop.is_set():
+                request_started_after_swap = swapped.is_set()
+                try:
+                    row = gateway.predict_proba("cuisine", sequence)
+                except BaseException as exc:  # any exception fails the bar
+                    errors.append(exc)
+                    return
+                is_v1 = np.array_equal(row, v1_row)
+                is_v2 = np.array_equal(row, v2_row)
+                assert is_v1 or is_v2, "response matches neither version"
+                if request_started_after_swap and is_v1:
+                    post_swap_stale.append(row)
+                with count_lock:
+                    served["v1" if is_v1 else "v2"] += 1
+                    served["total"] += 1
+                    if request_started_after_swap:
+                        served["post_swap"] += 1
+
+        def wait_for(condition) -> None:
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not errors:
+                with count_lock:
+                    if condition(served):
+                        return
+                time.sleep(0.001)
+
+        threads = [threading.Thread(target=client) for _ in range(N_THREADS)]
+        for thread in threads:
+            thread.start()
+        # Let some traffic land on v1, swap mid-flight, then keep the load
+        # up long enough to observe plenty of post-swap requests.
+        wait_for(lambda counts: counts["v1"] >= N_THREADS * REQUESTS_PER_THREAD)
+        gateway.swap("cuisine", "v2")
+        swapped.set()
+        wait_for(lambda counts: counts["post_swap"] >= N_THREADS * REQUESTS_PER_THREAD)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+
+        assert errors == []  # zero dropped requests
+        assert post_swap_stale == []  # zero stale responses after the swap
+        with count_lock:
+            assert served["v1"] + served["v2"] == served["total"]
+            assert served["post_swap"] >= N_THREADS * REQUESTS_PER_THREAD
+            assert served["v2"] >= served["post_swap"]
+
+    def test_cache_isolated_across_swap(self, swap_gateway, gateway_sequences):
+        """The result cache is keyed by versioned identity: after a swap the
+        new version can never be served the retired version's cached rows."""
+        gateway = swap_gateway
+        sequence = gateway_sequences[0]
+        before = gateway.predict_proba("cuisine", sequence)  # caches under v1
+        gateway.swap("cuisine", "v2")
+        after = gateway.predict_proba("cuisine", sequence)
+        direct_v2 = gateway.service.predict_proba("cuisine@v2", sequence)
+        np.testing.assert_array_equal(after, direct_v2)
+        assert not np.array_equal(before, after)
+
+    def test_rollback_under_load(self, swap_gateway, gateway_sequences):
+        gateway = swap_gateway
+        sequence = gateway_sequences[1]
+        v1_row = gateway.service.predict_proba("cuisine@v1", sequence)
+
+        stop = threading.Event()
+        errors: list = []
+
+        def client() -> None:
+            while not stop.is_set():
+                try:
+                    gateway.predict_proba("cuisine", sequence)
+                except BaseException as exc:
+                    errors.append(exc)
+                    return
+
+        threads = [threading.Thread(target=client) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for _ in range(10):
+            gateway.swap("cuisine", "v2")
+            gateway.rollback("cuisine")
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+
+        assert errors == []
+        assert gateway.registry.active_version("cuisine") == "v1"
+        row = gateway.predict_proba("cuisine", sequence)
+        np.testing.assert_array_equal(row, v1_row)
+
+    def test_retire_does_not_break_pinned_requests(
+        self, swap_gateway, gateway_sequences
+    ):
+        """A request that resolved the old version finishes even if the
+        version is retired before its prediction runs (model pinning)."""
+        gateway = swap_gateway
+        deployment = gateway.registry.resolve("cuisine")  # pins v1
+        gateway.swap("cuisine", "v2")
+        gateway.retire("cuisine", "v1")
+        # The pinned deployment still predicts through its captured model.
+        row = deployment.model.predict_proba_sequences([gateway_sequences[0]])[0]
+        assert row.shape == (len(deployment.label_space),)

@@ -1,0 +1,116 @@
+"""Tests for the shared observability primitives."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.gateway.observability import CounterSet, RollingLatency, RouteMetrics
+
+
+class TestCounterSet:
+    def test_increment_and_snapshot(self):
+        counters = CounterSet()
+        counters.increment("requests")
+        counters.increment("requests", 4)
+        counters.increment("errors", 0)
+        assert counters.value("requests") == 5
+        assert counters.snapshot() == {"requests": 5}  # zero counters omitted
+
+    def test_thread_safety(self):
+        counters = CounterSet()
+
+        def bump():
+            for _ in range(1000):
+                counters.increment("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counters.value("n") == 8000
+
+
+class TestRollingLatency:
+    def test_lifetime_totals(self):
+        latency = RollingLatency(window=8)
+        for seconds in (0.010, 0.020, 0.030):
+            latency.record(seconds)
+        snapshot = latency.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["total_seconds"] == pytest.approx(0.060)
+        assert snapshot["mean_ms"] == pytest.approx(20.0)
+        assert snapshot["max_ms"] == pytest.approx(30.0)
+
+    def test_quantiles_over_ring(self):
+        latency = RollingLatency(window=100)
+        for millis in range(1, 101):  # 1ms .. 100ms
+            latency.record(millis / 1000.0)
+        assert latency.quantile(0.50) == pytest.approx(0.0505, rel=0.02)
+        snapshot = latency.snapshot()
+        assert snapshot["p50_ms"] == pytest.approx(50.5, rel=0.02)
+        assert snapshot["p95_ms"] == pytest.approx(95.05, rel=0.02)
+        assert snapshot["p99_ms"] == pytest.approx(99.01, rel=0.02)
+
+    def test_window_evicts_history(self):
+        latency = RollingLatency(window=4)
+        latency.record(10.0)  # ancient outlier
+        for _ in range(4):
+            latency.record(0.001)
+        # The outlier left the ring: quantiles reflect recent samples only,
+        # while lifetime max still remembers it.
+        assert latency.quantile(0.99) == pytest.approx(0.001)
+        assert latency.snapshot()["max_ms"] == pytest.approx(10_000.0)
+
+    def test_batched_count_attribution(self):
+        latency = RollingLatency()
+        latency.record(0.008, count=16)
+        snapshot = latency.snapshot()
+        assert snapshot["count"] == 16
+        assert snapshot["total_seconds"] == pytest.approx(0.008)
+
+    def test_empty_snapshot(self):
+        snapshot = RollingLatency().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p50_ms"] == 0.0
+        assert snapshot["mean_ms"] == 0.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window"):
+            RollingLatency(window=0)
+
+
+class TestRouteMetrics:
+    def test_request_and_variant_accounting(self):
+        metrics = RouteMetrics()
+        metrics.record_request("v1", 0.010)
+        metrics.record_request("v2", 0.020, count=3)
+        metrics.record_error()
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 5
+        assert snapshot["errors"] == 1
+        assert snapshot["by_variant"] == {"v1": 1, "v2": 3}
+        assert snapshot["latency"]["count"] == 4
+
+    def test_batch_accounting(self):
+        metrics = RouteMetrics()
+        metrics.record_batch({"v1": 7, "v2": 3}, 0.050)
+        snapshot = metrics.snapshot()
+        assert snapshot["requests"] == 10
+        assert snapshot["by_variant"] == {"v1": 7, "v2": 3}
+        assert snapshot["latency"]["count"] == 10
+
+    def test_shadow_accounting(self):
+        metrics = RouteMetrics()
+        metrics.record_shadow("v2", agreements=8, disagreements=2)
+        metrics.record_shadow_error()
+        shadow = metrics.snapshot()["shadow"]
+        assert shadow["requests"] == 10
+        assert shadow["agreements"] == 8
+        assert shadow["disagreements"] == 2
+        assert shadow["errors"] == 1
+        assert shadow["agreement_rate"] == pytest.approx(0.8)
+
+    def test_no_shadow_traffic_rate_is_none(self):
+        assert RouteMetrics().snapshot()["shadow"]["agreement_rate"] is None

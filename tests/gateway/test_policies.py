@@ -1,0 +1,132 @@
+"""Traffic-policy tests: determinism, distribution and decision shapes."""
+
+import pytest
+
+from repro.gateway.policies import (
+    ABSplit,
+    ActiveVersion,
+    Canary,
+    Ensemble,
+    RouteView,
+    Shadow,
+    derive_request_key,
+    request_bucket,
+)
+
+VIEW = RouteView(name="cuisine", active="v1", versions=("v1", "v2"))
+
+
+class TestBuckets:
+    def test_bucket_range_and_determinism(self):
+        for i in range(200):
+            bucket = request_bucket(f"user-{i}")
+            assert 0.0 <= bucket < 1.0
+            assert bucket == request_bucket(f"user-{i}")
+
+    def test_cross_process_stability(self):
+        """Bucket values are pure BLAKE2b — frozen here so any change to the
+        hashing scheme (or an accidental use of per-process ``hash()``)
+        fails loudly.  These constants must hold in every process, forever."""
+        assert request_bucket("user-0") == pytest.approx(0.33807104335792254, abs=0.0)
+        assert request_bucket("user-1") == pytest.approx(0.9615151379785262, abs=0.0)
+        assert request_bucket("alpha", "salt-a") == pytest.approx(
+            0.10698222635243683, abs=0.0
+        )
+
+    def test_salt_changes_assignment(self):
+        buckets = [request_bucket("user-7", salt) for salt in ("", "a", "b")]
+        assert len(set(buckets)) == 3
+
+    def test_derived_key_is_content_stable(self):
+        assert derive_request_key(("a", "b")) == derive_request_key(("a", "b"))
+        assert derive_request_key(("a", "b")) != derive_request_key(("ab",))
+        assert derive_request_key(("a", "b")) != derive_request_key(("b", "a"))
+
+
+class TestABSplit:
+    def test_same_key_same_variant(self):
+        split = ABSplit(variants={"v1": 0.5, "v2": 0.5})
+        for i in range(100):
+            key = f"user-{i}"
+            first = split.decide(key, VIEW).primary
+            assert all(split.decide(key, VIEW).primary == first for _ in range(3))
+
+    def test_frozen_assignment(self):
+        """The concrete key -> variant mapping is part of the contract."""
+        split = ABSplit(variants={"v1": 0.5, "v2": 0.5})
+        picks = [split.decide(f"user-{i}", VIEW).primary for i in range(10)]
+        assert picks == ["v1", "v2", "v2", "v2", "v2", "v1", "v1", "v2", "v1", "v1"]
+
+    def test_weights_respected_over_10k_keys(self):
+        split = ABSplit(variants={"v1": 0.8, "v2": 0.2})
+        picks = [split.decide(f"synthetic-{i}", VIEW).primary for i in range(10_000)]
+        fraction = picks.count("v2") / len(picks)
+        assert fraction == pytest.approx(0.2, abs=0.02)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            ABSplit(variants={"v1": 0.0})
+        with pytest.raises(ValueError, match="at least one"):
+            ABSplit(variants={})
+
+
+class TestCanary:
+    def test_fraction_observed_over_10k_keys(self):
+        canary = Canary(candidate="v2", fraction=0.1)
+        picks = [canary.decide(f"synthetic-{i}", VIEW).primary for i in range(10_000)]
+        assert picks.count("v2") / len(picks) == pytest.approx(0.1, abs=0.015)
+
+    def test_stable_defaults_to_active(self):
+        canary = Canary(candidate="v2", fraction=0.0)
+        assert canary.decide("any", VIEW).primary == "v1"
+        swapped = RouteView(name="cuisine", active="v3", versions=("v1", "v2", "v3"))
+        assert canary.decide("any", swapped).primary == "v3"
+
+    def test_full_fraction_always_candidate(self):
+        canary = Canary(candidate="v2", fraction=1.0)
+        assert all(
+            canary.decide(f"user-{i}", VIEW).primary == "v2" for i in range(50)
+        )
+
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError, match="fraction"):
+            Canary(candidate="v2", fraction=1.5)
+
+
+class TestShadowAndDefault:
+    def test_active_version_follows_view(self):
+        assert ActiveVersion().decide("k", VIEW).primary == "v1"
+
+    def test_shadow_mirrors_off_primary(self):
+        decision = Shadow(candidate="v2").decide("k", VIEW)
+        assert decision.primary == "v1"
+        assert decision.shadows == ("v2",)
+
+    def test_shadow_with_explicit_primary(self):
+        decision = Shadow(candidate="v2", primary="v9").decide("k", VIEW)
+        assert decision.primary == "v9"
+
+
+class TestEnsemblePolicy:
+    def test_members_sorted_and_deduped(self):
+        policy = Ensemble(members=("v2", "v1", "v2"))
+        assert policy.members == ("v1", "v2")
+        assert policy.decide("k", VIEW).ensemble == ("v1", "v2")
+
+    def test_weighted_requires_complete_weights(self):
+        with pytest.raises(ValueError, match="requires weights"):
+            Ensemble(members=("v1", "v2"), method="weighted")
+        with pytest.raises(ValueError, match="missing"):
+            Ensemble(members=("v1", "v2"), method="weighted", weights={"v1": 1.0})
+        policy = Ensemble(
+            members=("v2", "v1"), method="weighted", weights={"v1": 1.0, "v2": 3.0}
+        )
+        assert policy.member_weights() == (1.0, 3.0)  # aligned with sorted members
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown ensemble method"):
+            Ensemble(members=("v1", "v2"), method="median")
+
+    def test_single_member_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            Ensemble(members=("v1",))

@@ -1,0 +1,114 @@
+"""Tests for deterministic bundle discovery and up-front manifest validation."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.data.splits import train_val_test_split
+from repro.models.statistical import NaiveBayesModel
+from repro.serving import ModelBundle, discover_bundles, validate_manifest
+from repro.serving.bundle import bundle_name
+
+
+@pytest.fixture(scope="module")
+def bundle_dir(tiny_corpus, tmp_path_factory):
+    """One fitted naive-bayes bundle under an export directory."""
+    export_dir = tmp_path_factory.mktemp("validation-bundles")
+    splits = train_val_test_split(tiny_corpus, seed=4)
+    model = NaiveBayesModel(label_space=tiny_corpus.present_cuisines())
+    model.fit(splits.train)
+    model.save_bundle(export_dir / "naive_bayes")
+    return export_dir
+
+
+def _manifest(path) -> dict:
+    return json.loads((path / "manifest.json").read_text(encoding="utf-8"))
+
+
+def _write_manifest(path, manifest) -> None:
+    (path / "manifest.json").write_text(json.dumps(manifest), encoding="utf-8")
+
+
+class TestDiscovery:
+    def test_deterministic_order(self, bundle_dir, tmp_path):
+        export = tmp_path / "export"
+        export.mkdir()
+        # Directory names deliberately out of model-name order.
+        for directory, model_name in [("z-dir", "alpha"), ("a-dir", "zeta")]:
+            shutil.copytree(bundle_dir / "naive_bayes", export / directory)
+            manifest = _manifest(export / directory)
+            manifest["model"] = model_name
+            _write_manifest(export / directory, manifest)
+        discovered = discover_bundles(export)
+        assert list(discovered) == ["alpha", "zeta"]  # sorted by model name
+        assert discovered["alpha"] == export / "z-dir"
+
+    def test_name_comes_from_manifest(self, bundle_dir, tmp_path):
+        export = tmp_path / "export"
+        export.mkdir()
+        shutil.copytree(bundle_dir / "naive_bayes", export / "renamed-dir")
+        assert bundle_name(export / "renamed-dir") == "naive_bayes"
+        assert set(discover_bundles(export)) == {"naive_bayes"}
+
+    def test_duplicate_names_raise(self, bundle_dir, tmp_path):
+        export = tmp_path / "export"
+        export.mkdir()
+        shutil.copytree(bundle_dir / "naive_bayes", export / "copy-one")
+        shutil.copytree(bundle_dir / "naive_bayes", export / "copy-two")
+        with pytest.raises(ValueError, match="duplicate bundle name 'naive_bayes'"):
+            discover_bundles(export)
+
+
+class TestManifestValidation:
+    def test_valid_bundle_passes(self, bundle_dir):
+        manifest = validate_manifest(bundle_dir / "naive_bayes")
+        assert manifest["model"] == "naive_bayes"
+        assert isinstance(ModelBundle.load(bundle_dir / "naive_bayes"), ModelBundle)
+
+    def test_missing_fields_named(self, bundle_dir, tmp_path):
+        broken = tmp_path / "broken"
+        shutil.copytree(bundle_dir / "naive_bayes", broken)
+        manifest = _manifest(broken)
+        del manifest["label_space"]
+        del manifest["feature_spec"]
+        _write_manifest(broken, manifest)
+        with pytest.raises(ValueError, match=r"missing required fields \['feature_spec', 'label_space'\]"):
+            ModelBundle.load(broken)
+
+    def test_unknown_fields_named(self, bundle_dir, tmp_path):
+        broken = tmp_path / "unknown"
+        shutil.copytree(bundle_dir / "naive_bayes", broken)
+        manifest = _manifest(broken)
+        manifest["surprise"] = 1
+        _write_manifest(broken, manifest)
+        with pytest.raises(ValueError, match=r"unknown fields \['surprise'\]"):
+            ModelBundle.load(broken)
+
+    def test_bad_format_version(self, bundle_dir, tmp_path):
+        broken = tmp_path / "version"
+        shutil.copytree(bundle_dir / "naive_bayes", broken)
+        manifest = _manifest(broken)
+        manifest["format_version"] = 99
+        _write_manifest(broken, manifest)
+        with pytest.raises(ValueError, match="unsupported bundle format version 99"):
+            ModelBundle.load(broken)
+
+    def test_missing_archive_detected_before_load(self, bundle_dir, tmp_path):
+        broken = tmp_path / "archive"
+        shutil.copytree(bundle_dir / "naive_bayes", broken)
+        for archive in broken.glob("arrays-*.npz"):
+            archive.unlink()
+        with pytest.raises(FileNotFoundError, match="references array archive"):
+            ModelBundle.load(broken)
+
+    def test_malformed_json(self, bundle_dir, tmp_path):
+        broken = tmp_path / "json"
+        shutil.copytree(bundle_dir / "naive_bayes", broken)
+        (broken / "manifest.json").write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            validate_manifest(broken)
+
+    def test_missing_bundle_dir(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no model bundle"):
+            validate_manifest(tmp_path / "nowhere")

@@ -233,14 +233,101 @@ class TestMicroBatching:
             with pytest.raises(RuntimeError, match="synthetic model failure"):
                 service.predict_proba("logreg", request_sequences[0])
 
-    def test_close_is_idempotent(self, export_dir):
+    def test_close_is_idempotent_and_terminal(self, export_dir):
         service = PredictionService.from_export_dir(export_dir)
         service.predict("logreg", ["onion", "stir"])
         service.close()
         service.close()
-        # The service restarts its worker transparently after close().
-        assert service.predict("logreg", ["onion", "stir"]) is not None
+        # After close() the service rejects new submissions with a clear
+        # error instead of silently restarting or dropping them.
+        with pytest.raises(RuntimeError, match="closed"):
+            service.predict("logreg", ["onion", "stir"])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.predict_proba_batch("logreg", [["onion", "stir"]])
+
+
+class TestShutdownUnderLoad:
+    def test_close_drains_queued_requests(self, export_dir, request_sequences):
+        """Requests accepted into the queue before close() are processed to
+        completion — shutdown drains, it does not drop."""
+        from repro.serving.service import _Request
+
+        service = PredictionService.from_export_dir(
+            export_dir, cache_size=0, flush_interval=0.05
+        )
+        service._ensure_worker()
+        model = service._models["logreg"]
+        queued = [
+            _Request(
+                model_name="logreg",
+                sequence=tuple(sequence),
+                model=model,
+                epoch=service._model_epoch("logreg"),
+            )
+            for sequence in request_sequences[:12]
+        ]
+        for request in queued:
+            service._queue.put(request)
         service.close()
+        for request in queued:
+            assert request.done.is_set()
+            assert request.error is None
+            assert request.result is not None
+
+    def test_concurrent_close_never_drops_or_times_out(
+        self, export_dir, request_sequences
+    ):
+        """Under concurrent load, every request racing a close() either gets
+        a real result or the explicit closed error — never a timeout."""
+        service = PredictionService.from_export_dir(
+            export_dir, cache_size=0, flush_interval=0.002, request_timeout=30.0
+        )
+        outcomes: list = []
+        outcome_lock = threading.Lock()
+        start_gate = threading.Event()
+
+        def client(index: int) -> None:
+            start_gate.wait()
+            for step in range(4):
+                sequence = request_sequences[(index + step) % len(request_sequences)]
+                try:
+                    result = service.predict_proba("logreg", sequence)
+                    outcome = ("ok", result)
+                except RuntimeError as exc:
+                    outcome = ("closed", exc)
+                with outcome_lock:
+                    outcomes.append(outcome)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(12)]
+        for thread in threads:
+            thread.start()
+        start_gate.set()
+        service.close()  # races the in-flight clients
+        for thread in threads:
+            thread.join(timeout=60.0)
+            assert not thread.is_alive()
+
+        assert len(outcomes) == 12 * 4
+        for kind, payload in outcomes:
+            if kind == "ok":
+                assert isinstance(payload, np.ndarray)
+            else:
+                assert "closed" in str(payload)
+
+
+class TestModelRemoval:
+    def test_remove_model_unregisters_and_drops_cache(
+        self, export_dir, request_sequences
+    ):
+        with PredictionService.from_export_dir(export_dir) as service:
+            service.predict_proba("logreg", request_sequences[0])
+            assert service.stats()["cached_entries"] == 1
+            removed = service.remove_model("logreg")
+            assert removed is not None
+            assert "logreg" not in service.model_names()
+            assert service.stats()["cached_entries"] == 0
+            with pytest.raises(KeyError, match="no model"):
+                service.predict_proba("logreg", request_sequences[0])
 
 
 class TestSequentialModelServing:

@@ -1,5 +1,30 @@
-"""Setup shim for legacy editable installs (offline environments without wheel)."""
+"""Packaging for the conf_icde_SharmaUB20 reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no build backend requirements) so editable
+installs work in offline environments without wheel/pyproject tooling.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of conf_icde_SharmaUB20 grown into a full "
+        "train/serve/deploy stack: feature store, sharded corpus engine, "
+        "model bundles, prediction service, deployment gateway, HTTP "
+        "serving frontier and load generator."
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    # numpy/scipy are required at runtime but deliberately not pinned here:
+    # the CI/image toolchain provides them, and offline installs must not
+    # trigger resolution.
+    install_requires=[],
+    entry_points={
+        "console_scripts": [
+            "repro-serve = repro.server.cli:main",
+        ],
+    },
+)

@@ -58,6 +58,14 @@ class ModelGateway:
             a private :class:`PredictionService`) is created by default.
         shadow_workers: Threads mirroring shadow traffic off the critical
             path.
+        owns_service: Whether :meth:`close` tears down the underlying
+            :class:`PredictionService`.  Defaults to owning it exactly when
+            the gateway created its own registry — an injected registry's
+            service may be shared with other components and is left running.
+            Pass ``True`` to make the gateway the service's terminal owner
+            even over an injected registry (e.g. a ``repro.server`` drain),
+            or ``False`` to keep a privately-created service alive past the
+            gateway.
         **service_kwargs: Forwarded to the private registry's service when
             *registry* is ``None``.
     """
@@ -67,15 +75,15 @@ class ModelGateway:
         registry: DeploymentRegistry | None = None,
         *,
         shadow_workers: int = 2,
+        owns_service: bool | None = None,
         **service_kwargs,
     ) -> None:
         if registry is not None and service_kwargs:
             raise ValueError("pass either a registry or service kwargs, not both")
         if shadow_workers < 1:
             raise ValueError(f"shadow_workers must be >= 1, got {shadow_workers}")
-        #: Whether this gateway created (and therefore owns) its registry and
-        #: service; an injected registry's service is never torn down here.
-        self._owns_registry = registry is None
+        #: Whether close() tears down the service; defaults to "created it".
+        self._owns_service = owns_service if owns_service is not None else registry is None
         self.registry = registry if registry is not None else DeploymentRegistry(**service_kwargs)
         self._shadow_pool = ThreadPoolExecutor(
             max_workers=shadow_workers, thread_name_prefix="gateway-shadow"
@@ -382,14 +390,16 @@ class ModelGateway:
     def close(self) -> None:
         """Stop shadow mirroring; tear down the service only if owned.
 
-        A gateway built over an injected registry leaves that registry's
-        prediction service running — other components may share it.  The
-        service of a privately-created registry is closed terminally.
+        By default a gateway built over an injected registry leaves that
+        registry's prediction service running — other components may share
+        it — while the service of a privately-created registry is closed
+        terminally.  The constructor's ``owns_service`` flag overrides either
+        default.
         """
         self._closed = True
         self.flush_shadows()
         self._shadow_pool.shutdown(wait=True)
-        if self._owns_registry:
+        if self._owns_service:
             self.service.close()
 
     def __enter__(self) -> "ModelGateway":

@@ -12,6 +12,7 @@ from repro.observability import (
     CounterSet,
     RollingLatency,
     RouteMetrics,
+    render_metrics_text,
 )
 
 __all__ = [
@@ -19,4 +20,5 @@ __all__ = [
     "CounterSet",
     "RollingLatency",
     "RouteMetrics",
+    "render_metrics_text",
 ]

@@ -1,0 +1,141 @@
+"""A minimal asyncio HTTP/1.1 client for the load generator.
+
+Dependency-free on purpose (mirroring :mod:`repro.server.protocol`):
+persistent keep-alive connections over asyncio streams, explicit
+``Content-Length`` framing, and a small free-list pool so an open-loop run
+with hundreds of requests in flight reuses sockets instead of exhausting
+ephemeral ports.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+
+@dataclass
+class ClientResponse:
+    """One parsed response: status, lowercase headers, raw body."""
+
+    status: int
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self):
+        return json.loads(self.body)
+
+
+class ClientConnection:
+    """One keep-alive connection to the server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self.reusable = False
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(self.host, self.port)
+        self.reusable = True
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        headers: dict[str, str] | None = None,
+    ) -> ClientResponse:
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+        lines = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(body)}",
+            "Content-Type: application/json",
+        ]
+        for name, value in (headers or {}).items():
+            lines.append(f"{name}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body)
+        await self._writer.drain()
+        return await self._read_response()
+
+    async def _read_response(self) -> ClientResponse:
+        assert self._reader is not None
+        head = await self._reader.readuntil(b"\r\n\r\n")
+        status_line, *header_lines = head.decode("latin-1").split("\r\n")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/1."):
+            raise ConnectionError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        response_headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", "0"))
+        body = await self._reader.readexactly(length) if length else b""
+        if response_headers.get("connection", "").lower() == "close":
+            self.reusable = False
+        return ClientResponse(status=status, headers=response_headers, body=body)
+
+    def close(self) -> None:
+        self.reusable = False
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+            self._reader = None
+
+
+class ConnectionPool:
+    """A free-list of keep-alive connections to one server."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._free: list[ClientConnection] = []
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        headers: dict[str, str] | None = None,
+    ) -> ClientResponse:
+        """Run one request on a pooled connection (opened on demand).
+
+        Only a failure on a *reused* pooled socket is retried, once, on a
+        fresh connection: an idle keep-alive socket the server closed
+        (drain, timeout) fails on the write before the request was ever
+        accepted, so the re-send is safe.  A failure on a fresh connection
+        propagates — retrying there could double-execute a request the
+        server may already have processed.
+        """
+        reused = bool(self._free)
+        connection = self._free.pop() if reused else ClientConnection(self.host, self.port)
+        try:
+            response = await connection.request(method, path, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            connection.close()
+            if not reused:
+                raise
+            connection = ClientConnection(self.host, self.port)
+            try:
+                response = await connection.request(method, path, payload, headers)
+            except BaseException:
+                connection.close()
+                raise
+        if connection.reusable:
+            self._free.append(connection)
+        else:
+            connection.close()
+        return response
+
+    def close(self) -> None:
+        for connection in self._free:
+            connection.close()
+        self._free.clear()

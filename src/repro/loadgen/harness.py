@@ -1,0 +1,241 @@
+"""Execute a :class:`~repro.loadgen.workload.Workload` and report what happened.
+
+Two execution disciplines, the textbook pair for serving systems:
+
+* **open-loop** (:func:`run_open_loop`) — requests are issued at the
+  workload's seeded arrival times regardless of completions, the honest way
+  to measure latency under a target offered load (closed-loop clients
+  self-throttle and hide queueing);
+* **closed-loop** (:func:`run_closed_loop`) — a fixed number of workers
+  each keep exactly one request outstanding, the right tool for measuring
+  sustainable throughput.
+
+Targets abstract *what* is being driven: :class:`HTTPTarget` speaks to a
+live ``repro.server`` over real sockets (keep-alive connection pool),
+:class:`GatewayTarget` calls a :class:`~repro.gateway.ModelGateway`
+in-process — the no-network baseline that isolates HTTP overhead.
+
+Every run produces a :class:`LoadReport` — throughput, p50/p95/p99 latency,
+error and shed counts — whose ``save()`` emits the JSON artifact the
+``BENCH_*.json`` perf trajectory is built from.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.gateway.gateway import ModelGateway
+from repro.loadgen.client import ConnectionPool
+from repro.loadgen.workload import Workload
+
+#: Outcome kinds recorded per request.
+OK, SHED, ERROR = "ok", "shed", "error"
+
+
+class GatewayTarget:
+    """Drive a :class:`ModelGateway` directly (no network, no HTTP parse)."""
+
+    def __init__(self, gateway: ModelGateway, route: str) -> None:
+        self.gateway = gateway
+        self.route = route
+
+    async def predict(self, sequence: tuple[str, ...], key: str) -> str:
+        try:
+            await asyncio.to_thread(
+                self.gateway.predict_proba, self.route, sequence, key=key
+            )
+            return OK
+        except Exception:
+            return ERROR
+
+    async def aclose(self) -> None:  # nothing to tear down; symmetry with HTTP
+        return None
+
+
+class HTTPTarget:
+    """Drive a live ``repro.server`` over keep-alive HTTP connections."""
+
+    def __init__(self, host: str, port: int, route: str) -> None:
+        self.host = host
+        self.port = port
+        self.route = route
+        self._pool: ConnectionPool | None = None
+
+    @property
+    def path(self) -> str:
+        return f"/routes/{self.route}/predict"
+
+    async def predict(self, sequence: tuple[str, ...], key: str) -> str:
+        if self._pool is None:
+            self._pool = ConnectionPool(self.host, self.port)
+        try:
+            response = await self._pool.request(
+                "POST", self.path, {"sequence": list(sequence), "key": key}
+            )
+        except Exception:
+            return ERROR
+        if response.status == 200:
+            return OK
+        if response.status == 429:
+            return SHED
+        return ERROR
+
+    async def aclose(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """The measured result of one workload run (JSON-serializable)."""
+
+    mode: str  # "open" | "closed"
+    seed: int
+    n_requests: int
+    ok: int
+    shed: int
+    errors: int
+    duration_seconds: float
+    throughput_rps: float  # completed-OK requests per wall-clock second
+    offered_rate_rps: float | None  # open-loop target rate, if any
+    concurrency: int | None  # closed-loop worker count, if any
+    latency: dict  # over OK requests: count/mean_ms/max_ms/p50_ms/p95_ms/p99_ms
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "n_requests": self.n_requests,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_seconds": self.duration_seconds,
+            "throughput_rps": self.throughput_rps,
+            "offered_rate_rps": self.offered_rate_rps,
+            "concurrency": self.concurrency,
+            "latency": dict(self.latency),
+        }
+
+    def save(self, path: str | Path) -> Path:
+        """Write the report as pretty, key-sorted JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def latency_summary(seconds: Iterable[float]) -> dict:
+    """p50/p95/p99, mean and max (milliseconds) over a latency sample."""
+    samples = np.asarray(list(seconds), dtype=np.float64)
+    if samples.size == 0:
+        return {
+            "count": 0, "mean_ms": 0.0, "max_ms": 0.0,
+            "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0,
+        }
+    return {
+        "count": int(samples.size),
+        "mean_ms": float(1000.0 * samples.mean()),
+        "max_ms": float(1000.0 * samples.max()),
+        "p50_ms": float(1000.0 * np.quantile(samples, 0.50)),
+        "p95_ms": float(1000.0 * np.quantile(samples, 0.95)),
+        "p99_ms": float(1000.0 * np.quantile(samples, 0.99)),
+    }
+
+
+def _build_report(
+    workload: Workload,
+    outcomes: list[tuple[str, float]],
+    duration: float,
+    *,
+    mode: str,
+    concurrency: int | None,
+) -> LoadReport:
+    ok_latencies = [seconds for kind, seconds in outcomes if kind == OK]
+    ok = len(ok_latencies)
+    shed = sum(1 for kind, _ in outcomes if kind == SHED)
+    errors = sum(1 for kind, _ in outcomes if kind == ERROR)
+    return LoadReport(
+        mode=mode,
+        seed=workload.seed,
+        n_requests=len(workload),
+        ok=ok,
+        shed=shed,
+        errors=errors,
+        duration_seconds=float(duration),
+        throughput_rps=float(ok / duration) if duration > 0 else 0.0,
+        offered_rate_rps=workload.rate,
+        concurrency=concurrency,
+        latency=latency_summary(ok_latencies),
+    )
+
+
+async def _timed_predict(target, request) -> tuple[str, float]:
+    start = time.perf_counter()
+    try:
+        kind = await target.predict(request.sequence, request.key)
+    except Exception:
+        kind = ERROR
+    return kind, time.perf_counter() - start
+
+
+async def _open_loop(target, workload: Workload) -> LoadReport:
+    loop = asyncio.get_running_loop()
+    start = loop.time()
+    tasks: list[asyncio.Task] = []
+    try:
+        for request in workload.requests:
+            delay = (start + request.arrival) - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(_timed_predict(target, request)))
+        outcomes = list(await asyncio.gather(*tasks))
+        duration = loop.time() - start
+    finally:
+        await target.aclose()
+    return _build_report(workload, outcomes, duration, mode="open", concurrency=None)
+
+
+async def _closed_loop(target, workload: Workload, concurrency: int) -> LoadReport:
+    loop = asyncio.get_running_loop()
+    iterator = iter(workload.requests)
+    outcomes: list[tuple[str, float]] = []
+
+    async def worker() -> None:
+        for request in iterator:  # shared iterator: each request issued once
+            outcomes.append(await _timed_predict(target, request))
+
+    start = loop.time()
+    try:
+        await asyncio.gather(*(worker() for _ in range(concurrency)))
+        duration = loop.time() - start
+    finally:
+        await target.aclose()
+    return _build_report(workload, outcomes, duration, mode="closed", concurrency=concurrency)
+
+
+def run_open_loop(target, workload: Workload) -> LoadReport:
+    """Replay *workload* open-loop (requests fired at their arrival times).
+
+    The workload must have been built with a ``rate`` (an arrival process);
+    every scheduled request is issued and awaited — nothing is dropped by
+    the generator itself, so ``ok + shed + errors == n_requests`` always
+    holds and any loss is attributable to the target.
+    """
+    if workload.rate is None:
+        raise ValueError("open-loop runs need a workload built with rate=...")
+    return asyncio.run(_open_loop(target, workload))
+
+
+def run_closed_loop(target, workload: Workload, *, concurrency: int = 4) -> LoadReport:
+    """Replay *workload* closed-loop with *concurrency* one-outstanding workers."""
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    return asyncio.run(_closed_loop(target, workload, concurrency))

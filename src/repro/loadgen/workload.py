@@ -1,0 +1,127 @@
+"""Deterministic synthetic workloads: who asks what, when.
+
+A :class:`Workload` is a fully materialized, seeded request schedule — the
+sequence pool indices, the per-request routing keys and (for open-loop
+runs) the arrival times are all drawn up front from one
+``numpy.random.default_rng(seed)``, so the same configuration replays the
+identical traffic on every run, on every machine.  The harness
+(:mod:`repro.loadgen.harness`) only *executes* a workload; it never draws
+randomness of its own.
+
+Key distributions model user populations:
+
+* ``"uniform"`` — every key equally likely (cold caches, worst case);
+* ``"zipf"`` — key rank *r* weighted ``r**-s``: a few hot keys dominate,
+  the realistic shape for user traffic (and the one that exercises result
+  caches and deterministic per-key routing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+KEY_DISTRIBUTIONS = ("uniform", "zipf")
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """One scheduled request: payload, routing key, open-loop arrival time."""
+
+    sequence: tuple[str, ...]
+    key: str
+    arrival: float  # seconds from workload start; 0.0 in closed-loop runs
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A materialized, replayable traffic schedule."""
+
+    requests: tuple[WorkloadRequest, ...]
+    seed: int
+    rate: float | None  # open-loop target rate (requests/second), if any
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def duration(self) -> float:
+        """Scheduled span of the arrival process (0.0 for closed-loop)."""
+        return self.requests[-1].arrival if self.requests else 0.0
+
+    def key_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for request in self.requests:
+            counts[request.key] = counts.get(request.key, 0) + 1
+        return counts
+
+
+def zipf_weights(n_keys: int, s: float) -> np.ndarray:
+    """Normalized Zipf probabilities over ranks ``1..n_keys`` (weight r**-s)."""
+    ranks = np.arange(1, n_keys + 1, dtype=np.float64)
+    weights = ranks**-s
+    return weights / weights.sum()
+
+
+def build_workload(
+    sequences: Sequence[Sequence[str]],
+    *,
+    n_requests: int,
+    seed: int,
+    rate: float | None = None,
+    key_distribution: str = "uniform",
+    n_keys: int = 100,
+    zipf_s: float = 1.1,
+) -> Workload:
+    """Draw a seeded request schedule over a pool of recipe sequences.
+
+    Args:
+        sequences: Pool of raw item sequences requests sample from.
+        n_requests: Total requests in the schedule.
+        seed: RNG seed; same seed → identical schedule, bit for bit.
+        rate: Open-loop arrival rate in requests/second — arrivals are the
+            cumulative sum of seeded exponential inter-arrival gaps (a
+            Poisson process).  ``None`` leaves every arrival at 0.0
+            (closed-loop runs ignore arrivals).
+        key_distribution: ``"uniform"`` or ``"zipf"`` over ``n_keys`` user
+            keys (``"user-0"`` is the hottest Zipf rank).
+        n_keys: Size of the synthetic user-key population.
+        zipf_s: Zipf exponent (larger → more skew).
+    """
+    if not sequences:
+        raise ValueError("need a non-empty sequence pool")
+    if n_requests < 1:
+        raise ValueError(f"n_requests must be >= 1, got {n_requests}")
+    if n_keys < 1:
+        raise ValueError(f"n_keys must be >= 1, got {n_keys}")
+    if rate is not None and not rate > 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if key_distribution not in KEY_DISTRIBUTIONS:
+        raise ValueError(
+            f"unknown key_distribution {key_distribution!r}; "
+            f"known: {KEY_DISTRIBUTIONS}"
+        )
+
+    pool = [tuple(str(item) for item in sequence) for sequence in sequences]
+    rng = np.random.default_rng(seed)
+    sequence_indices = rng.integers(0, len(pool), size=n_requests)
+    if key_distribution == "zipf":
+        key_ranks = rng.choice(n_keys, size=n_requests, p=zipf_weights(n_keys, zipf_s))
+    else:
+        key_ranks = rng.integers(0, n_keys, size=n_requests)
+    if rate is not None:
+        arrivals = np.cumsum(rng.exponential(1.0 / rate, size=n_requests))
+    else:
+        arrivals = np.zeros(n_requests)
+
+    requests = tuple(
+        WorkloadRequest(
+            sequence=pool[int(sequence_indices[i])],
+            key=f"user-{int(key_ranks[i])}",
+            arrival=float(arrivals[i]),
+        )
+        for i in range(n_requests)
+    )
+    return Workload(requests=requests, seed=seed, rate=rate)

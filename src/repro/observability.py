@@ -14,11 +14,13 @@ aggregates into its ``health_snapshot()``.
 This module lives *below* every traffic layer (it imports only NumPy), so
 both `repro.serving` and `repro.gateway` depend on it downward;
 :mod:`repro.gateway.observability` re-exports it as the gateway-facing
-facade.
+facade.  :func:`render_metrics_text` turns any nested snapshot dict into the
+flat text exposition format served by ``repro.server``'s ``/metrics``.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import Counter
 from typing import Mapping
@@ -44,10 +46,20 @@ class CounterSet:
         with self._lock:
             return self._counts[name]
 
-    def snapshot(self) -> dict[str, int]:
-        """All counters as a plain dict (zero-valued names omitted)."""
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a JSON-safe plain dict, keys sorted.
+
+        Zero-valued names are omitted; values are plain ``int``.  The sorted
+        key order is stable across processes and runs, so serialized
+        snapshots diff cleanly.
+        """
         with self._lock:
-            return {name: count for name, count in self._counts.items() if count}
+            items = sorted(self._counts.items())
+        return {name: int(count) for name, count in items if count}
+
+    def snapshot(self) -> dict[str, int]:
+        """Alias of :meth:`as_dict` (the historical name)."""
+        return self.as_dict()
 
 
 class RollingLatency:
@@ -98,7 +110,13 @@ class RollingLatency:
         return float(np.quantile(samples, q))
 
     def snapshot(self) -> dict:
-        """Lifetime totals plus rolling quantiles, in milliseconds."""
+        """Lifetime totals plus rolling quantiles, in milliseconds.
+
+        The payload is JSON-safe (plain ``int``/``float`` values, no NumPy
+        scalars) with a stable key order: ``count``, ``total_seconds``,
+        ``mean_ms``, ``max_ms``, ``window``, then ``p50_ms``/``p95_ms``/
+        ``p99_ms`` in :data:`LATENCY_QUANTILES` order.
+        """
         with self._lock:
             filled = self._filled
             samples = self._ring[:filled].copy() if filled else None
@@ -106,11 +124,11 @@ class RollingLatency:
             total = self._total
             maximum = self._max
         payload = {
-            "count": count,
-            "total_seconds": total,
+            "count": int(count),
+            "total_seconds": float(total),
             "mean_ms": (1000.0 * total / count) if count else 0.0,
             "max_ms": 1000.0 * maximum,
-            "window": self.window,
+            "window": int(self.window),
         }
         for q in LATENCY_QUANTILES:
             key = f"p{int(q * 100)}_ms"
@@ -164,7 +182,7 @@ class RouteMetrics:
         self.counters.increment("shadow_errors", count)
 
     def snapshot(self) -> dict:
-        counters = self.counters.snapshot()
+        counters = self.counters.as_dict()
         variants = {
             name.split(":", 1)[1]: count
             for name, count in counters.items()
@@ -188,3 +206,40 @@ class RouteMetrics:
             },
             "latency": self.latency.snapshot(),
         }
+
+
+_METRIC_NAME_SANITIZER = re.compile(r"[^0-9A-Za-z_]")
+
+
+def _flatten_metrics(prefix: str, value, lines: list[tuple[str, float]]) -> None:
+    if isinstance(value, Mapping):
+        for key, nested in value.items():
+            part = _METRIC_NAME_SANITIZER.sub("_", str(key))
+            _flatten_metrics(f"{prefix}_{part}" if prefix else part, nested, lines)
+    elif isinstance(value, bool):
+        lines.append((prefix, int(value)))
+    elif isinstance(value, (int, float)) and not isinstance(value, complex):
+        lines.append((prefix, value))
+    # Non-numeric leaves (strings, None, lists) have no place in a flat
+    # numeric exposition; callers export them through JSON endpoints instead.
+
+
+def render_metrics_text(snapshot: Mapping, prefix: str = "repro") -> str:
+    """Serialize a nested snapshot dict as flat ``name value`` text lines.
+
+    The exposition format is Prometheus-style: one metric per line, names
+    built by joining nested dict keys with ``_`` (non-identifier characters
+    sanitized to ``_``), numeric leaves only (booleans become 0/1; strings,
+    ``None`` and sequences are skipped), lines sorted by name so the output
+    is byte-stable for a given snapshot.  Used by ``repro.server``'s
+    ``GET /metrics``.
+    """
+    lines: list[tuple[str, float]] = []
+    _flatten_metrics(prefix, snapshot, lines)
+    rendered = []
+    for name, value in sorted(lines):
+        if isinstance(value, float) and not value.is_integer():
+            rendered.append(f"{name} {value:.6f}")
+        else:
+            rendered.append(f"{name} {int(value)}")
+    return "\n".join(rendered) + ("\n" if rendered else "")

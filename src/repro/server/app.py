@@ -1,0 +1,663 @@
+"""The asyncio HTTP serving frontier over a :class:`~repro.gateway.ModelGateway`.
+
+:class:`ModelServer` is the network front door of the reproduction stack:
+
+* ``POST /routes/<route>/predict`` — single (``{"sequence": [...]}``) or
+  batched (``{"sequences": [[...], ...]}``) prediction with optional
+  per-request routing ``key``/``keys`` and version pinning, strict
+  named-field validation (400s carry the offending field, never a
+  traceback);
+* ``GET /healthz`` — the gateway's ``health_snapshot()`` plus server-level
+  counters, as JSON;
+* ``GET /metrics`` — the same state flattened to the text exposition format
+  (:func:`repro.observability.render_metrics_text`);
+* ``POST /admin/routes/<route>/{deploy,swap,rollback,retire,policy}`` —
+  the control plane, guarded by a bearer-style ``x-admin-token`` header.
+
+Production concerns the gateway cannot provide alone live here:
+**admission control** (a bounded in-flight window; excess prediction
+requests are shed immediately with 429 instead of queueing without bound),
+per-connection **keep-alive and pipelining** (requests are handled strictly
+in order per connection), request **size limits** (431/413), and **graceful
+drain** — ``request_stop()`` stops accepting connections, lets every
+in-flight request finish, then closes the gateway (and, when owned, the
+underlying ``PredictionService``).
+
+The event loop never runs model code: predictions are handed to a bounded
+thread pool, whose width matches the admission window so accepted requests
+start immediately instead of queueing behind each other.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import hmac
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.gateway.gateway import ModelGateway
+from repro.gateway.policies import ABSplit, Canary, Ensemble, Shadow, TrafficPolicy
+from repro.observability import CounterSet, RollingLatency, render_metrics_text
+from repro.server.protocol import (
+    HTTPError,
+    HTTPRequest,
+    json_response,
+    read_request,
+    render_response,
+)
+
+logger = logging.getLogger(__name__)
+
+#: JSON policy specs accepted by the ``policy`` admin endpoint, by ``kind``.
+_POLICY_BUILDERS: dict[str, Callable[[dict], TrafficPolicy]] = {
+    "ab_split": lambda spec: ABSplit(
+        variants=spec["variants"], salt=spec.get("salt", "")
+    ),
+    "canary": lambda spec: Canary(
+        candidate=spec["candidate"],
+        fraction=spec["fraction"],
+        stable=spec.get("stable"),
+        salt=spec.get("salt", ""),
+    ),
+    "shadow": lambda spec: Shadow(
+        candidate=spec["candidate"], primary=spec.get("primary")
+    ),
+    "ensemble": lambda spec: Ensemble(
+        members=spec["members"],
+        method=spec.get("method", "mean"),
+        weights=spec.get("weights"),
+    ),
+}
+
+
+def policy_from_spec(spec: Mapping) -> TrafficPolicy | None:
+    """Build a traffic policy from its JSON description.
+
+    ``{"kind": "active"}`` returns ``None`` (meaning: clear back to the
+    default active-version policy); unknown kinds and malformed specs raise
+    :class:`HTTPError` 400 naming the offending field.
+    """
+    if not isinstance(spec, Mapping):
+        raise HTTPError(400, "bad_field", "'policy' must be a JSON object", field="policy")
+    kind = spec.get("kind")
+    if kind == "active":
+        return None
+    builder = _POLICY_BUILDERS.get(kind)
+    if builder is None:
+        known = sorted(_POLICY_BUILDERS) + ["active"]
+        raise HTTPError(
+            400, "bad_field", f"unknown policy kind {kind!r}; known: {known}",
+            field="policy.kind",
+        )
+    try:
+        return builder(dict(spec))
+    except KeyError as exc:
+        raise HTTPError(
+            400, "bad_field", f"policy kind {kind!r} requires field {exc.args[0]!r}",
+            field=f"policy.{exc.args[0]}",
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise HTTPError(400, "bad_field", str(exc), field="policy") from None
+
+
+class _Connection:
+    """Book-keeping for one live client connection."""
+
+    __slots__ = ("writer", "busy", "task")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.busy = False
+        self.task: asyncio.Task | None = None
+
+
+class ServerHandle:
+    """Control handle for a server running in a background thread."""
+
+    def __init__(self, server: "ModelServer", thread: threading.Thread) -> None:
+        self.server = server
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 60.0) -> None:
+        """Request a graceful drain and wait for the server thread to exit."""
+        self.server.request_stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(f"server did not drain within {timeout}s")
+
+
+class ModelServer:
+    """Serve a :class:`~repro.gateway.ModelGateway` over HTTP/1.1.
+
+    Args:
+        gateway: The gateway fronted by this server.
+        host / port: Bind address; ``port=0`` binds an ephemeral port (the
+            bound port is published on :attr:`port` once serving).
+        admin_token: Shared secret for the ``/admin`` control plane; ``None``
+            disables admin endpoints entirely (403).
+        max_inflight: Admission window — prediction requests beyond this
+            many concurrently in flight are shed with a fast 429.
+        max_batch_items: Upper bound on ``sequences`` per batched request.
+        max_body_bytes / max_header_bytes: Request size limits (413 / 431).
+        drain_timeout: Seconds the drain waits for in-flight connections.
+        owns_gateway: Close the gateway at the end of the drain (the
+            gateway's own ``owns_service`` flag then decides whether the
+            shared ``PredictionService`` is torn down with it).
+    """
+
+    def __init__(
+        self,
+        gateway: ModelGateway,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        admin_token: str | None = None,
+        max_inflight: int = 64,
+        max_batch_items: int = 256,
+        max_body_bytes: int = 1048576,
+        max_header_bytes: int = 16384,
+        drain_timeout: float = 30.0,
+        owns_gateway: bool = True,
+    ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_batch_items < 1:
+            raise ValueError(f"max_batch_items must be >= 1, got {max_batch_items}")
+        self.gateway = gateway
+        self.host = host
+        self.port = port
+        self.admin_token = admin_token
+        self.max_inflight = max_inflight
+        self.max_batch_items = max_batch_items
+        self.max_body_bytes = max_body_bytes
+        self.max_header_bytes = max_header_bytes
+        self.drain_timeout = drain_timeout
+        self.owns_gateway = owns_gateway
+
+        #: Server-level counters: http_requests / predict_requests /
+        #: predict_sequences / shed / errors:<status> / connections.
+        self.counters = CounterSet()
+        #: Wall-clock latency of handled prediction requests (parse → response
+        #: built), the server-side counterpart of a load generator's view.
+        self.latency = RollingLatency()
+
+        self._inflight = 0
+        self._draining = False
+        self._connections: set[_Connection] = set()
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        # Pool width == admission window: every admitted request gets a
+        # thread immediately, so queueing happens only at the 429 boundary.
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_inflight, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self, ready: Callable[[], None] | None = None) -> None:
+        """Bind, serve until :meth:`request_stop`, then drain gracefully."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=max(self.max_header_bytes, 65536),
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("repro.server listening on %s:%d", self.host, self.port)
+        if ready is not None:
+            ready()
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self._drain()
+
+    def request_stop(self) -> None:
+        """Thread-safe: begin the graceful drain (idempotent)."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass  # loop already closed — the server is gone
+
+    def start_in_thread(self, *, timeout: float = 60.0) -> ServerHandle:
+        """Run the server on a background thread; returns once it is bound."""
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def runner() -> None:
+            try:
+                asyncio.run(self.serve(ready=ready.set))
+            except BaseException as exc:  # surfaced to the starter below
+                failures.append(exc)
+            finally:
+                ready.set()
+
+        thread = threading.Thread(target=runner, name="repro-server", daemon=True)
+        thread.start()
+        if not ready.wait(timeout):
+            raise TimeoutError(f"server failed to start within {timeout}s")
+        if failures:
+            raise failures[0]
+        return ServerHandle(self, thread)
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight requests, close the gateway."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Idle keep-alive connections are parked in a read; closing the
+        # transport wakes them into a clean EOF exit.  Busy connections
+        # finish their current request (the handler loop then exits on the
+        # draining flag) — accepted work is never dropped.
+        for connection in list(self._connections):
+            if not connection.busy:
+                connection.writer.close()
+        pending = [c.task for c in self._connections if c.task is not None]
+        if pending:
+            await asyncio.wait(pending, timeout=self.drain_timeout)
+        self._executor.shutdown(wait=True)
+        if self.owns_gateway:
+            await asyncio.to_thread(self.gateway.close)
+        logger.info("repro.server drained (%s connections at shutdown)", len(pending))
+
+    # ------------------------------------------------------------------
+    # connection handling (keep-alive + pipelining)
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer)
+        connection.task = asyncio.current_task()
+        self._connections.add(connection)
+        self.counters.increment("connections")
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_header_bytes=self.max_header_bytes,
+                        max_body_bytes=self.max_body_bytes,
+                    )
+                except HTTPError as exc:
+                    # Framing is unreliable after a malformed head: answer
+                    # and close instead of resynchronizing.
+                    writer.write(json_response(exc.status, exc.payload(), keep_alive=False))
+                    await writer.drain()
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break  # peer vanished mid-request
+                if request is None:
+                    break  # clean close between requests
+                connection.busy = True
+                try:
+                    response = await self._respond(request)
+                finally:
+                    connection.busy = False
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if self._draining or not request.keep_alive:
+                    break
+        finally:
+            self._connections.discard(connection)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _respond(self, request: HTTPRequest) -> bytes:
+        self.counters.increment("http_requests")
+        keep_alive = request.keep_alive and not self._draining
+        try:
+            status, payload = await self._dispatch(request)
+        except HTTPError as exc:
+            status, payload = exc.status, exc.payload()
+        except Exception as exc:  # never a traceback on the wire
+            # (CancelledError is a BaseException and deliberately propagates:
+            # a cancelled connection task must not fabricate a 500.)
+            logger.exception("unhandled error serving %s %s", request.method, request.path)
+            status = 500
+            payload = {
+                "error": {
+                    "code": "internal_error",
+                    "message": f"{type(exc).__name__} while serving the request",
+                }
+            }
+        if status >= 400:
+            self.counters.increment(f"errors:{status}")
+        if isinstance(payload, str):  # pre-rendered plain text (``/metrics``)
+            return render_response(
+                status,
+                payload.encode("utf-8"),
+                content_type="text/plain; charset=utf-8",
+                keep_alive=keep_alive,
+            )
+        return json_response(status, payload, keep_alive=keep_alive)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HTTPRequest):
+        segments = request.segments
+        if segments == ("healthz",):
+            self._require_method(request, "GET")
+            return 200, self._health_payload()
+        if segments == ("metrics",):
+            self._require_method(request, "GET")
+            return 200, render_metrics_text(self._metrics_payload())
+        if len(segments) == 3 and segments[0] == "routes" and segments[2] == "predict":
+            self._require_method(request, "POST")
+            return await self._handle_predict(segments[1], request)
+        if len(segments) == 4 and segments[:2] == ("admin", "routes"):
+            self._require_method(request, "POST")
+            # Off the event loop: deploy loads bundle arrays from disk, and
+            # registry mutations take the registry lock — neither may stall
+            # concurrently-served predictions.
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executor,
+                functools.partial(self._handle_admin, segments[2], segments[3], request),
+            )
+        raise HTTPError(404, "not_found", f"no endpoint at {request.path!r}")
+
+    @staticmethod
+    def _require_method(request: HTTPRequest, method: str) -> None:
+        if request.method != method:
+            raise HTTPError(
+                405, "method_not_allowed",
+                f"{request.path} only accepts {method}, got {request.method}",
+            )
+
+    # ------------------------------------------------------------------
+    # observability endpoints
+    # ------------------------------------------------------------------
+    def _server_stats(self) -> dict:
+        counters = self.counters.as_dict()
+        return {
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
+            "draining": self._draining,
+            "open_connections": len(self._connections),
+            "counters": counters,
+            "latency": self.latency.snapshot(),
+        }
+
+    def _health_payload(self) -> dict:
+        snapshot = self.gateway.health_snapshot()
+        snapshot["server"] = self._server_stats()
+        return snapshot
+
+    def _metrics_payload(self) -> dict:
+        snapshot = self.gateway.health_snapshot()
+        return {
+            "healthy": snapshot["status"] == "ok",
+            "routes": snapshot["routes"],
+            "service": snapshot["service"],
+            "server": self._server_stats(),
+        }
+
+    # ------------------------------------------------------------------
+    # prediction data plane
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _string_items(value, field: str) -> tuple[str, ...]:
+        if not isinstance(value, list):
+            raise HTTPError(
+                400, "bad_field",
+                f"'{field}' must be a list of strings, got {type(value).__name__}",
+                field=field,
+            )
+        if not value:
+            raise HTTPError(
+                400, "bad_field", f"'{field}' must not be empty", field=field
+            )
+        for index, item in enumerate(value):
+            if not isinstance(item, str):
+                raise HTTPError(
+                    400, "bad_field",
+                    f"'{field}[{index}]' must be a string, got {type(item).__name__}",
+                    field=f"{field}[{index}]",
+                )
+        return tuple(value)
+
+    def _optional_string(self, payload: dict, field: str) -> str | None:
+        value = payload.get(field)
+        if value is not None and not isinstance(value, str):
+            raise HTTPError(
+                400, "bad_field",
+                f"'{field}' must be a string, got {type(value).__name__}",
+                field=field,
+            )
+        return value
+
+    def _parse_predict(self, request: HTTPRequest) -> dict:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise HTTPError(
+                400, "bad_body",
+                f"request body must be a JSON object, got {type(payload).__name__}",
+                field="body",
+            )
+        has_single = "sequence" in payload
+        has_batch = "sequences" in payload
+        if has_single == has_batch:
+            raise HTTPError(
+                400, "bad_body",
+                "request body must contain exactly one of 'sequence' or 'sequences'",
+                field="sequence",
+            )
+        parsed: dict = {"version": self._optional_string(payload, "version")}
+        if has_single:
+            parsed["sequence"] = self._string_items(payload["sequence"], "sequence")
+            parsed["key"] = self._optional_string(payload, "key")
+            return parsed
+        sequences = payload["sequences"]
+        if not isinstance(sequences, list):
+            raise HTTPError(
+                400, "bad_field",
+                f"'sequences' must be a list of lists, got {type(sequences).__name__}",
+                field="sequences",
+            )
+        if not sequences:
+            raise HTTPError(
+                400, "bad_field", "'sequences' must not be empty", field="sequences"
+            )
+        if len(sequences) > self.max_batch_items:
+            raise HTTPError(
+                413, "batch_too_large",
+                f"batch of {len(sequences)} sequences exceeds the "
+                f"{self.max_batch_items}-item limit",
+                field="sequences",
+            )
+        parsed["sequences"] = [
+            self._string_items(item, f"sequences[{index}]")
+            for index, item in enumerate(sequences)
+        ]
+        keys = payload.get("keys")
+        if keys is not None:
+            keys = list(self._string_items(keys, "keys"))
+            if len(keys) != len(sequences):
+                raise HTTPError(
+                    400, "bad_field",
+                    f"got {len(keys)} keys for {len(sequences)} sequences",
+                    field="keys",
+                )
+        parsed["keys"] = keys
+        return parsed
+
+    async def _handle_predict(self, route: str, request: HTTPRequest):
+        parsed = self._parse_predict(request)
+        if self._inflight >= self.max_inflight:
+            self.counters.increment("shed")
+            raise HTTPError(
+                429, "overloaded",
+                f"admission window of {self.max_inflight} in-flight requests is "
+                f"full; retry with backoff",
+            )
+        self._inflight += 1
+        start = time.perf_counter()
+        try:
+            if "sequence" in parsed:
+                call = functools.partial(
+                    self.gateway.predict_proba,
+                    route,
+                    parsed["sequence"],
+                    key=parsed["key"],
+                    version=parsed["version"],
+                )
+                count = 1
+            else:
+                call = functools.partial(
+                    self.gateway.predict_proba_batch,
+                    route,
+                    parsed["sequences"],
+                    keys=parsed["keys"],
+                    version=parsed["version"],
+                )
+                count = len(parsed["sequences"])
+            try:
+                probabilities = await asyncio.get_running_loop().run_in_executor(
+                    self._executor, call
+                )
+                label_space = self.gateway.registry.label_space(route)
+            except KeyError as exc:
+                raise HTTPError(404, "unknown_route", _key_error_message(exc)) from None
+            except TimeoutError as exc:
+                raise HTTPError(503, "prediction_timeout", str(exc)) from None
+            except RuntimeError as exc:
+                raise HTTPError(503, "unavailable", str(exc)) from None
+            except ValueError as exc:
+                raise HTTPError(400, "bad_request", str(exc)) from None
+        finally:
+            self._inflight -= 1
+        self.counters.increment("predict_requests")
+        self.counters.increment("predict_sequences", count)
+        self.latency.record(time.perf_counter() - start, count=count)
+        if "sequence" in parsed:
+            payload = {
+                "route": route,
+                "label": label_space[int(np.argmax(probabilities))],
+                "probabilities": [float(p) for p in probabilities],
+            }
+        else:
+            payload = {
+                "route": route,
+                "count": count,
+                "labels": [label_space[int(i)] for i in probabilities.argmax(axis=1)],
+                "probabilities": [[float(p) for p in row] for row in probabilities],
+            }
+        return 200, payload
+
+    # ------------------------------------------------------------------
+    # admin control plane
+    # ------------------------------------------------------------------
+    def _require_admin(self, request: HTTPRequest) -> None:
+        if self.admin_token is None:
+            raise HTTPError(
+                403, "admin_disabled",
+                "admin endpoints are disabled (server started without an admin token)",
+            )
+        presented = request.headers.get("x-admin-token") or ""
+        if not hmac.compare_digest(
+            presented.encode("utf-8"), self.admin_token.encode("utf-8")
+        ):
+            raise HTTPError(401, "unauthorized", "missing or invalid x-admin-token header")
+
+    def _handle_admin(self, route: str, action: str, request: HTTPRequest):
+        self._require_admin(request)
+        payload = request.json() if request.body else {}
+        if not isinstance(payload, dict):
+            raise HTTPError(
+                400, "bad_body",
+                f"request body must be a JSON object, got {type(payload).__name__}",
+                field="body",
+            )
+        try:
+            if action == "deploy":
+                version = self._required_string(payload, "version")
+                path = self._required_string(payload, "path")
+                deployment = self.gateway.deploy(
+                    route, version, path,
+                    activate=payload.get("activate"),
+                    replace=bool(payload.get("replace", False)),
+                )
+                return 200, {
+                    "route": route,
+                    "version": deployment.version,
+                    "active": self.gateway.registry.active_version(route),
+                }
+            if action == "swap":
+                deployment = self.gateway.swap(route, self._required_string(payload, "version"))
+                return 200, {"route": route, "active": deployment.version}
+            if action == "rollback":
+                deployment = self.gateway.rollback(route)
+                return 200, {"route": route, "active": deployment.version}
+            if action == "retire":
+                version = self._required_string(payload, "version")
+                self.gateway.retire(route, version)
+                return 200, {
+                    "route": route,
+                    "retired": version,
+                    "versions": list(self.gateway.registry.versions(route)),
+                }
+            if action == "policy":
+                policy = policy_from_spec(payload.get("policy", payload))
+                if policy is None:
+                    self.gateway.clear_policy(route)
+                else:
+                    self.gateway.set_policy(route, policy)
+                return 200, {
+                    "route": route,
+                    "policy": self.gateway.registry.policy(route).describe(),
+                }
+        except HTTPError:
+            raise
+        except KeyError as exc:
+            raise HTTPError(404, "not_found", _key_error_message(exc)) from None
+        except (ValueError, RuntimeError, OSError) as exc:
+            raise HTTPError(400, "bad_request", str(exc)) from None
+        raise HTTPError(
+            404, "not_found",
+            f"unknown admin action {action!r}; known: deploy, swap, rollback, "
+            f"retire, policy",
+        )
+
+    @staticmethod
+    def _required_string(payload: dict, field: str) -> str:
+        value = payload.get(field)
+        if not isinstance(value, str) or not value:
+            raise HTTPError(
+                400, "bad_field",
+                f"'{field}' must be a non-empty string", field=field,
+            )
+        return value
+
+
+def _key_error_message(exc: KeyError) -> str:
+    """KeyError args are the raw message for registry errors, a key otherwise."""
+    if exc.args and isinstance(exc.args[0], str) and " " in exc.args[0]:
+        return exc.args[0]
+    return f"unknown name {exc.args[0]!r}" if exc.args else "unknown name"

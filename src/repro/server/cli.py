@@ -1,0 +1,155 @@
+"""``repro-serve`` — stand up the HTTP serving frontier from the command line.
+
+Two ways to get models behind the server:
+
+* ``repro-serve --export-dir runs/export`` deploys every bundle under an
+  experiment export directory (one route per bundle name, all at
+  ``--version``), exactly like ``ModelGateway.deploy_export_dir``;
+* ``repro-serve --demo`` trains a small logistic-regression model on a
+  synthetic corpus in-process and deploys it as ``cuisine@v1`` — zero
+  artifacts needed, the smoke-test and quick-start path.
+
+The process serves until SIGTERM/SIGINT, then drains gracefully: the
+listener closes, in-flight requests finish, and the gateway (and its
+prediction service) shut down before exit.  ``--ready-file`` writes a small
+JSON document (host, port, pid) once the socket is bound, so scripts can
+start the server on an ephemeral port (``--port 0``) and discover where it
+landed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import logging
+import os
+import signal
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.gateway.gateway import ModelGateway
+from repro.server.app import ModelServer
+
+logger = logging.getLogger("repro.server")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve repro model bundles over HTTP (asyncio, stdlib-only).",
+    )
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--export-dir",
+        help="experiment export directory; every bundle becomes a route",
+    )
+    source.add_argument(
+        "--demo",
+        action="store_true",
+        help="train a small demo model in-process and serve it as cuisine@v1",
+    )
+    parser.add_argument("--version", default="v1", help="version label for deployed bundles")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000, help="0 binds an ephemeral port")
+    parser.add_argument(
+        "--admin-token",
+        default=os.environ.get("REPRO_ADMIN_TOKEN"),
+        help="enable /admin endpoints guarded by this token "
+        "(default: $REPRO_ADMIN_TOKEN; unset disables admin)",
+    )
+    parser.add_argument("--max-inflight", type=int, default=64)
+    parser.add_argument("--max-batch-items", type=int, default=256)
+    parser.add_argument("--max-body-bytes", type=int, default=1048576)
+    parser.add_argument("--drain-timeout", type=float, default=30.0)
+    parser.add_argument("--demo-scale", type=float, default=0.004)
+    parser.add_argument("--demo-seed", type=int, default=11)
+    parser.add_argument(
+        "--ready-file",
+        help="write {host, port, pid} JSON here once the socket is bound",
+    )
+    parser.add_argument("--log-level", default="INFO")
+    return parser
+
+
+def _demo_gateway(scale: float, seed: int, workdir: str) -> ModelGateway:
+    """A gateway serving one quickly-trained logreg as ``cuisine@v1``."""
+    from repro.core.experiment import ExperimentConfig, ExperimentRunner
+    from repro.data import generate_recipedb
+
+    logger.info("demo mode: generating corpus (scale=%s) and training logreg", scale)
+    corpus = generate_recipedb(scale=scale, seed=seed)
+    config = ExperimentConfig(
+        models=("logreg",),
+        seed=seed,
+        statistical_kwargs={"logreg": {"max_iter": 40}},
+        export_dir=workdir,
+    )
+    ExperimentRunner(config, corpus=corpus).run()
+    gateway = ModelGateway()
+    gateway.deploy("cuisine", "v1", Path(workdir) / "logreg")
+    return gateway
+
+
+def _export_gateway(export_dir: str, version: str) -> ModelGateway:
+    gateway = ModelGateway()
+    deployed = gateway.deploy_export_dir(export_dir, version)
+    if not deployed:
+        gateway.close()
+        raise SystemExit(f"no bundles found under {export_dir!r}")
+    for route, deployment in sorted(deployed.items()):
+        logger.info("deployed %s@%s from %s", route, deployment.version, deployment.source)
+    return gateway
+
+
+async def _serve(server: ModelServer, ready_file: str | None) -> None:
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, server.request_stop)
+        except NotImplementedError:  # non-POSIX event loops
+            pass
+
+    def announce() -> None:
+        print(f"repro-serve listening on http://{server.host}:{server.port}", flush=True)
+        if ready_file:
+            Path(ready_file).write_text(
+                json.dumps({"host": server.host, "port": server.port, "pid": os.getpid()})
+            )
+
+    await server.serve(ready=announce)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper(), logging.INFO),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-demo-") as workdir:
+        if args.demo:
+            gateway = _demo_gateway(args.demo_scale, args.demo_seed, workdir)
+        else:
+            gateway = _export_gateway(args.export_dir, args.version)
+        server = ModelServer(
+            gateway,
+            host=args.host,
+            port=args.port,
+            admin_token=args.admin_token,
+            max_inflight=args.max_inflight,
+            max_batch_items=args.max_batch_items,
+            max_body_bytes=args.max_body_bytes,
+            drain_timeout=args.drain_timeout,
+            owns_gateway=True,
+        )
+        try:
+            asyncio.run(_serve(server, args.ready_file))
+        except KeyboardInterrupt:
+            pass
+    print("repro-serve drained cleanly", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,209 @@
+"""Dependency-free HTTP/1.1 wire protocol over asyncio streams.
+
+The serving frontier deliberately avoids web frameworks: the whole protocol
+surface it needs — request-line + header parsing, ``Content-Length`` bodies,
+keep-alive and pipelining semantics, bounded header/body sizes — fits in a
+few small, testable functions over :class:`asyncio.StreamReader` /
+:class:`asyncio.StreamWriter`.
+
+Requests are read strictly in order off each connection, so HTTP/1.1
+pipelining works by construction: responses are written back in arrival
+order.  Malformed or over-limit input raises :class:`HTTPError`, which the
+server layer turns into a structured JSON error response (never a traceback
+on the wire).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Reason phrases for every status the server emits.
+STATUS_PHRASES: dict[int, str] = {
+    200: "OK",
+    400: "Bad Request",
+    401: "Unauthorized",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+_MAX_REQUEST_LINE = 8192
+
+
+class HTTPError(Exception):
+    """A protocol- or application-level error with a structured payload.
+
+    Rendered to the client as a JSON body ``{"error": {"code", "message",
+    "field"?}}`` with the carried status — malformed input never surfaces as
+    a traceback on the wire.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        *,
+        field: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.field = field
+
+    def payload(self) -> dict:
+        error: dict = {"code": self.code, "message": self.message}
+        if self.field is not None:
+            error["field"] = self.field
+        return {"error": error}
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request: method, split path, lowercase headers, raw body."""
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def segments(self) -> tuple[str, ...]:
+        return tuple(part for part in self.path.split("/") if part)
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self):
+        """The body decoded as JSON; :class:`HTTPError` 400 when invalid."""
+        if not self.body:
+            raise HTTPError(400, "empty_body", "request body must be a JSON document")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(
+                400, "invalid_json", f"request body is not valid JSON: {exc}"
+            ) from None
+
+
+async def read_request(
+    reader,
+    *,
+    max_header_bytes: int = 16384,
+    max_body_bytes: int = 1048576,
+) -> HTTPRequest | None:
+    """Read one request off *reader*; ``None`` on a clean EOF between requests.
+
+    Raises :class:`HTTPError` on malformed framing, over-limit headers
+    (431), over-limit bodies (413) or unsupported transfer encodings (501);
+    ``ConnectionError`` / ``asyncio.IncompleteReadError`` mid-request
+    propagate (the peer vanished, there is nobody to answer).
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise
+    except asyncio.LimitOverrunError:
+        raise HTTPError(
+            431, "headers_too_large", f"request head exceeds {max_header_bytes} bytes"
+        ) from None
+    if len(head) > max_header_bytes:
+        raise HTTPError(
+            431, "headers_too_large", f"request head exceeds {max_header_bytes} bytes"
+        )
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")
+    except UnicodeDecodeError:  # latin-1 decodes anything; defensive only
+        raise HTTPError(400, "bad_request_line", "undecodable request head") from None
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(
+            400, "bad_request_line", f"malformed request line {request_line!r}"
+        )
+    method, target, _version = parts
+    if len(target) > _MAX_REQUEST_LINE:
+        raise HTTPError(400, "bad_request_line", "request target too long")
+
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HTTPError(400, "bad_header", f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HTTPError(
+            501, "chunked_unsupported", "chunked transfer encoding is not supported"
+        )
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise HTTPError(
+                400, "bad_content_length", f"invalid Content-Length {raw_length!r}"
+            ) from None
+        if length > max_body_bytes:
+            raise HTTPError(
+                413,
+                "body_too_large",
+                f"request body of {length} bytes exceeds the {max_body_bytes}-byte limit",
+            )
+        if length:
+            body = await reader.readexactly(length)
+
+    # Strip any query string: the API surface is path + JSON bodies.
+    path = target.split("?", 1)[0]
+    return HTTPRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    keep_alive: bool = True,
+    extra_headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """Serialize one HTTP/1.1 response (explicit ``Content-Length`` framing)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload,
+    *,
+    keep_alive: bool = True,
+) -> bytes:
+    """A JSON response with deterministic key order (sorted)."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return render_response(status, body, keep_alive=keep_alive)

@@ -513,7 +513,7 @@ class PredictionService:
         includes rolling p50/p95/p99 quantiles alongside the lifetime
         totals.
         """
-        counters = self._counters.snapshot()
+        counters = self._counters.as_dict()  # JSON-safe, sorted, zeros omitted
         requests = {
             name.split(":", 1)[1]: count
             for name, count in counters.items()

@@ -1,11 +1,17 @@
 """Tests for the shared observability primitives."""
 
+import json
 import threading
 
 import numpy as np
 import pytest
 
-from repro.gateway.observability import CounterSet, RollingLatency, RouteMetrics
+from repro.gateway.observability import (
+    CounterSet,
+    RollingLatency,
+    RouteMetrics,
+    render_metrics_text,
+)
 
 
 class TestCounterSet:
@@ -114,3 +120,64 @@ class TestRouteMetrics:
 
     def test_no_shadow_traffic_rate_is_none(self):
         assert RouteMetrics().snapshot()["shadow"]["agreement_rate"] is None
+
+
+class TestJSONSafeSnapshots:
+    """``as_dict``/``snapshot`` payloads are plain-JSON with stable key order."""
+
+    def test_counter_as_dict_sorted_plain_ints(self):
+        counters = CounterSet()
+        for name in ("zeta", "alpha", "mid"):
+            counters.increment(name, 2)
+        counters.increment("never", 0)  # zero-valued names are omitted
+        payload = counters.as_dict()
+        assert list(payload) == ["alpha", "mid", "zeta"]
+        assert all(type(value) is int for value in payload.values())
+        assert counters.snapshot() == payload  # historical alias
+        json.dumps(payload)  # JSON-safe by construction
+
+    def test_latency_snapshot_json_safe_stable_order(self):
+        latency = RollingLatency(window=8)
+        latency.record(0.010)
+        latency.record(0.020, count=3)
+        payload = latency.snapshot()
+        assert list(payload) == [
+            "count", "total_seconds", "mean_ms", "max_ms", "window",
+            "p50_ms", "p95_ms", "p99_ms",
+        ]
+        assert type(payload["count"]) is int and type(payload["window"]) is int
+        assert all(
+            type(payload[key]) is float
+            for key in ("total_seconds", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms")
+        )
+        json.dumps(payload)
+
+    def test_route_metrics_snapshot_is_json_safe(self):
+        metrics = RouteMetrics()
+        metrics.record_request("v1", 0.005)
+        metrics.record_shadow("v2", agreements=1, disagreements=0)
+        json.dumps(metrics.snapshot())
+
+
+class TestRenderMetricsText:
+    def test_flatten_sort_and_sanitize(self):
+        text = render_metrics_text(
+            {
+                "routes": {"cuisine": {"requests": 3, "by_variant": {"v1@x": 3}}},
+                "healthy": True,
+                "status": "ok",          # non-numeric leaves are skipped
+                "latency": {"p50_ms": 1.5},
+                "names": ["a", "b"],     # sequences are skipped too
+            }
+        )
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        parsed = dict(line.rsplit(" ", 1) for line in lines)
+        assert parsed["repro_healthy"] == "1"
+        assert parsed["repro_routes_cuisine_by_variant_v1_x"] == "3"
+        assert parsed["repro_latency_p50_ms"] == "1.500000"
+        assert not any("status" in line for line in lines)
+        assert text.endswith("\n")
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_metrics_text({}) == ""

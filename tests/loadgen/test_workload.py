@@ -1,0 +1,96 @@
+"""Workload generation: seeded determinism and distribution shape."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.loadgen import Workload, build_workload, zipf_weights
+
+POOL = [
+    ("pasta", "tomato", "boil"),
+    ("rice", "nori", "roll"),
+    ("tortilla", "beef", "fry"),
+    ("naan", "curry", "simmer"),
+]
+
+
+def test_same_seed_same_workload():
+    first = build_workload(POOL, n_requests=200, seed=9, rate=100, key_distribution="zipf")
+    second = build_workload(POOL, n_requests=200, seed=9, rate=100, key_distribution="zipf")
+    assert first == second  # frozen dataclasses: full structural equality
+
+
+def test_different_seeds_differ():
+    first = build_workload(POOL, n_requests=200, seed=9, rate=100)
+    second = build_workload(POOL, n_requests=200, seed=10, rate=100)
+    assert first != second
+
+
+def test_sequences_come_from_the_pool():
+    workload = build_workload(POOL, n_requests=50, seed=1)
+    pool = set(POOL)
+    assert all(request.sequence in pool for request in workload.requests)
+    assert all(request.arrival == 0.0 for request in workload.requests)  # closed-loop
+    assert workload.rate is None
+
+
+def test_open_loop_arrivals_nondecreasing_and_rate_shaped():
+    rate = 200.0
+    workload = build_workload(POOL, n_requests=2000, seed=3, rate=rate)
+    arrivals = np.array([request.arrival for request in workload.requests])
+    assert np.all(np.diff(arrivals) >= 0)
+    # Mean inter-arrival of a seeded Poisson process at 200 rps ≈ 5ms.
+    observed_rate = len(workload) / workload.duration
+    assert 0.8 * rate <= observed_rate <= 1.2 * rate
+
+
+def test_zipf_keys_are_hot_uniform_keys_are_flat():
+    n_requests, n_keys = 3000, 50
+    zipf = build_workload(
+        POOL, n_requests=n_requests, seed=5, key_distribution="zipf",
+        n_keys=n_keys, zipf_s=1.5,
+    )
+    uniform = build_workload(
+        POOL, n_requests=n_requests, seed=5, key_distribution="uniform", n_keys=n_keys
+    )
+    zipf_top = max(zipf.key_counts().values())
+    uniform_top = max(uniform.key_counts().values())
+    flat_share = n_requests / n_keys
+    assert zipf_top > 3 * flat_share  # a genuinely hot key
+    assert uniform_top < 2 * flat_share
+    # Rank 0 is the hottest Zipf rank by construction.
+    assert max(zipf.key_counts(), key=zipf.key_counts().get) == "user-0"
+
+
+def test_zipf_weights_normalized_and_monotone():
+    weights = zipf_weights(20, 1.2)
+    assert weights.shape == (20,)
+    assert np.isclose(weights.sum(), 1.0)
+    assert np.all(np.diff(weights) < 0)
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        ({"n_requests": 0}, "n_requests"),
+        ({"n_requests": 10, "rate": 0}, "rate"),
+        ({"n_requests": 10, "n_keys": 0}, "n_keys"),
+        ({"n_requests": 10, "key_distribution": "pareto"}, "key_distribution"),
+    ],
+)
+def test_invalid_configs_raise(kwargs, match):
+    with pytest.raises(ValueError, match=match):
+        build_workload(POOL, seed=1, **kwargs)
+
+
+def test_empty_pool_raises():
+    with pytest.raises(ValueError, match="pool"):
+        build_workload([], n_requests=5, seed=1)
+
+
+def test_workload_len_and_duration():
+    workload = build_workload(POOL, n_requests=10, seed=2, rate=1000)
+    assert len(workload) == 10
+    assert isinstance(workload, Workload)
+    assert workload.duration == workload.requests[-1].arrival

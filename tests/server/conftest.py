@@ -1,0 +1,107 @@
+"""Shared fixtures for the serving-frontier test suite.
+
+Two statistical models are trained once per session (same pattern as the
+gateway suite); each test stands up a fresh in-thread server over bundles
+loaded from that export directory — server startup costs milliseconds,
+training does not.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.gateway import ModelGateway
+from repro.server import ModelServer
+
+SERVER_MODELS = ("logreg", "naive_bayes")
+ADMIN_TOKEN = "test-admin-token"
+
+
+@pytest.fixture(scope="session")
+def server_export_dir(tiny_corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("server-bundles")
+    config = ExperimentConfig(
+        models=SERVER_MODELS,
+        seed=3,
+        statistical_kwargs={"logreg": {"max_iter": 30}},
+        export_dir=str(path),
+    )
+    ExperimentRunner(config, corpus=tiny_corpus).run()
+    return path
+
+
+@pytest.fixture(scope="session")
+def server_sequences(tiny_corpus):
+    return [recipe.sequence for recipe in tiny_corpus.recipes[:40]]
+
+
+def make_gateway(export_dir) -> ModelGateway:
+    """A fresh gateway with ``cuisine@v1`` live and ``cuisine@v2`` dark."""
+    gateway = ModelGateway()
+    gateway.deploy("cuisine", "v1", export_dir / "logreg")
+    gateway.deploy("cuisine", "v2", export_dir / "naive_bayes", activate=False)
+    return gateway
+
+
+@pytest.fixture()
+def running_server(server_export_dir):
+    """A live in-thread server (admin enabled); drained at test exit."""
+    gateway = make_gateway(server_export_dir)
+    server = ModelServer(gateway, admin_token=ADMIN_TOKEN, max_inflight=32)
+    handle = server.start_in_thread()
+    try:
+        yield server, handle
+    finally:
+        try:
+            handle.stop()
+        except TimeoutError:
+            pass
+
+
+class ServerClient:
+    """A tiny synchronous test client over one keep-alive connection."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1", timeout: float = 30.0) -> None:
+        self.connection = http.client.HTTPConnection(host, port, timeout=timeout)
+
+    def request(self, method: str, path: str, payload=None, headers=None, raw_body=None):
+        """Returns ``(status, decoded_body)`` — JSON-decoded when possible."""
+        body = raw_body
+        if payload is not None:
+            body = json.dumps(payload)
+        self.connection.request(method, path, body=body, headers=headers or {})
+        response = self.connection.getresponse()
+        data = response.read()
+        try:
+            return response.status, json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            return response.status, data
+
+    def admin(self, path: str, payload=None):
+        return self.request("POST", path, payload, headers={"x-admin-token": ADMIN_TOKEN})
+
+    def close(self) -> None:
+        self.connection.close()
+
+
+@pytest.fixture()
+def client(running_server):
+    _, handle = running_server
+    test_client = ServerClient(handle.port)
+    yield test_client
+    test_client.close()
+
+
+def parse_metrics_text(text: str) -> dict[str, float]:
+    """Parse the flat ``/metrics`` exposition back into a name → value dict."""
+    parsed: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        name, value = line.rsplit(" ", 1)
+        parsed[name] = float(value)
+    return parsed

@@ -1,0 +1,122 @@
+"""The acceptance bar: loadgen vs. a live server, with a mid-run hot-swap.
+
+One seeded open-loop scenario runs against a real ``repro.server`` process
+(in-thread, real sockets) while the admin plane hot-swaps the route's
+active version mid-run.  The bar:
+
+* **zero dropped requests** — every scheduled request completes with a 200
+  (no errors, no sheds, no connection drops) across the swap;
+* **client and server agree on latency** — the loadgen-reported p50/p95/p99
+  match the server's own ``/metrics`` quantiles within tolerance (the
+  server measures parse→response, the client adds socket + event-loop
+  overhead, so the two must bracket each other closely on localhost).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.loadgen import HTTPTarget, build_workload, run_open_loop
+from repro.server import ModelServer
+from tests.server.conftest import ADMIN_TOKEN, ServerClient, make_gateway, parse_metrics_text
+
+N_REQUESTS = 200
+RATE = 250.0  # offered load (requests/second) — ~0.8s scheduled span
+SEED = 42
+
+
+@pytest.fixture()
+def loadgen_server(server_export_dir):
+    gateway = make_gateway(server_export_dir)
+    server = ModelServer(gateway, admin_token=ADMIN_TOKEN, max_inflight=128)
+    handle = server.start_in_thread()
+    try:
+        yield server, handle
+    finally:
+        try:
+            handle.stop()
+        except TimeoutError:
+            pass
+
+
+def test_open_loop_with_midrun_hot_swap(loadgen_server, server_sequences):
+    server, handle = loadgen_server
+    workload = build_workload(
+        server_sequences,
+        n_requests=N_REQUESTS,
+        seed=SEED,
+        rate=RATE,
+        key_distribution="zipf",
+        n_keys=50,
+    )
+    assert workload.duration > 0.3  # the swap genuinely lands mid-run
+
+    # Warm featurization/worker so the measured window is steady-state.
+    warm = ServerClient(handle.port)
+    for sequence in server_sequences[:5]:
+        assert warm.request(
+            "POST", "/routes/cuisine/predict", {"sequence": list(sequence)}
+        )[0] == 200
+
+    swap_results: list[tuple[int, dict]] = []
+
+    def hot_swap() -> None:
+        admin = ServerClient(handle.port)
+        swap_results.append(admin.admin("/admin/routes/cuisine/swap", {"version": "v2"}))
+        admin.close()
+
+    swapper = threading.Timer(workload.duration / 2, hot_swap)
+    swapper.start()
+    try:
+        report = run_open_loop(HTTPTarget("127.0.0.1", handle.port, "cuisine"), workload)
+    finally:
+        swapper.join()
+
+    # The swap really happened, mid-run, and answered 200.
+    assert swap_results and swap_results[0][0] == 200
+    assert server.gateway.registry.active_version("cuisine") == "v2"
+
+    # Zero dropped in-flight requests across the swap.
+    assert report.n_requests == N_REQUESTS
+    assert report.ok == N_REQUESTS
+    assert report.errors == 0
+    assert report.shed == 0
+
+    # Both versions actually served traffic (the swap landed mid-stream).
+    by_variant = server.gateway.registry.metrics("cuisine").snapshot()["by_variant"]
+    assert by_variant.get("v1", 0) > 0 and by_variant.get("v2", 0) > 0
+
+    # Client-side quantiles bracket the server's own /metrics quantiles.
+    status, body = warm.request("GET", "/metrics")
+    warm.close()
+    assert status == 200
+    text = body.decode() if isinstance(body, bytes) else str(body)
+    metrics = parse_metrics_text(text)
+    assert metrics["repro_server_counters_predict_requests"] >= N_REQUESTS
+    for quantile in ("p50_ms", "p95_ms", "p99_ms"):
+        client_ms = report.latency[quantile]
+        server_ms = metrics[f"repro_server_latency_{quantile}"]
+        # The server's window also contains the warm-up requests, so the two
+        # samples differ slightly even before adding socket overhead; demand
+        # agreement within a generous absolute + relative envelope.
+        tolerance = max(75.0, 0.75 * max(client_ms, server_ms))
+        assert abs(client_ms - server_ms) <= tolerance, (
+            f"{quantile}: client {client_ms:.2f}ms vs server {server_ms:.2f}ms "
+            f"(tolerance {tolerance:.2f}ms)"
+        )
+
+
+def test_gateway_target_baseline_matches_http(loadgen_server, server_sequences):
+    """The no-network GatewayTarget path completes the same seeded scenario."""
+    from repro.loadgen import GatewayTarget, run_closed_loop
+
+    server, _ = loadgen_server
+    workload = build_workload(server_sequences, n_requests=60, seed=SEED)
+    report = run_closed_loop(
+        GatewayTarget(server.gateway, "cuisine"), workload, concurrency=4
+    )
+    assert report.ok == 60
+    assert report.errors == 0
+    assert report.throughput_rps > 0

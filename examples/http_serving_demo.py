@@ -114,6 +114,13 @@ def main() -> None:
         )
         by_variant = health["routes"]["cuisine"]["by_variant"]
         print(f"    requests by variant   {by_variant} (swap dropped nothing)")
+        # The prediction service splits each batch's wall clock into stage
+        # timers (also flattened into /metrics as service_stages_* lines).
+        stages = health["service"]["stages"]
+        print("    service stages        " + "  ".join(
+            f"{name}: mean={snapshot['mean_ms']:.2f}ms p99={snapshot['p99_ms']:.2f}ms"
+            for name, snapshot in stages.items()
+        ))
 
         print("\n[5] Draining gracefully (finish in-flight, close the service)...")
         handle.stop()

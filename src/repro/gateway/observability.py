@@ -12,6 +12,7 @@ from repro.observability import (
     CounterSet,
     RollingLatency,
     RouteMetrics,
+    StageTimer,
     render_metrics_text,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "CounterSet",
     "RollingLatency",
     "RouteMetrics",
+    "StageTimer",
     "render_metrics_text",
 ]

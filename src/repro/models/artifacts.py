@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -39,6 +40,97 @@ BUNDLE_FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 
 _ARRAY_REF = "__array__"
+
+#: Narrowing candidates for integer arrays, smallest first.
+_INT_NARROWING: tuple[type, ...] = (np.int8, np.int16, np.int32)
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """Opt-in storage dtype policy for bundle arrays.
+
+    The default policy (``"exact"``) stores every array exactly as the model
+    produced it.  Slimmer policies downcast *where a recorded tolerance check
+    passes*: a float array is stored as ``float_dtype`` only when the
+    round-trip ``allclose(array, array.astype(f).astype(original))`` holds at
+    (*rtol*, *atol*); integer arrays are narrowed to the smallest of
+    int8/int16/int32 that holds their value range (always lossless).  Every
+    conversion is recorded in the manifest (original dtype, stored dtype,
+    measured ``max_abs_error``), and the manifest's ``exact`` flag is true
+    only when **no** array was changed — a loader can tell at a glance
+    whether bitwise-identical behaviour is guaranteed.
+
+    Shorthands accepted by :meth:`resolve` (and thus by
+    ``save_bundle``/``write_bundle``):
+
+    * ``None`` / ``"exact"`` — store everything untouched (the default);
+    * ``"float32"`` — floats to float32 where the tolerance passes;
+    * ``"slim"`` — ``"float32"`` plus lossless integer narrowing.
+    """
+
+    name: str = "exact"
+    float_dtype: str | None = None
+    narrow_ints: bool = False
+    rtol: float = 1e-6
+    atol: float = 1e-9
+
+    @classmethod
+    def resolve(cls, policy: "DtypePolicy | str | None") -> "DtypePolicy":
+        """Normalise a policy argument (instance, shorthand, or ``None``)."""
+        if policy is None:
+            return cls()
+        if isinstance(policy, DtypePolicy):
+            return policy
+        if policy == "exact":
+            return cls()
+        if policy == "float32":
+            return cls(name="float32", float_dtype="float32")
+        if policy == "slim":
+            return cls(name="slim", float_dtype="float32", narrow_ints=True)
+        raise ValueError(
+            f"unknown dtype policy {policy!r}; expected a DtypePolicy, "
+            "'exact', 'float32' or 'slim'"
+        )
+
+    # ------------------------------------------------------------------
+    def apply(self, array: np.ndarray) -> tuple[np.ndarray, dict | None]:
+        """``(stored_array, conversion_record)`` for one bundle array.
+
+        The record is ``None`` when the array is stored untouched; otherwise
+        it names the original/stored dtypes and the measured round-trip
+        ``max_abs_error`` (0.0 for lossless integer narrowing).
+        """
+        if self.float_dtype is not None and np.issubdtype(array.dtype, np.floating):
+            target = np.dtype(self.float_dtype)
+            if target.itemsize < array.dtype.itemsize:
+                with np.errstate(over="ignore"):  # overflow to inf fails allclose
+                    stored = array.astype(target)
+                round_trip = stored.astype(array.dtype)
+                if np.allclose(array, round_trip, rtol=self.rtol, atol=self.atol, equal_nan=True):
+                    error = (
+                        float(np.max(np.abs(np.nan_to_num(array - round_trip))))
+                        if array.size
+                        else 0.0
+                    )
+                    return stored, {
+                        "original": str(array.dtype),
+                        "stored": str(target),
+                        "max_abs_error": error,
+                    }
+        if self.narrow_ints and np.issubdtype(array.dtype, np.signedinteger):
+            if array.size:
+                low, high = int(array.min()), int(array.max())
+                for candidate in _INT_NARROWING:
+                    info = np.iinfo(candidate)
+                    if np.dtype(candidate).itemsize >= array.dtype.itemsize:
+                        break
+                    if info.min <= low and high <= info.max:
+                        return array.astype(candidate), {
+                            "original": str(array.dtype),
+                            "stored": str(np.dtype(candidate)),
+                            "max_abs_error": 0.0,
+                        }
+        return array, None
 
 
 def _flatten(value: Any, path: str, arrays: dict[str, np.ndarray]) -> Any:
@@ -90,7 +182,12 @@ def _state_digest(tree: Any, arrays: dict[str, np.ndarray]) -> str:
     return digest.hexdigest()
 
 
-def write_bundle(path: str | Path, manifest: dict, state: dict) -> Path:
+def write_bundle(
+    path: str | Path,
+    manifest: dict,
+    state: dict,
+    dtype_policy: DtypePolicy | str | None = None,
+) -> Path:
     """Write a model bundle directory.
 
     Args:
@@ -98,20 +195,40 @@ def write_bundle(path: str | Path, manifest: dict, state: dict) -> Path:
             overwritten).
         manifest: Model metadata (name, label space, feature spec, ...).
             Must not contain the reserved keys ``format_version`` / ``state``
-            / ``arrays``.
+            / ``arrays`` / ``exact`` / ``dtype_policy`` / ``array_dtypes``.
         state: The model's :meth:`get_state` tree — nested dicts/lists with
             JSON-able leaves and NumPy arrays.
+        dtype_policy: Storage dtype policy for the state arrays (a
+            :class:`DtypePolicy`, the shorthands ``"exact"``/``"float32"``/
+            ``"slim"``, or ``None`` for exact storage).  The written manifest
+            carries the policy name, an ``exact`` flag (true only when no
+            array was converted) and a per-array ``array_dtypes`` record of
+            every conversion.
 
     Returns:
         The bundle directory path.
     """
     path = Path(path)
     path.mkdir(parents=True, exist_ok=True)
-    reserved = {"format_version", "state", "arrays"} & set(manifest)
+    reserved = {
+        "format_version",
+        "state",
+        "arrays",
+        "exact",
+        "dtype_policy",
+        "array_dtypes",
+    } & set(manifest)
     if reserved:
         raise ValueError(f"manifest uses reserved keys: {sorted(reserved)}")
+    policy = DtypePolicy.resolve(dtype_policy)
     arrays: dict[str, np.ndarray] = {}
     tree = _flatten(state, "state", arrays)
+    conversions: dict[str, dict] = {}
+    for key in sorted(arrays):
+        stored, record = policy.apply(arrays[key])
+        if record is not None:
+            arrays[key] = stored
+            conversions[key] = record
 
     def write_arrays(tmp: Path) -> None:
         with open(tmp, "wb") as stream:
@@ -131,6 +248,12 @@ def write_bundle(path: str | Path, manifest: dict, state: dict) -> Path:
         "format_version": BUNDLE_FORMAT_VERSION,
         "arrays": arrays_name,
         "state": tree,
+        #: True only when every array is stored bit-for-bit as produced;
+        #: loaders use this to know whether bitwise-identical behaviour is
+        #: guaranteed without inspecting array_dtypes.
+        "exact": not conversions,
+        "dtype_policy": policy.name,
+        "array_dtypes": conversions,
     }
     atomic_replace(
         path / MANIFEST_NAME,

@@ -210,7 +210,7 @@ class CuisineModel(abc.ABC):
     # ------------------------------------------------------------------
     # bundle persistence
     # ------------------------------------------------------------------
-    def save_bundle(self, path: str | Path) -> Path:
+    def save_bundle(self, path: str | Path, dtype_policy=None) -> Path:
         """Persist the fitted model as a self-contained bundle directory.
 
         The bundle (``manifest.json`` + ``arrays-<digest>.npz``, see
@@ -218,6 +218,16 @@ class CuisineModel(abc.ABC):
         space, serialized feature spec, training-corpus fingerprint and the
         full :meth:`get_state` tree — everything :meth:`load_bundle` needs to
         reproduce :meth:`predict_proba` bitwise in another process.
+
+        Args:
+            path: Bundle directory to write.
+            dtype_policy: Opt-in storage dtype policy
+                (:class:`~repro.models.artifacts.DtypePolicy` or the
+                shorthands ``"exact"``/``"float32"``/``"slim"``).  The default
+                stores arrays exactly; slimmer policies downcast where the
+                policy's recorded tolerance check passes, trading bitwise
+                reproducibility (tracked by the manifest's ``exact`` flag)
+                for smaller bundles.
         """
         from repro.models.artifacts import write_bundle
 
@@ -231,7 +241,7 @@ class CuisineModel(abc.ABC):
             "feature_spec": spec_to_dict(self.feature_spec()),
             "corpus_fingerprint": fingerprint,
         }
-        return write_bundle(path, manifest, self.get_state())
+        return write_bundle(path, manifest, self.get_state(), dtype_policy=dtype_policy)
 
     @classmethod
     def load_bundle(cls, path: str | Path) -> "CuisineModel":

@@ -138,6 +138,53 @@ class RollingLatency:
         return payload
 
 
+class StageTimer:
+    """Named per-stage latency timers over shared :class:`RollingLatency`.
+
+    The prediction service splits each batch's wall clock into pipeline
+    stages (``queue_wait`` → ``featurize`` → ``predict``); a gateway route
+    could split similarly.  Each stage is its own :class:`RollingLatency`, so
+    every stage gets the full lifetime/rolling-quantile treatment, and
+    :meth:`snapshot` nests them under their stage names — which
+    :func:`render_metrics_text` flattens into ``..._stages_featurize_ms_*``
+    style metric lines automatically.
+
+    Stages are created lazily on first :meth:`record`; timers for stages that
+    never ran are absent from the snapshot (mirroring ``CounterSet``'s
+    zeros-omitted convention).
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        self.window = window
+        self._lock = threading.Lock()
+        self._stages: dict[str, RollingLatency] = {}
+
+    def _stage(self, name: str) -> RollingLatency:
+        with self._lock:
+            stage = self._stages.get(name)
+            if stage is None:
+                stage = RollingLatency(window=self.window)
+                self._stages[name] = stage
+            return stage
+
+    def record(self, name: str, seconds: float, count: int = 1) -> None:
+        """Attribute one observed *seconds* duration of stage *name* to
+        *count* logical requests (same semantics as ``RollingLatency.record``)."""
+        self._stage(name).record(seconds, count=count)
+
+    def quantile(self, name: str, q: float) -> float:
+        """Rolling quantile of one stage; 0.0 for a stage never recorded."""
+        with self._lock:
+            stage = self._stages.get(name)
+        return stage.quantile(q) if stage is not None else 0.0
+
+    def snapshot(self) -> dict:
+        """``{stage: latency_snapshot}`` for every recorded stage, sorted."""
+        with self._lock:
+            stages = sorted(self._stages.items())
+        return {name: stage.snapshot() for name, stage in stages}
+
+
 class RouteMetrics:
     """Counters + latency for one gateway route.
 

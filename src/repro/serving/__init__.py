@@ -8,7 +8,14 @@ The subsystem turns exported model bundles into a running inference layer:
 * :mod:`repro.serving.service` — :class:`PredictionService`, which featurizes
   raw recipe sequences through a shared warm feature store, micro-batches
   concurrent single predictions, LRU-caches repeated inputs and exposes
-  hit/latency counters.
+  hit/latency counters;
+* :mod:`repro.serving.featurizer` — :class:`BatchFeaturizer`, the batch
+  fast path of the service's miss traffic (one-pass tokenization with a
+  shared item memo, plus precomputed fused encoders for unigram TF-IDF and
+  hashing-trick specs, bitwise-identical to the sequential path);
+* :mod:`repro.serving.cache` — :class:`ShardedResultCache`, the
+  epoch-guarded LRU result cache partitioned into independently-locked
+  stripes.
 """
 
 from repro.serving.bundle import (
@@ -17,11 +24,21 @@ from repro.serving.bundle import (
     load_bundles,
     validate_manifest,
 )
+from repro.serving.cache import ShardedResultCache
+from repro.serving.featurizer import (
+    BatchFeaturizer,
+    PrecomputedHashingEncoder,
+    PrecomputedTfidfEncoder,
+)
 from repro.serving.service import PredictionService
 
 __all__ = [
+    "BatchFeaturizer",
     "ModelBundle",
+    "PrecomputedHashingEncoder",
+    "PrecomputedTfidfEncoder",
     "PredictionService",
+    "ShardedResultCache",
     "discover_bundles",
     "load_bundles",
     "validate_manifest",

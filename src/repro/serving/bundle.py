@@ -25,11 +25,17 @@ REQUIRED_MANIFEST_FIELDS: frozenset[str] = frozenset(
     {"format_version", "model", "label_space", "feature_spec", "state"}
 )
 
-#: Fields a bundle manifest may carry (required ones included).
+#: Fields a bundle manifest may carry (required ones included).  The dtype
+#: trio is written by every current export (``exact`` true and
+#: ``array_dtypes`` empty under the default policy) and absent from bundles
+#: written before dtype policies existed — both are valid.
 KNOWN_MANIFEST_FIELDS: frozenset[str] = REQUIRED_MANIFEST_FIELDS | {
     "model_class",
     "corpus_fingerprint",
     "arrays",
+    "exact",
+    "dtype_policy",
+    "array_dtypes",
 }
 
 

@@ -1,0 +1,170 @@
+"""Sharded, epoch-guarded LRU result cache for the prediction service.
+
+The original :class:`~repro.serving.service.PredictionService` cache was one
+``OrderedDict`` behind one lock — under Zipf hot-key traffic every request
+(hit or miss) serialized on that lock, and invalidating a hot-swapped model
+scanned the whole cache while holding it.  :class:`ShardedResultCache` keeps
+the exact same semantics (bounded LRU, per-model epochs guarding against
+caching a retired model's results, copies in and out) but partitions entries
+into N independently-locked **stripes** keyed by the hash of
+``(model_name, sequence)``:
+
+* hits/misses on different stripes never contend;
+* hot-swap invalidation bumps the model's epoch first (so no racing writer
+  can sneak a stale result in afterwards) and then sweeps one stripe at a
+  time — each sweep holds only that stripe's lock.
+
+The capacity bound is enforced per stripe (``capacity // n_stripes`` each),
+so the total entry count never exceeds ``capacity``; a skewed key
+distribution can leave some stripes below their bound, which only means the
+cache is *smaller* than configured, never larger.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import Counter, OrderedDict
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["ShardedResultCache"]
+
+
+class ShardedResultCache:
+    """An epoch-guarded LRU cache of probability rows, sharded N ways.
+
+    Args:
+        capacity: Total bound on cached entries across all stripes
+            (0 disables caching entirely).
+        n_stripes: Number of independently-locked stripes.  Clamped to
+            ``capacity`` so every stripe can hold at least one entry.
+    """
+
+    def __init__(self, capacity: int, n_stripes: int = 16) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        if n_stripes < 1:
+            raise ValueError(f"n_stripes must be >= 1, got {n_stripes}")
+        self.capacity = capacity
+        self.n_stripes = min(n_stripes, capacity) if capacity else n_stripes
+        self.stripe_capacity = (capacity // self.n_stripes) if capacity else 0
+        self._stripes: tuple[OrderedDict, ...] = tuple(
+            OrderedDict() for _ in range(self.n_stripes)
+        )
+        self._stripe_locks: tuple[threading.Lock, ...] = tuple(
+            threading.Lock() for _ in range(self.n_stripes)
+        )
+        #: Per-model epochs, bumped on hot-swap/removal.  A ``put`` carrying
+        #: an older epoch is silently dropped — the result was computed by a
+        #: model object that has since been retired.
+        self._epochs: Counter = Counter()
+        self._epoch_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _stripe_of(self, model_name: str, sequence: tuple[str, ...]) -> int:
+        # Per-process ``hash`` is fine here: stripe choice only has to be
+        # stable within the process, and tuple hashing is much cheaper than
+        # a content digest on the request hot path.
+        return hash((model_name, sequence)) % self.n_stripes
+
+    # ------------------------------------------------------------------
+    def get(self, model_name: str, sequence: tuple[str, ...]) -> np.ndarray | None:
+        """The cached row for ``(model_name, sequence)``, as a copy."""
+        if self.capacity == 0:
+            return None
+        index = self._stripe_of(model_name, sequence)
+        key = (model_name, sequence)
+        stripe = self._stripes[index]
+        with self._stripe_locks[index]:
+            value = stripe.get(key)
+            if value is None:
+                return None
+            stripe.move_to_end(key)
+            return value.copy()
+
+    def put(
+        self,
+        model_name: str,
+        sequence: tuple[str, ...],
+        value: np.ndarray,
+        epoch: int | None = None,
+    ) -> bool:
+        """Cache a copy of *value*; returns whether it was stored.
+
+        When *epoch* is given it must match the model's current epoch — the
+        check runs under the stripe lock, and :meth:`invalidate` bumps the
+        epoch *before* sweeping, so a racing stale writer either sees the new
+        epoch (and drops the write) or inserts before the sweep reaches the
+        stripe (and is swept).
+        """
+        if self.capacity == 0:
+            return False
+        index = self._stripe_of(model_name, sequence)
+        key = (model_name, sequence)
+        stripe = self._stripes[index]
+        with self._stripe_locks[index]:
+            if epoch is not None and self.epoch(model_name) != epoch:
+                return False
+            stripe[key] = value.copy()
+            stripe.move_to_end(key)
+            while len(stripe) > self.stripe_capacity:
+                stripe.popitem(last=False)
+        return True
+
+    # ------------------------------------------------------------------
+    # epochs and invalidation
+    # ------------------------------------------------------------------
+    def epoch(self, model_name: str) -> int:
+        with self._epoch_lock:
+            return self._epochs[model_name]
+
+    def invalidate(self, model_name: str) -> int:
+        """Drop every entry of *model_name*; returns the number dropped.
+
+        The epoch is bumped first (no new stale results can be cached after
+        this call starts), then each stripe is swept under its own lock — no
+        global pause of unrelated traffic.
+        """
+        with self._epoch_lock:
+            self._epochs[model_name] += 1
+        dropped = 0
+        for index in range(self.n_stripes):
+            stripe = self._stripes[index]
+            with self._stripe_locks[index]:
+                stale = [key for key in stripe if key[0] == model_name]
+                for key in stale:
+                    del stripe[key]
+                dropped += len(stale)
+        return dropped
+
+    def clear(self) -> None:
+        """Drop every entry (epochs are kept)."""
+        for index in range(self.n_stripes):
+            with self._stripe_locks[index]:
+                self._stripes[index].clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        total = 0
+        for index in range(self.n_stripes):
+            with self._stripe_locks[index]:
+                total += len(self._stripes[index])
+        return total
+
+    def stripe_sizes(self) -> Sequence[int]:
+        """Current entry count of each stripe (diagnostics)."""
+        sizes = []
+        for index in range(self.n_stripes):
+            with self._stripe_locks[index]:
+                sizes.append(len(self._stripes[index]))
+        return sizes
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot: totals plus the stripe layout."""
+        return {
+            "entries": len(self),
+            "capacity": self.capacity,
+            "stripes": self.n_stripes,
+            "stripe_capacity": self.stripe_capacity,
+        }

@@ -30,7 +30,6 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Mapping, Sequence
@@ -39,11 +38,13 @@ import numpy as np
 
 from repro.data.recipedb import RecipeDB
 from repro.models.base import CuisineModel
-from repro.observability import CounterSet, RollingLatency
+from repro.observability import CounterSet, RollingLatency, StageTimer
 from repro.pipeline.engine import CorpusEngine
 from repro.pipeline.fingerprint import sequence_key
 from repro.pipeline.store import FeatureStore, _save_json
 from repro.serving.bundle import ModelBundle, load_bundles
+from repro.serving.cache import ShardedResultCache
+from repro.serving.featurizer import BatchFeaturizer
 
 _SHUTDOWN = object()
 
@@ -62,6 +63,7 @@ class _Request:
     sequence: tuple[str, ...]
     model: CuisineModel
     epoch: int
+    submitted_at: float = 0.0
     done: threading.Event = field(default_factory=threading.Event)
     result: np.ndarray | None = None
     error: BaseException | None = None
@@ -86,6 +88,9 @@ class PredictionService:
             ``0`` disables the wait: each flush takes only what is already
             queued.
         cache_size: Bound on the LRU result cache (0 disables caching).
+        cache_stripes: Number of independently-locked stripes the result
+            cache is sharded into (clamped to ``cache_size``), so hot-key
+            traffic does not serialize on one lock.
         queue_size: Bound on the request queue; when full, callers block
             until the worker drains it (backpressure).
         request_timeout: Seconds a single predict call waits for its batched
@@ -101,6 +106,7 @@ class PredictionService:
         max_batch_size: int = 32,
         flush_interval: float = 0.005,
         cache_size: int = 2048,
+        cache_stripes: int = 16,
         queue_size: int = 4096,
         request_timeout: float = 60.0,
     ) -> None:
@@ -131,15 +137,16 @@ class PredictionService:
         self._submit_lock = threading.Lock()
         self._closed = False
 
-        self._cache: OrderedDict[tuple[str, tuple[str, ...]], np.ndarray] = OrderedDict()
-        self._cache_lock = threading.Lock()
-        #: Bumped on hot-swap/removal; guards against caching a retired
-        #: model's result.
-        self._model_epochs: Counter = Counter()
+        #: Sharded, epoch-guarded LRU of probability rows — per-model epochs
+        #: guard against caching a retired model's result.
+        self._result_cache = ShardedResultCache(cache_size, n_stripes=cache_stripes)
+        #: Batch fast path for miss-traffic featurization (shared item memo).
+        self._featurizer = BatchFeaturizer()
 
         # Shared observability primitives (same as the gateway's routes).
         self._counters = CounterSet()
         self._latency = RollingLatency()
+        self._stages = StageTimer()
         self._stats_lock = threading.Lock()
         self._largest_batch = 0
 
@@ -177,10 +184,10 @@ class PredictionService:
         replaced = self._models.get(name)
         self._models[name] = model
         if replaced is not None and replaced is not model:
-            with self._cache_lock:
-                self._model_epochs[name] += 1
-                for key in [k for k in self._cache if k[0] == name]:
-                    del self._cache[key]
+            # Per-stripe sweep: bumps the epoch first, then drops this name's
+            # entries one stripe at a time — unrelated traffic never waits on
+            # a whole-cache scan.
+            self._result_cache.invalidate(name)
         return name
 
     def add_bundle(self, bundle: ModelBundle, name: str | None = None) -> str:
@@ -197,10 +204,7 @@ class PredictionService:
         """
         model = self._require_model(name)
         del self._models[name]
-        with self._cache_lock:
-            self._model_epochs[name] += 1
-            for key in [k for k in self._cache if k[0] == name]:
-                del self._cache[key]
+        self._result_cache.invalidate(name)
         return model
 
     def model_names(self) -> tuple[str, ...]:
@@ -226,16 +230,30 @@ class PredictionService:
         distinct sequence — independent of batch composition, of which model
         asks (models sharing a pipeline config share the artifacts), and of
         whether the request came through :meth:`warm`, the micro-batch
-        worker or an explicit batch.
+        worker or an explicit batch.  Cold sequences of a batch are computed
+        together by the :class:`BatchFeaturizer` (one pass, shared item
+        memo) — bitwise-identical to the sequential per-sequence path.
         """
         config = model.feature_spec().pipeline
-        return [self.store.sequence_tokens(sequence, config) for sequence in sequences]
+        return self._featurizer.batch_tokens(sequences, config, store=self.store)
 
     def _predict_group(
         self, model: CuisineModel, sequences: Sequence[tuple[str, ...]]
     ) -> np.ndarray:
+        started = time.perf_counter()
         tokens = self._featurize(model, sequences)
-        return model.predict_proba_tokens(tokens)
+        featurized = time.perf_counter()
+        encoder = self._featurizer.encoder_for(model)
+        if encoder is not None:
+            # Precomputed fused encoding (bitwise-identical features), then
+            # the same classifier pass the generic path would run.
+            probabilities = model.predict_proba_features(encoder.encode(tokens))
+        else:
+            probabilities = model.predict_proba_tokens(tokens)
+        finished = time.perf_counter()
+        self._stages.record("featurize", featurized - started, count=len(sequences))
+        self._stages.record("predict", finished - featurized, count=len(sequences))
+        return probabilities
 
     def warm(
         self,
@@ -285,19 +303,10 @@ class PredictionService:
     # result cache
     # ------------------------------------------------------------------
     def _cache_get(self, model_name: str, sequence: tuple[str, ...]) -> np.ndarray | None:
-        if self.cache_size == 0:
-            return None
-        key = (model_name, sequence)
-        with self._cache_lock:
-            value = self._cache.get(key)
-            if value is not None:
-                self._cache.move_to_end(key)
-                return value.copy()
-        return None
+        return self._result_cache.get(model_name, sequence)
 
     def _model_epoch(self, model_name: str) -> int:
-        with self._cache_lock:
-            return self._model_epochs[model_name]
+        return self._result_cache.epoch(model_name)
 
     def _cache_put(
         self,
@@ -306,16 +315,9 @@ class PredictionService:
         value: np.ndarray,
         epoch: int | None = None,
     ) -> None:
-        if self.cache_size == 0:
-            return
-        key = (model_name, sequence)
-        with self._cache_lock:
-            if epoch is not None and self._model_epochs[model_name] != epoch:
-                return  # computed by a model hot-swapped away mid-flight
-            self._cache[key] = value.copy()
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+        # A put carrying a stale epoch (computed by a model hot-swapped away
+        # mid-flight) is silently dropped by the cache.
+        self._result_cache.put(model_name, sequence, value, epoch=epoch)
 
     # ------------------------------------------------------------------
     # micro-batching worker
@@ -370,7 +372,10 @@ class PredictionService:
         # queued across a hot-swap of the same name predict against the
         # model each of them started on.
         groups: dict[tuple[str, int], list[_Request]] = {}
+        drained_at = time.perf_counter()
         for request in batch:
+            if request.submitted_at:
+                self._stages.record("queue_wait", drained_at - request.submitted_at)
             groups.setdefault((request.model_name, id(request.model)), []).append(request)
         self._counters.increment("batches_flushed")
         self._counters.increment("batched_requests", len(batch))
@@ -435,6 +440,7 @@ class PredictionService:
             sequence=validated,
             model=model,
             epoch=epoch,
+            submitted_at=time.perf_counter(),
         )
         with self._submit_lock:
             self._ensure_open()  # re-checked: no submission after the sentinel
@@ -533,9 +539,12 @@ class PredictionService:
             "mean_batch_size": (batched / batches) if batches else 0.0,
             "largest_batch": largest,
             "latency": self._latency.snapshot(),
+            #: Per-stage split of the batch wall clock: queue_wait (submit →
+            #: batch drained), featurize (tokens), predict (encode + model).
+            "stages": self._stages.snapshot(),
         }
-        with self._cache_lock:
-            payload["cached_entries"] = len(self._cache)
+        payload["cached_entries"] = len(self._result_cache)
+        payload["cache"] = self._result_cache.stats()
         payload["store"] = self.store.stats()
         return payload
 

@@ -10,6 +10,7 @@ from repro.gateway.observability import (
     CounterSet,
     RollingLatency,
     RouteMetrics,
+    StageTimer,
     render_metrics_text,
 )
 
@@ -85,6 +86,52 @@ class TestRollingLatency:
     def test_window_validation(self):
         with pytest.raises(ValueError, match="window"):
             RollingLatency(window=0)
+
+
+class TestStageTimer:
+    def test_stages_created_lazily(self):
+        timer = StageTimer()
+        assert timer.snapshot() == {}
+        timer.record("featurize", 0.010)
+        assert list(timer.snapshot()) == ["featurize"]
+
+    def test_per_stage_latency_accounting(self):
+        timer = StageTimer()
+        timer.record("featurize", 0.010, count=4)
+        timer.record("predict", 0.020)
+        snapshot = timer.snapshot()
+        assert snapshot["featurize"]["count"] == 4
+        assert snapshot["featurize"]["total_seconds"] == pytest.approx(0.010)
+        assert snapshot["predict"]["mean_ms"] == pytest.approx(20.0)
+
+    def test_snapshot_sorted_by_stage(self):
+        timer = StageTimer()
+        for name in ("predict", "featurize", "queue_wait"):
+            timer.record(name, 0.001)
+        assert list(timer.snapshot()) == ["featurize", "predict", "queue_wait"]
+
+    def test_quantile_of_unknown_stage_is_zero(self):
+        assert StageTimer().quantile("nothing", 0.99) == 0.0
+
+    def test_renders_as_flat_metrics(self):
+        timer = StageTimer()
+        timer.record("featurize", 0.010)
+        text = render_metrics_text({"stages": timer.snapshot()}, prefix="svc")
+        assert "svc_stages_featurize_count 1" in text
+
+    def test_thread_safety(self):
+        timer = StageTimer()
+
+        def bump():
+            for _ in range(500):
+                timer.record("stage", 0.001)
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert timer.snapshot()["stage"]["count"] == 4000
 
 
 class TestRouteMetrics:

@@ -1,0 +1,203 @@
+"""Tests for opt-in bundle dtype policies (slim arrays, exactness flag)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.models.artifacts import (
+    DtypePolicy,
+    read_bundle,
+    write_bundle,
+)
+from repro.models.registry import create_model
+from repro.serving.bundle import ModelBundle, validate_manifest
+
+
+def _manifest(path):
+    return json.loads((path / "manifest.json").read_text(encoding="utf-8"))
+
+
+MANIFEST_STUB = {"model": "logreg", "label_space": ["a", "b"], "feature_spec": {}}
+
+
+class TestPolicyResolution:
+    def test_default_is_exact(self):
+        policy = DtypePolicy.resolve(None)
+        assert policy.name == "exact"
+        assert policy.float_dtype is None
+        assert not policy.narrow_ints
+
+    def test_shorthands(self):
+        assert DtypePolicy.resolve("exact") == DtypePolicy()
+        assert DtypePolicy.resolve("float32").float_dtype == "float32"
+        slim = DtypePolicy.resolve("slim")
+        assert slim.float_dtype == "float32" and slim.narrow_ints
+
+    def test_instance_passthrough(self):
+        policy = DtypePolicy(name="custom", float_dtype="float32", rtol=1e-3)
+        assert DtypePolicy.resolve(policy) is policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="unknown dtype policy"):
+            DtypePolicy.resolve("float16ish")
+
+
+class TestApply:
+    def test_exact_policy_never_converts(self):
+        array = np.linspace(0.0, 1.0, 7)
+        stored, record = DtypePolicy().apply(array)
+        assert stored is array and record is None
+
+    def test_float_downcast_within_tolerance(self):
+        array = np.linspace(0.0, 1.0, 7)
+        stored, record = DtypePolicy.resolve("float32").apply(array)
+        assert stored.dtype == np.float32
+        assert record["original"] == "float64"
+        assert record["stored"] == "float32"
+        assert record["max_abs_error"] <= 1e-7
+
+    def test_float_downcast_refused_on_overflow(self):
+        array = np.array([1e300, 1.0])  # overflows float32 to inf
+        stored, record = DtypePolicy.resolve("float32").apply(array)
+        assert stored is array and record is None
+
+    def test_float_downcast_refused_beyond_custom_tolerance(self):
+        policy = DtypePolicy(name="tight", float_dtype="float32", rtol=1e-12, atol=0.0)
+        array = np.linspace(0.1, 1.0, 16)  # f32 round-trip is ~1e-8 relative
+        stored, record = policy.apply(array)
+        assert stored is array and record is None
+
+    def test_int_narrowing_lossless(self):
+        array = np.array([-5, 0, 120], dtype=np.int64)
+        stored, record = DtypePolicy.resolve("slim").apply(array)
+        assert stored.dtype == np.int8
+        assert record["max_abs_error"] == 0.0
+        np.testing.assert_array_equal(stored.astype(np.int64), array)
+
+    def test_int_narrowing_picks_smallest_fit(self):
+        array = np.array([0, 40_000], dtype=np.int64)
+        stored, _ = DtypePolicy.resolve("slim").apply(array)
+        assert stored.dtype == np.int32  # 40k overflows int16
+
+    def test_float32_policy_leaves_ints_alone(self):
+        array = np.array([1, 2, 3], dtype=np.int64)
+        stored, record = DtypePolicy.resolve("float32").apply(array)
+        assert stored is array and record is None
+
+
+class TestBundleRoundTrip:
+    STATE = {
+        "weights": np.linspace(-1.0, 1.0, 64),
+        "ids": np.arange(10, dtype=np.int64),
+        "precise": np.array([1e300, 1.0]),  # float32 would overflow
+        "config": {"alpha": 0.5},
+    }
+
+    def test_default_bundle_is_exact(self, tmp_path):
+        write_bundle(tmp_path / "b", dict(MANIFEST_STUB), self.STATE)
+        manifest = _manifest(tmp_path / "b")
+        assert manifest["exact"] is True
+        assert manifest["dtype_policy"] == "exact"
+        assert manifest["array_dtypes"] == {}
+        _, state = read_bundle(tmp_path / "b")
+        np.testing.assert_array_equal(state["weights"], self.STATE["weights"])
+        assert state["weights"].dtype == np.float64
+
+    def test_slim_bundle_records_conversions(self, tmp_path):
+        write_bundle(tmp_path / "b", dict(MANIFEST_STUB), self.STATE, dtype_policy="slim")
+        manifest = _manifest(tmp_path / "b")
+        assert manifest["exact"] is False
+        assert manifest["dtype_policy"] == "slim"
+        records = manifest["array_dtypes"]
+        assert records["state/weights"]["stored"] == "float32"
+        assert records["state/ids"]["stored"] == "int8"
+        # The full-precision array failed the tolerance check: untouched,
+        # and therefore absent from the conversion record.
+        assert "state/precise" not in records
+        _, state = read_bundle(tmp_path / "b")
+        assert state["weights"].dtype == np.float32
+        assert state["ids"].dtype == np.int8
+        assert state["precise"].dtype == np.float64
+        np.testing.assert_allclose(
+            state["weights"].astype(np.float64), self.STATE["weights"], rtol=1e-6
+        )
+
+    def test_all_pass_policy_still_not_exact(self, tmp_path):
+        """exact is about bit-identity of stored arrays, not policy name."""
+        state = {"weights": np.linspace(0.0, 1.0, 8)}
+        write_bundle(tmp_path / "b", dict(MANIFEST_STUB), state, dtype_policy="float32")
+        assert _manifest(tmp_path / "b")["exact"] is False
+
+    def test_lossy_policy_with_no_convertible_arrays_is_exact(self, tmp_path):
+        state = {"precise": np.array([1e300]), "flags": np.array([True, False])}
+        write_bundle(tmp_path / "b", dict(MANIFEST_STUB), state, dtype_policy="float32")
+        manifest = _manifest(tmp_path / "b")
+        assert manifest["exact"] is True
+        assert manifest["array_dtypes"] == {}
+
+    def test_slim_archive_is_smaller(self, tmp_path):
+        rng = np.random.default_rng(5)
+        state = {"weights": rng.normal(size=(128, 64)) * 1e-2}
+        write_bundle(tmp_path / "exact", dict(MANIFEST_STUB), state)
+        write_bundle(tmp_path / "slim", dict(MANIFEST_STUB), state, dtype_policy="slim")
+
+        def archive_bytes(path):
+            return sum(f.stat().st_size for f in path.glob("arrays-*.npz"))
+
+        assert archive_bytes(tmp_path / "slim") < archive_bytes(tmp_path / "exact")
+
+    def test_new_reserved_keys_rejected(self, tmp_path):
+        for key in ("exact", "dtype_policy", "array_dtypes"):
+            with pytest.raises(ValueError, match="reserved"):
+                write_bundle(
+                    tmp_path / "b", {**MANIFEST_STUB, key: "x"}, dict(self.STATE)
+                )
+
+
+class TestModelBundles:
+    @pytest.fixture(scope="class")
+    def fitted_logreg(self, tiny_corpus):
+        model = create_model("logreg", max_iter=30)
+        model.fit(tiny_corpus)
+        return model
+
+    def test_default_save_is_bitwise_exact(self, fitted_logreg, tiny_corpus, tmp_path):
+        path = fitted_logreg.save_bundle(tmp_path / "logreg")
+        assert _manifest(path)["exact"] is True
+        loaded = ModelBundle.load(path).model
+        sequences = [recipe.sequence for recipe in tiny_corpus.recipes[:12]]
+        np.testing.assert_array_equal(
+            fitted_logreg.predict_proba_sequences(sequences),
+            loaded.predict_proba_sequences(sequences),
+        )
+
+    def test_slim_save_validates_and_predicts_close(
+        self, fitted_logreg, tiny_corpus, tmp_path
+    ):
+        path = fitted_logreg.save_bundle(tmp_path / "logreg", dtype_policy="slim")
+        validate_manifest(path)  # new manifest fields are known to the schema
+        manifest = _manifest(path)
+        assert manifest["dtype_policy"] == "slim"
+        assert manifest["array_dtypes"]  # something was actually slimmed
+        loaded = ModelBundle.load(path).model
+        assert loaded.bundle_manifest["exact"] is False
+        sequences = [recipe.sequence for recipe in tiny_corpus.recipes[:12]]
+        reference = fitted_logreg.predict_proba_sequences(sequences)
+        slimmed = loaded.predict_proba_sequences(sequences)
+        np.testing.assert_allclose(slimmed, reference, rtol=1e-4, atol=1e-6)
+        np.testing.assert_array_equal(
+            slimmed.argmax(axis=1), reference.argmax(axis=1)
+        )
+
+    def test_pre_policy_bundles_still_load(self, fitted_logreg, tmp_path):
+        """A manifest without the dtype trio (written before policies
+        existed) must validate and load unchanged."""
+        path = fitted_logreg.save_bundle(tmp_path / "logreg")
+        manifest_path = path / "manifest.json"
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        for key in ("exact", "dtype_policy", "array_dtypes"):
+            manifest.pop(key)
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        validate_manifest(path)
+        assert ModelBundle.load(path).model.name == "logreg"

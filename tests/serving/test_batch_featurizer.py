@@ -1,0 +1,239 @@
+"""Property tests: the batch featurizer is bitwise-identical to the
+per-sequence path, across every pipeline configuration and registry model."""
+
+import numpy as np
+import pytest
+
+from repro.features.hashing import HashingVectorizer
+from repro.features.tfidf import TfidfVectorizer
+from repro.models.registry import MODEL_NAMES, create_model
+from repro.models.statistical import StatisticalModel
+from repro.pipeline.store import FeatureStore
+from repro.serving.featurizer import (
+    BatchFeaturizer,
+    PrecomputedHashingEncoder,
+    PrecomputedTfidfEncoder,
+)
+from repro.text.pipeline import PipelineConfig
+
+#: Every PipelineConfig combination over the four boolean axes.
+ALL_CONFIGS = [
+    PipelineConfig(
+        lowercase=lowercase,
+        remove_digits_symbols=remove,
+        lemmatize=lemmatize,
+        split_items=split,
+    )
+    for lowercase in (True, False)
+    for remove in (True, False)
+    for lemmatize in (True, False)
+    for split in (True, False)
+]
+
+
+def _config_id(config):
+    return (
+        f"lc{int(config.lowercase)}-rm{int(config.remove_digits_symbols)}"
+        f"-lm{int(config.lemmatize)}-sp{int(config.split_items)}"
+    )
+
+
+@pytest.fixture(scope="module")
+def sequences(tiny_corpus):
+    """A request micro-batch with heavy item overlap and exact duplicates."""
+    batch = [recipe.sequence for recipe in tiny_corpus.recipes[:24]]
+    batch += batch[:6]  # duplicate sequences within one batch
+    batch.append(("Salted BUTTER 2kg", "onion!", "onion!", ""))
+    return batch
+
+
+def _sequential_tokens(sequences, config):
+    chain = config.stage_chain()
+    return [chain.run_sequence(sequence) for sequence in sequences]
+
+
+class TestBatchTokensBitwise:
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=_config_id)
+    def test_all_pipeline_configs(self, sequences, config):
+        batch = BatchFeaturizer().batch_tokens(sequences, config)
+        assert batch == _sequential_tokens(sequences, config)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_all_registry_model_specs(self, sequences, name):
+        config = create_model(name).feature_spec().pipeline
+        batch = BatchFeaturizer().batch_tokens(sequences, config)
+        assert batch == _sequential_tokens(sequences, config)
+
+    def test_store_path_matches_storeless(self, sequences):
+        config = PipelineConfig()
+        store = FeatureStore()
+        with_store = BatchFeaturizer().batch_tokens(sequences, config, store=store)
+        assert with_store == _sequential_tokens(sequences, config)
+
+    def test_matches_store_sequence_tokens(self, sequences):
+        """Same artifacts as FeatureStore.sequence_tokens would compute."""
+        config = PipelineConfig()
+        reference_store = FeatureStore()
+        reference = [
+            reference_store.sequence_tokens(sequence, config) for sequence in sequences
+        ]
+        batch = BatchFeaturizer().batch_tokens(sequences, config, store=FeatureStore())
+        assert batch == reference
+
+    def test_bounded_memo_stays_correct(self, sequences):
+        config = PipelineConfig()
+        featurizer = BatchFeaturizer(memo_size=2)  # constant eviction
+        assert featurizer.batch_tokens(sequences, config) == _sequential_tokens(
+            sequences, config
+        )
+
+    def test_memo_reused_across_batches(self, sequences):
+        config = PipelineConfig()
+        featurizer = BatchFeaturizer()
+        first = featurizer.batch_tokens(sequences, config)
+        second = featurizer.batch_tokens(sequences, config)
+        assert first == second == _sequential_tokens(sequences, config)
+
+    def test_empty_batch(self):
+        assert BatchFeaturizer().batch_tokens([], PipelineConfig()) == []
+
+
+class TestStoreAccounting:
+    """The batch path keeps FeatureStore hit/miss counters identical."""
+
+    def test_misses_counted_per_distinct_sequence(self, sequences):
+        config = PipelineConfig()
+        store = FeatureStore()
+        BatchFeaturizer().batch_tokens(sequences, config, store=store)
+        distinct = len({tuple(s) for s in sequences})
+        assert store.miss_count("sequence_tokens") == distinct
+
+    def test_warm_sequences_are_pure_hits(self, sequences):
+        config = PipelineConfig()
+        store = FeatureStore()
+        featurizer = BatchFeaturizer()
+        featurizer.batch_tokens(sequences, config, store=store)
+        misses_before = store.miss_count("sequence_tokens")
+        featurizer.batch_tokens(sequences, config, store=store)
+        assert store.miss_count("sequence_tokens") == misses_before
+        assert store.hit_count("sequence_tokens") >= len(sequences)
+
+
+def _token_docs(sequences):
+    chain = PipelineConfig(split_items=True).stage_chain()
+    docs = [chain.run_sequence(sequence) for sequence in sequences]
+    docs.append([])  # empty document
+    docs.append(["never-in-vocabulary-token"])
+    return docs
+
+
+def _assert_csr_bitwise(reference, fused):
+    """Identical CSR down to the internal layout (indices order included) —
+    downstream sparse products sum in storage order, so layout matters."""
+    assert reference.shape == fused.shape
+    np.testing.assert_array_equal(reference.indptr, fused.indptr)
+    np.testing.assert_array_equal(reference.indices, fused.indices)
+    np.testing.assert_array_equal(reference.data, fused.data)
+
+
+class TestPrecomputedEncoders:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"sublinear_tf": True},
+            {"norm": "l1"},
+            {"norm": None},
+            {"smooth_idf": False},
+        ],
+        ids=lambda kwargs: ",".join(f"{k}={v}" for k, v in kwargs.items()) or "default",
+    )
+    def test_tfidf_encoder_bitwise(self, sequences, kwargs):
+        docs = _token_docs(sequences)
+        vectorizer = TfidfVectorizer(**kwargs)
+        vectorizer.fit(docs[: len(docs) // 2])
+        encoder = PrecomputedTfidfEncoder(vectorizer)
+        _assert_csr_bitwise(vectorizer.transform(docs), encoder.encode(docs))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_features": 128},
+            {"n_features": 128, "binary": True},
+            {"n_features": 128, "alternate_sign": False},
+            {"n_features": 8},  # heavy collisions, sign cancellation
+        ],
+        ids=["default", "binary", "no_sign", "tiny"],
+    )
+    def test_hashing_encoder_bitwise(self, sequences, kwargs):
+        docs = _token_docs(sequences)
+        vectorizer = HashingVectorizer(**kwargs)
+        encoder = PrecomputedHashingEncoder(vectorizer)
+        _assert_csr_bitwise(vectorizer.transform(docs), encoder.encode(docs))
+
+    def test_hashing_memo_bound_respected(self, sequences):
+        docs = _token_docs(sequences)
+        vectorizer = HashingVectorizer(n_features=64)
+        encoder = PrecomputedHashingEncoder(vectorizer, memo_size=3)
+        _assert_csr_bitwise(vectorizer.transform(docs), encoder.encode(docs))
+        assert len(encoder._memo) <= 3
+
+    def test_unfitted_tfidf_rejected(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            PrecomputedTfidfEncoder(TfidfVectorizer())
+
+    def test_ngram_spec_rejected(self, sequences):
+        docs = _token_docs(sequences)
+        vectorizer = TfidfVectorizer(ngram_range=(1, 2))
+        vectorizer.fit(docs)
+        with pytest.raises(ValueError, match="unigram"):
+            PrecomputedTfidfEncoder(vectorizer)
+        with pytest.raises(ValueError, match="unigram"):
+            PrecomputedHashingEncoder(HashingVectorizer(ngram_range=(1, 2)))
+
+
+class TestEncoderDispatch:
+    @pytest.fixture(scope="class")
+    def fitted_logreg(self, tiny_corpus):
+        model = create_model("logreg", max_iter=30)
+        model.fit(tiny_corpus)
+        return model
+
+    def test_statistical_model_gets_tfidf_encoder(self, fitted_logreg):
+        encoder = BatchFeaturizer().encoder_for(fitted_logreg)
+        assert isinstance(encoder, PrecomputedTfidfEncoder)
+
+    def test_encoder_cached_per_model(self, fitted_logreg):
+        featurizer = BatchFeaturizer()
+        assert featurizer.encoder_for(fitted_logreg) is featurizer.encoder_for(
+            fitted_logreg
+        )
+
+    def test_instance_override_disables_fast_path(self, fitted_logreg, tiny_corpus):
+        model = create_model("logreg", max_iter=30)
+        model.fit(tiny_corpus)
+        model.encode_tokens = lambda token_lists: (_ for _ in ()).throw(
+            RuntimeError("boom")
+        )
+        assert BatchFeaturizer().encoder_for(model) is None
+
+    def test_sequential_model_has_no_encoder(self):
+        assert BatchFeaturizer().encoder_for(create_model("lstm")) is None
+
+    def test_encoder_predictions_bitwise(self, fitted_logreg, sequences):
+        """The fused path reproduces predict_proba_tokens bit for bit."""
+        config = fitted_logreg.feature_spec().pipeline
+        tokens = _sequential_tokens(sequences, config)
+        encoder = BatchFeaturizer().encoder_for(fitted_logreg)
+        fused = fitted_logreg.predict_proba_features(encoder.encode(tokens))
+        np.testing.assert_array_equal(
+            fitted_logreg.predict_proba_tokens(tokens), fused
+        )
+
+    def test_hashing_vectorizer_model_dispatch(self, fitted_logreg, sequences):
+        """A statistical model over hashed features gets the hashing encoder."""
+        model = create_model("naive_bayes")
+        model.vectorizer = HashingVectorizer(n_features=32)
+        assert isinstance(model, StatisticalModel)
+        encoder = BatchFeaturizer().encoder_for(model)
+        assert isinstance(encoder, PrecomputedHashingEncoder)

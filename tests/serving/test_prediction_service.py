@@ -395,6 +395,40 @@ class TestObservability:
             service.predict_proba_batch("naive_bayes", request_sequences[:4])
             assert service.store.miss_count("sequence_tokens") == misses
 
+    def test_stage_timers_split_batch_wall_clock(self, export_dir, request_sequences):
+        with PredictionService.from_export_dir(export_dir) as service:
+            service.predict_proba_batch("logreg", request_sequences[:8])
+            stages = service.stats()["stages"]
+            assert set(stages) >= {"featurize", "predict"}
+            assert stages["featurize"]["count"] == 8
+            assert stages["predict"]["count"] == 8
+            assert stages["featurize"]["total_seconds"] >= 0.0
+            # The batch path never queues, so no queue_wait is recorded.
+            assert "queue_wait" not in stages
+            service.predict_proba("logreg", request_sequences[10])
+            stages = service.stats()["stages"]
+            # The micro-batched single request records its queue wait.
+            assert stages["queue_wait"]["count"] == 1
+
+    def test_stage_timers_render_in_metrics_text(self, export_dir, request_sequences):
+        from repro.observability import render_metrics_text
+
+        with PredictionService.from_export_dir(export_dir) as service:
+            service.predict_proba_batch("logreg", request_sequences[:4])
+            text = render_metrics_text({"service": service.stats()}, prefix="repro")
+            assert "repro_service_stages_featurize_count 4" in text
+            assert "repro_service_stages_predict_count 4" in text
+
+    def test_cache_stats_exposed(self, export_dir, request_sequences):
+        with PredictionService.from_export_dir(
+            export_dir, cache_size=64, cache_stripes=8
+        ) as service:
+            service.predict_proba_batch("logreg", request_sequences[:4])
+            cache = service.stats()["cache"]
+            assert cache["capacity"] == 64
+            assert cache["stripes"] == 8
+            assert cache["entries"] == 4
+
 
 class TestCorpusWarm:
     def test_warm_corpus_seeds_per_sequence_artifacts(self, export_dir, tiny_corpus):

@@ -1,0 +1,226 @@
+"""Tests for the sharded, epoch-guarded result cache — unit semantics plus
+a 16-thread hammer across hot-swaps (no stale-epoch entry may survive)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.models.registry import create_model
+from repro.serving import PredictionService
+from repro.serving.cache import ShardedResultCache
+
+
+def _row(value):
+    return np.asarray([float(value)])
+
+
+class TestBasicSemantics:
+    def test_put_get_roundtrip(self):
+        cache = ShardedResultCache(capacity=64)
+        assert cache.put("m", ("a",), _row(1))
+        np.testing.assert_array_equal(cache.get("m", ("a",)), _row(1))
+
+    def test_miss_returns_none(self):
+        assert ShardedResultCache(capacity=64).get("m", ("a",)) is None
+
+    def test_get_returns_copy(self):
+        cache = ShardedResultCache(capacity=64)
+        cache.put("m", ("a",), _row(1))
+        first = cache.get("m", ("a",))
+        first[0] = 99.0
+        np.testing.assert_array_equal(cache.get("m", ("a",)), _row(1))
+
+    def test_put_stores_copy(self):
+        cache = ShardedResultCache(capacity=64)
+        value = _row(1)
+        cache.put("m", ("a",), value)
+        value[0] = 99.0
+        np.testing.assert_array_equal(cache.get("m", ("a",)), _row(1))
+
+    def test_zero_capacity_disables(self):
+        cache = ShardedResultCache(capacity=0)
+        assert not cache.put("m", ("a",), _row(1))
+        assert cache.get("m", ("a",)) is None
+        assert len(cache) == 0
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ShardedResultCache(capacity=-1)
+        with pytest.raises(ValueError, match="n_stripes"):
+            ShardedResultCache(capacity=8, n_stripes=0)
+
+
+class TestBounds:
+    def test_total_entries_never_exceed_capacity(self):
+        cache = ShardedResultCache(capacity=32, n_stripes=8)
+        for index in range(500):
+            cache.put("m", (f"seq-{index}",), _row(index))
+        assert len(cache) <= 32
+
+    def test_stripes_clamped_to_capacity(self):
+        cache = ShardedResultCache(capacity=4, n_stripes=16)
+        assert cache.n_stripes == 4
+        assert cache.stripe_capacity == 1
+        for index in range(100):
+            cache.put("m", (f"seq-{index}",), _row(index))
+        assert len(cache) <= 4
+
+    def test_lru_eviction_within_stripe(self):
+        cache = ShardedResultCache(capacity=2, n_stripes=1)
+        cache.put("m", ("a",), _row(1))
+        cache.put("m", ("b",), _row(2))
+        cache.get("m", ("a",))  # refresh a
+        cache.put("m", ("c",), _row(3))  # evicts b
+        assert cache.get("m", ("a",)) is not None
+        assert cache.get("m", ("b",)) is None
+        assert cache.get("m", ("c",)) is not None
+
+    def test_stripe_sizes_sum_to_len(self):
+        cache = ShardedResultCache(capacity=64, n_stripes=8)
+        for index in range(40):
+            cache.put("m", (f"seq-{index}",), _row(index))
+        assert sum(cache.stripe_sizes()) == len(cache)
+
+    def test_stats_payload(self):
+        cache = ShardedResultCache(capacity=64, n_stripes=8)
+        cache.put("m", ("a",), _row(1))
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "capacity": 64,
+            "stripes": 8,
+            "stripe_capacity": 8,
+        }
+
+
+class TestEpochsAndInvalidation:
+    def test_invalidate_drops_only_named_model(self):
+        cache = ShardedResultCache(capacity=64)
+        for index in range(10):
+            cache.put("old", (f"seq-{index}",), _row(index))
+            cache.put("other", (f"seq-{index}",), _row(index))
+        dropped = cache.invalidate("old")
+        assert dropped == 10
+        assert len(cache) == 10
+        assert cache.get("other", ("seq-3",)) is not None
+        assert cache.get("old", ("seq-3",)) is None
+
+    def test_invalidate_bumps_epoch(self):
+        cache = ShardedResultCache(capacity=64)
+        before = cache.epoch("m")
+        cache.invalidate("m")
+        assert cache.epoch("m") == before + 1
+
+    def test_stale_epoch_put_dropped(self):
+        cache = ShardedResultCache(capacity=64)
+        stale = cache.epoch("m")
+        cache.invalidate("m")
+        assert not cache.put("m", ("a",), _row(1), epoch=stale)
+        assert cache.get("m", ("a",)) is None
+
+    def test_current_epoch_put_stored(self):
+        cache = ShardedResultCache(capacity=64)
+        cache.invalidate("m")
+        assert cache.put("m", ("a",), _row(1), epoch=cache.epoch("m"))
+        assert cache.get("m", ("a",)) is not None
+
+    def test_clear_keeps_epochs(self):
+        cache = ShardedResultCache(capacity=64)
+        cache.invalidate("m")
+        cache.put("m", ("a",), _row(1))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.epoch("m") == 1
+
+
+class TestConcurrentHotSwap:
+    def test_sixteen_threads_no_stale_epoch_entries(self):
+        """16 writer threads race repeated invalidations; afterwards every
+        surviving entry must carry the final epoch — an entry tagged with an
+        older epoch would be a stale-epoch hit."""
+        cache = ShardedResultCache(capacity=4096, n_stripes=16)
+        keys = [(f"seq-{index}",) for index in range(64)]
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer(worker: int) -> None:
+            rng = np.random.default_rng(worker)
+            while not stop.is_set():
+                key = keys[int(rng.integers(len(keys)))]
+                epoch = cache.epoch("m")
+                # The "compute" whose result is only valid for this epoch.
+                value = _row(epoch)
+                cache.put("m", key, value, epoch=epoch)
+                seen = cache.get("m", key)
+                if seen is not None and seen[0] > cache.epoch("m"):
+                    failures.append(f"entry from future epoch {seen[0]}")
+
+        threads = [
+            threading.Thread(target=writer, args=(worker,)) for worker in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(20):  # hot-swap storm while writers hammer
+            time.sleep(0.005)
+            cache.invalidate("m")
+        stop.set()
+        for thread in threads:
+            thread.join()
+        final_epoch = cache.epoch("m")
+        for stripe in cache._stripes:
+            for value in list(stripe.values()):
+                assert value[0] == final_epoch, (
+                    f"stale-epoch entry survived: epoch {value[0]} != {final_epoch}"
+                )
+        assert not failures
+
+    def test_service_hot_swap_under_concurrent_load(self, tiny_corpus, tmp_path):
+        """Hammer PredictionService.predict_proba from 16 threads across a
+        live hot-swap; afterwards every cached answer must be the new
+        model's."""
+        config = ExperimentConfig(
+            models=("logreg",),
+            seed=3,
+            statistical_kwargs={"logreg": {"max_iter": 30}},
+            export_dir=str(tmp_path),
+        )
+        ExperimentRunner(config, corpus=tiny_corpus).run()
+        replacement = create_model("logreg", max_iter=10)
+        replacement.fit(tiny_corpus)
+        sequences = [recipe.sequence for recipe in tiny_corpus.recipes[:16]]
+        errors: list[BaseException] = []
+
+        with PredictionService.from_export_dir(
+            tmp_path, flush_interval=0.0
+        ) as service:
+
+            def hammer(worker: int) -> None:
+                rng = np.random.default_rng(worker)
+                try:
+                    for _ in range(30):
+                        sequence = sequences[int(rng.integers(len(sequences)))]
+                        service.predict_proba("logreg", sequence)
+                except BaseException as exc:  # noqa: BLE001 - surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(worker,)) for worker in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            time.sleep(0.01)
+            service.add_model(replacement, name="logreg")  # live hot-swap
+            for thread in threads:
+                thread.join()
+            assert not errors
+            # Every answer served from the cache now must be the new model's
+            # (batch composition can shift the last ulp — the service's
+            # documented contract — so compare at 1e-12, not bitwise).
+            expected = replacement.predict_proba_sequences(sequences)
+            for sequence, row in zip(sequences, expected):
+                served = service.predict_proba("logreg", sequence)
+                np.testing.assert_allclose(served, row, rtol=0, atol=1e-12)
+                assert int(np.argmax(served)) == int(np.argmax(row))

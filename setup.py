@@ -25,6 +25,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-serve = repro.server.cli:main",
+            "repro-cluster = repro.cluster.cli:main",
         ],
     },
 )

@@ -1,0 +1,318 @@
+"""Consistent-hash front balancer — the no-``SO_REUSEPORT`` fallback tier.
+
+On platforms where the kernel cannot spread one listening port across
+worker processes (``SO_REUSEPORT`` missing), :class:`ClusterBalancer`
+provides the same contract in user space: one public address, N worker
+back-ends, and **routing-key affinity** — a request carrying a routing
+``key`` always lands on the same worker (while the member set is stable),
+so per-worker result caches stay as hot as a single server's.
+
+The balancer is a thin L7 relay over the repro wire protocol: it parses
+each request off the client connection
+(:func:`repro.server.protocol.read_request`), picks a back-end on the
+:class:`HashRing` (keyless requests round-robin), replays the request on a
+pooled keep-alive back-end connection
+(:class:`repro.loadgen.client.ConnectionPool` — which transparently
+retries once when an idle pooled socket turns out to have been closed by a
+draining worker), and relays the response.  Back-ends can be added and
+removed live — how the supervisor rolls workers through restarts with the
+balancer in front.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import json
+import logging
+import threading
+from bisect import bisect_right
+from typing import Callable, Iterable
+
+from repro.loadgen.client import ConnectionPool
+from repro.server.protocol import (
+    HTTPError,
+    HTTPRequest,
+    json_response,
+    read_request,
+    render_response,
+)
+
+logger = logging.getLogger(__name__)
+
+#: Headers never replayed to a back-end (re-framed per hop).
+_HOP_HEADERS = frozenset({"host", "content-length", "connection", "transfer-encoding"})
+
+
+def _point(data: bytes) -> int:
+    """A stable 64-bit ring position (BLAKE2b, platform-independent)."""
+    return int.from_bytes(hashlib.blake2b(data, digest_size=8).digest(), "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes over named members.
+
+    Each member owns ``replicas`` pseudo-random points on a 64-bit ring;
+    :meth:`lookup` maps a key to the owner of the first point at or after
+    the key's position.  Adding or removing one member remaps only the
+    keys in that member's arcs (~1/N of the key space) — the property that
+    keeps per-worker caches warm through fleet resizes.
+    """
+
+    def __init__(self, members: Iterable[str] = (), *, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._members: set[str] = set()
+        self._points: list[tuple[int, str]] = []
+        for member in members:
+            self.add(member)
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(sorted(self._members))
+
+    def add(self, member: str) -> None:
+        if member in self._members:
+            return
+        self._members.add(member)
+        for replica in range(self._replicas):
+            position = _point(f"{member}#{replica}".encode("utf-8"))
+            self._points.append((position, member))
+        self._points.sort()
+
+    def remove(self, member: str) -> None:
+        if member not in self._members:
+            return
+        self._members.discard(member)
+        self._points = [p for p in self._points if p[1] != member]
+
+    def lookup(self, key: str) -> str | None:
+        """The member owning *key*; ``None`` when the ring is empty."""
+        if not self._points:
+            return None
+        position = _point(key.encode("utf-8"))
+        index = bisect_right(self._points, (position, ""))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+
+class BalancerHandle:
+    """Control handle for a balancer running in a background thread."""
+
+    def __init__(self, balancer: "ClusterBalancer", thread: threading.Thread) -> None:
+        self.balancer = balancer
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.balancer.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self.balancer.request_stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(f"balancer did not stop within {timeout}s")
+
+
+class ClusterBalancer:
+    """One public port relaying requests to a mutable set of back-ends."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 64,
+        max_header_bytes: int = 16384,
+        max_body_bytes: int = 1048576,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.max_header_bytes = max_header_bytes
+        self.max_body_bytes = max_body_bytes
+        self.ring = HashRing(replicas=replicas)
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._pools: dict[str, ConnectionPool] = {}
+        self._round_robin = itertools.count()
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # membership (call from the serving loop / supervisor task)
+    # ------------------------------------------------------------------
+    def add_backend(self, name: str, host: str, port: int) -> None:
+        self._addresses[name] = (host, port)
+        self.ring.add(name)
+
+    def remove_backend(self, name: str) -> None:
+        """Drop *name* from routing; its pooled connections close."""
+        self.ring.remove(name)
+        self._addresses.pop(name, None)
+        pool = self._pools.pop(name, None)
+        if pool is not None:
+            pool.close()
+
+    @property
+    def backends(self) -> tuple[str, ...]:
+        return self.ring.members
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors ModelServer)
+    # ------------------------------------------------------------------
+    async def serve(self, ready: Callable[[], None] | None = None) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self.port,
+            limit=max(self.max_header_bytes, 65536),
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("cluster balancer listening on %s:%d", self.host, self.port)
+        if ready is not None:
+            ready()
+        try:
+            await self._stop_event.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for pool in self._pools.values():
+                pool.close()
+            self._pools.clear()
+
+    def request_stop(self) -> None:
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass
+
+    def start_in_thread(self, *, timeout: float = 30.0) -> BalancerHandle:
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def runner() -> None:
+            try:
+                asyncio.run(self.serve(ready=ready.set))
+            except BaseException as exc:
+                failures.append(exc)
+            finally:
+                ready.set()
+
+        thread = threading.Thread(target=runner, name="repro-balancer", daemon=True)
+        thread.start()
+        if not ready.wait(timeout):
+            raise TimeoutError(f"balancer failed to start within {timeout}s")
+        if failures:
+            raise failures[0]
+        return BalancerHandle(self, thread)
+
+    # ------------------------------------------------------------------
+    # relay
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader,
+                        max_header_bytes=self.max_header_bytes,
+                        max_body_bytes=self.max_body_bytes,
+                    )
+                except HTTPError as exc:
+                    writer.write(json_response(exc.status, exc.payload(), keep_alive=False))
+                    await writer.drain()
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                try:
+                    response = await self._relay(request)
+                except HTTPError as exc:
+                    response = json_response(
+                        exc.status, exc.payload(), keep_alive=request.keep_alive
+                    )
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if not request.keep_alive:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    def _routing_key(self, request: HTTPRequest) -> str | None:
+        """The affinity key of *request*: ``key``, or the first of ``keys``."""
+        if not request.body:
+            return None
+        try:
+            payload = json.loads(request.body)
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        key = payload.get("key")
+        if isinstance(key, str):
+            return key
+        keys = payload.get("keys")
+        if isinstance(keys, list) and keys and isinstance(keys[0], str):
+            return keys[0]
+        return None
+
+    def _pick_backend(self, request: HTTPRequest) -> str:
+        members = self.ring.members
+        if not members:
+            raise HTTPError(503, "no_backends", "no workers are available")
+        key = self._routing_key(request)
+        if key is not None:
+            chosen = self.ring.lookup(key)
+            if chosen is not None:
+                return chosen
+        return members[next(self._round_robin) % len(members)]
+
+    async def _relay(self, request: HTTPRequest) -> bytes:
+        backend = self._pick_backend(request)
+        host, port = self._addresses[backend]
+        pool = self._pools.get(backend)
+        if pool is None:
+            pool = self._pools[backend] = ConnectionPool(host, port)
+        payload = None
+        if request.body:
+            try:
+                payload = json.loads(request.body)
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise HTTPError(
+                    400, "invalid_json", f"request body is not valid JSON: {exc}"
+                ) from None
+        headers = {
+            name: value
+            for name, value in request.headers.items()
+            if name not in _HOP_HEADERS
+        }
+        try:
+            response = await pool.request(request.method, request.path, payload, headers)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            raise HTTPError(
+                502, "bad_backend", f"worker {backend} failed: {type(exc).__name__}"
+            ) from None
+        return render_response(
+            response.status,
+            response.body,
+            content_type=response.headers.get("content-type", "application/json"),
+            keep_alive=request.keep_alive,
+        )

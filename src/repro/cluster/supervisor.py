@@ -1,0 +1,736 @@
+"""The multi-process scale-out tier: a prefork supervisor over repro workers.
+
+One :class:`ClusterSupervisor` owns a fleet of ``repro.server`` worker
+**processes** serving the same bundles on one public address:
+
+* **reuseport mode** (default wherever the platform has ``SO_REUSEPORT``,
+  i.e. Linux/BSD/macOS): the supervisor binds one ``SO_REUSEPORT``
+  listening socket *per worker* on the same port and hands each worker its
+  socket by file descriptor (``repro-serve --socket-fd``).  The kernel
+  spreads incoming connections across the workers — no proxy hop on the
+  data path;
+* **balancer mode** (fallback, or ``mode="balancer"``): workers bind
+  private ephemeral ports and a
+  :class:`~repro.cluster.balancer.ClusterBalancer` on the public port
+  consistent-hashes routing keys across them.
+
+Each worker also opens a private **control port** (the same HTTP surface on
+a per-process address), which is what keeps a shared-port fleet manageable:
+the supervisor aggregates every worker's ``/healthz`` into one fleet
+document (:func:`~repro.cluster.metrics.merge_health_snapshots`), fans
+``/admin`` calls out to all workers, and serves both — plus ``/metrics``
+text and the ``/cluster/restart`` / ``/cluster/resize`` verbs — from its
+own control server.
+
+Crashed workers are respawned with exponential backoff.  A **rolling
+restart** replaces workers one at a time, spawn-before-drain: the
+replacement is serving on the shared port (or in the ring) *before* the
+old worker gets SIGTERM and drains its in-flight requests — under a
+keep-alive client with stale-socket retry, a full fleet roll drops zero
+requests.
+
+Workers load bundles memory-mapped by default (``--mmap-bundles``): the
+bundle's arrays are paged from one extracted on-disk copy shared by every
+worker, so fleet RSS grows far slower than linearly with worker count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import itertools
+import json
+import logging
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.cluster.balancer import ClusterBalancer
+from repro.cluster.metrics import merge_health_snapshots
+from repro.loadgen.client import ClientConnection
+from repro.observability import render_metrics_text
+from repro.server.protocol import HTTPError, HTTPRequest, json_response, read_request, render_response
+
+logger = logging.getLogger(__name__)
+
+#: Seconds a worker must stay up for its crash-backoff counter to reset.
+_STABLE_SECONDS = 30.0
+_BACKOFF_BASE = 0.5
+_BACKOFF_CAP = 8.0
+
+
+def has_reuseport() -> bool:
+    """Whether this platform can share one port across worker processes."""
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+@dataclass
+class Worker:
+    """One live worker process and where to reach it."""
+
+    index: int
+    process: subprocess.Popen
+    port: int
+    control_port: int
+    started_at: float
+    restarts: int = 0
+    #: Deliberate shutdown in progress — the crash monitor must not respawn.
+    stopping: bool = False
+    backend_name: str = field(default="")
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def info(self) -> dict:
+        return {
+            "worker": self.index,
+            "pid": self.process.pid,
+            "port": self.port,
+            "control_port": self.control_port,
+            "restarts": self.restarts,
+            "alive": self.alive,
+        }
+
+
+class ClusterHandle:
+    """Thread-safe control handle for a supervisor in a background thread."""
+
+    def __init__(self, supervisor: "ClusterSupervisor", thread: threading.Thread) -> None:
+        self.supervisor = supervisor
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.supervisor.host
+
+    @property
+    def port(self) -> int:
+        return self.supervisor.port
+
+    @property
+    def control_port(self) -> int:
+        return self.supervisor.control_port
+
+    def _call(self, coroutine, timeout: float):
+        loop = self.supervisor._loop
+        if loop is None:
+            coroutine.close()
+            raise RuntimeError("supervisor is not running")
+        return asyncio.run_coroutine_threadsafe(coroutine, loop).result(timeout)
+
+    def rolling_restart(self, timeout: float = 600.0) -> list[int]:
+        """Replace every worker, one at a time, without dropping requests."""
+        return self._call(self.supervisor.rolling_restart(), timeout)
+
+    def resize(self, workers: int, timeout: float = 600.0) -> int:
+        return self._call(self.supervisor.resize(workers), timeout)
+
+    def fleet_health(self, timeout: float = 60.0) -> dict:
+        return self._call(self.supervisor.fleet_health(), timeout)
+
+    def stop(self, timeout: float = 120.0) -> None:
+        self.supervisor.request_stop()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError(f"cluster did not stop within {timeout}s")
+
+
+class ClusterSupervisor:
+    """Prefork and babysit N ``repro.server`` workers behind one address.
+
+    Args:
+        workers: Fleet size to start with (``resize`` changes it live).
+        host / port: Public data address (``port=0`` picks an ephemeral
+            port, published on :attr:`port` once the first socket binds).
+        control_port: Supervisor's own HTTP address for fleet health,
+            merged metrics, admin fan-out and cluster verbs (``0`` =
+            ephemeral, published on :attr:`control_port`).
+        export_dir / demo: What the workers serve — a bundle export
+            directory, or a demo logreg the supervisor trains **once** and
+            every worker loads (as route ``cuisine``).
+        route: Serve a single-bundle export under this route name.
+        mode: ``"reuseport"``, ``"balancer"``, or ``"auto"`` (reuseport
+            when the platform supports it).
+        mmap_bundles: Workers map bundle arrays from the shared extracted
+            archive instead of copying them per process (default on — the
+            point of a prefork fleet).
+        cache_size / max_batch_size / service_time / max_inflight /
+            drain_timeout: Forwarded to each worker's CLI.
+        admin_token: Enables ``/admin`` and ``/cluster`` verbs on the
+            control server, and is handed to workers via the environment.
+        workdir: Scratch directory for ready-files and demo training
+            (a private temporary directory when ``None``).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        control_port: int = 0,
+        export_dir: str | Path | None = None,
+        demo: bool = False,
+        demo_scale: float = 0.004,
+        demo_seed: int = 11,
+        route: str | None = None,
+        version: str = "v1",
+        admin_token: str | None = None,
+        mode: str = "auto",
+        mmap_bundles: bool = True,
+        cache_size: int | None = None,
+        max_batch_size: int | None = None,
+        service_time: float = 0.0,
+        max_inflight: int | None = None,
+        drain_timeout: float = 30.0,
+        spawn_timeout: float = 120.0,
+        workdir: str | Path | None = None,
+        log_level: str = "INFO",
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if (export_dir is None) == (not demo):
+            raise ValueError("exactly one of export_dir or demo is required")
+        if mode not in ("auto", "reuseport", "balancer"):
+            raise ValueError(f"mode must be auto/reuseport/balancer, got {mode!r}")
+        if mode == "reuseport" and not has_reuseport():
+            raise ValueError("this platform has no SO_REUSEPORT; use mode='balancer'")
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.control_port = control_port
+        self.export_dir = str(export_dir) if export_dir is not None else None
+        self.demo = demo
+        self.demo_scale = demo_scale
+        self.demo_seed = demo_seed
+        self.route = route
+        self.version = version
+        self.admin_token = admin_token
+        self.mode = mode if mode != "auto" else ("reuseport" if has_reuseport() else "balancer")
+        self.mmap_bundles = mmap_bundles
+        self.cache_size = cache_size
+        self.max_batch_size = max_batch_size
+        self.service_time = service_time
+        self.max_inflight = max_inflight
+        self.drain_timeout = drain_timeout
+        self.spawn_timeout = spawn_timeout
+        self.workdir = Path(workdir) if workdir is not None else None
+        self.log_level = log_level
+
+        self._workers: dict[int, Worker] = {}
+        self._crashes: dict[int, int] = {}
+        self._respawns = 0
+        self._spawn_serial = itertools.count()
+        self._fleet_lock: asyncio.Lock | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._control_server: asyncio.base_events.Server | None = None
+        self._balancer: ClusterBalancer | None = None
+        self._balancer_task: asyncio.Task | None = None
+        self._monitor_task: asyncio.Task | None = None
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def run(self, ready: Callable[[], None] | None = None) -> None:
+        """Train (demo), prefork the fleet, serve control plane until stopped."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._fleet_lock = asyncio.Lock()
+        if self.workdir is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+            self.workdir = Path(self._tmpdir.name)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        try:
+            if self.demo:
+                from repro.server.cli import train_demo_export
+
+                export = self.workdir / "demo-export"
+                bundle = await asyncio.to_thread(
+                    train_demo_export, self.demo_scale, self.demo_seed, export
+                )
+                self.export_dir = str(bundle.parent)
+                if self.route is None:
+                    self.route = "cuisine"
+            if self.mode == "balancer":
+                self._balancer = ClusterBalancer(host=self.host, port=self.port)
+                started = asyncio.Event()
+                self._balancer_task = asyncio.create_task(
+                    self._balancer.serve(ready=started.set)
+                )
+                await started.wait()
+                self.port = self._balancer.port
+            assert self._fleet_lock is not None
+            async with self._fleet_lock:
+                for index in range(self.workers):
+                    self._adopt(await self._spawn(index))
+            limit = 65536
+            self._control_server = await asyncio.start_server(
+                self._handle_control, host=self.host, port=self.control_port, limit=limit
+            )
+            self.control_port = self._control_server.sockets[0].getsockname()[1]
+            self._monitor_task = asyncio.create_task(self._monitor())
+            logger.info(
+                "repro.cluster: %d workers on %s:%d (%s mode), control on :%d",
+                len(self._workers), self.host, self.port, self.mode, self.control_port,
+            )
+            if ready is not None:
+                ready()
+            await self._stop_event.wait()
+        finally:
+            await self._shutdown()
+
+    def request_stop(self) -> None:
+        """Thread-safe: begin the fleet shutdown (idempotent)."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None:
+            return
+        try:
+            loop.call_soon_threadsafe(event.set)
+        except RuntimeError:
+            pass
+
+    def start_in_thread(self, *, timeout: float = 300.0) -> ClusterHandle:
+        """Run the supervisor on a background thread; returns once serving."""
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def runner() -> None:
+            try:
+                asyncio.run(self.run(ready=ready.set))
+            except BaseException as exc:
+                failures.append(exc)
+            finally:
+                ready.set()
+
+        thread = threading.Thread(target=runner, name="repro-cluster", daemon=True)
+        thread.start()
+        if not ready.wait(timeout):
+            self.request_stop()
+            raise TimeoutError(f"cluster failed to start within {timeout}s")
+        if failures:
+            raise failures[0]
+        return ClusterHandle(self, thread)
+
+    async def _shutdown(self) -> None:
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+        workers = list(self._workers.values())
+        self._workers.clear()
+        for worker in workers:
+            worker.stopping = True
+        await asyncio.gather(
+            *(self._terminate(worker) for worker in workers), return_exceptions=True
+        )
+        if self._balancer is not None:
+            self._balancer.request_stop()
+            if self._balancer_task is not None:
+                await self._balancer_task
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+        logger.info("repro.cluster: stopped (%d workers drained)", len(workers))
+
+    # ------------------------------------------------------------------
+    # worker processes
+    # ------------------------------------------------------------------
+    def _listen_socket(self) -> socket.socket:
+        """A fresh SO_REUSEPORT listening socket on the shared public port."""
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.host, self.port))
+            sock.listen(128)
+        except BaseException:
+            sock.close()
+            raise
+        if self.port == 0:
+            self.port = sock.getsockname()[1]
+        return sock
+
+    def _worker_env(self) -> dict[str, str]:
+        env = os.environ.copy()
+        # Workers must import repro from the same tree as the supervisor,
+        # whether it is installed or run from a source checkout.
+        import repro
+
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH", "")
+        if src_root not in existing.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src_root + (os.pathsep + existing if existing else "")
+            )
+        if self.admin_token is not None:
+            env["REPRO_ADMIN_TOKEN"] = self.admin_token
+        return env
+
+    async def _spawn(self, index: int) -> Worker:
+        """Start one worker and wait until it is serving (ready-file)."""
+        assert self.export_dir is not None
+        ready_path = self.workdir / f"worker-{index}-{next(self._spawn_serial)}.ready.json"
+        command = [
+            sys.executable, "-m", "repro.server.cli",
+            "--export-dir", self.export_dir,
+            "--version", self.version,
+            "--control-port", "0",
+            "--worker-id", str(index),
+            "--ready-file", str(ready_path),
+            "--drain-timeout", str(self.drain_timeout),
+            "--log-level", self.log_level,
+        ]
+        if self.route is not None:
+            command += ["--route", self.route]
+        if self.mmap_bundles:
+            command += ["--mmap-bundles"]
+        if self.cache_size is not None:
+            command += ["--cache-size", str(self.cache_size)]
+        if self.max_batch_size is not None:
+            command += ["--max-batch-size", str(self.max_batch_size)]
+        if self.service_time > 0:
+            command += ["--service-time", str(self.service_time)]
+        if self.max_inflight is not None:
+            command += ["--max-inflight", str(self.max_inflight)]
+        sock: socket.socket | None = None
+        pass_fds: tuple[int, ...] = ()
+        if self.mode == "reuseport":
+            sock = self._listen_socket()
+            command += ["--socket-fd", str(sock.fileno())]
+            pass_fds = (sock.fileno(),)
+        else:
+            command += ["--host", self.host, "--port", "0"]
+        process = subprocess.Popen(command, pass_fds=pass_fds, env=self._worker_env())
+        if sock is not None:
+            # The worker holds its own copy now; keeping ours open would
+            # leave a dead listener accepting (and stranding) connections
+            # after the worker exits.
+            sock.close()
+        info = await self._await_ready(process, ready_path)
+        worker = Worker(
+            index=index,
+            process=process,
+            port=int(info["port"]),
+            control_port=int(info["control_port"]),
+            started_at=time.monotonic(),
+        )
+        worker.backend_name = f"{index}@{worker.port}"
+        logger.info(
+            "repro.cluster: worker %d up (pid %d, port %d, control %d)",
+            index, process.pid, worker.port, worker.control_port,
+        )
+        return worker
+
+    async def _await_ready(self, process: subprocess.Popen, ready_path: Path) -> dict:
+        deadline = time.monotonic() + self.spawn_timeout
+        while True:
+            if ready_path.exists():
+                try:
+                    return json.loads(ready_path.read_text(encoding="utf-8"))
+                except (json.JSONDecodeError, OSError):
+                    pass  # mid-write; retry next tick
+            if process.poll() is not None:
+                raise RuntimeError(
+                    f"worker exited with status {process.returncode} before ready"
+                )
+            if time.monotonic() > deadline:
+                process.kill()
+                raise TimeoutError(f"worker not ready within {self.spawn_timeout}s")
+            await asyncio.sleep(0.05)
+
+    def _adopt(self, worker: Worker) -> None:
+        self._workers[worker.index] = worker
+        if self._balancer is not None:
+            self._balancer.add_backend(worker.backend_name, self.host, worker.port)
+
+    async def _terminate(self, worker: Worker) -> None:
+        """SIGTERM one worker and wait out its graceful drain."""
+        worker.stopping = True
+        if self._balancer is not None:
+            self._balancer.remove_backend(worker.backend_name)
+        try:
+            worker.process.send_signal(signal.SIGTERM)
+        except ProcessLookupError:
+            return
+        try:
+            await asyncio.to_thread(worker.process.wait, self.drain_timeout + 15)
+        except subprocess.TimeoutExpired:
+            logger.warning(
+                "repro.cluster: worker %d did not drain; killing", worker.index
+            )
+            worker.process.kill()
+            await asyncio.to_thread(worker.process.wait, 10)
+
+    async def _monitor(self) -> None:
+        """Respawn crashed workers with exponential backoff."""
+        assert self._fleet_lock is not None
+        while True:
+            await asyncio.sleep(0.2)
+            async with self._fleet_lock:
+                for index, worker in list(self._workers.items()):
+                    if worker.alive or worker.stopping:
+                        continue
+                    if time.monotonic() - worker.started_at > _STABLE_SECONDS:
+                        self._crashes[index] = 0
+                    crashes = self._crashes.get(index, 0)
+                    delay = min(_BACKOFF_BASE * (2 ** crashes), _BACKOFF_CAP)
+                    self._crashes[index] = crashes + 1
+                    logger.warning(
+                        "repro.cluster: worker %d died (status %s); respawning in %.1fs",
+                        index, worker.process.returncode, delay,
+                    )
+                    if self._balancer is not None:
+                        self._balancer.remove_backend(worker.backend_name)
+                    await asyncio.sleep(delay)
+                    try:
+                        replacement = await self._spawn(index)
+                    except (RuntimeError, TimeoutError) as exc:
+                        logger.error(
+                            "repro.cluster: respawn of worker %d failed: %s", index, exc
+                        )
+                        continue
+                    replacement.restarts = worker.restarts + 1
+                    self._respawns += 1
+                    self._adopt(replacement)
+
+    # ------------------------------------------------------------------
+    # fleet operations
+    # ------------------------------------------------------------------
+    async def rolling_restart(self) -> list[int]:
+        """Replace every worker one at a time, spawn-before-drain.
+
+        The replacement worker is accepting on the shared port (reuseport)
+        or in the ring (balancer) *before* the old worker is told to drain,
+        so the fleet never has fewer than ``workers`` serving processes.
+        """
+        assert self._fleet_lock is not None
+        restarted: list[int] = []
+        async with self._fleet_lock:
+            for index in sorted(self._workers):
+                old = self._workers[index]
+                replacement = await self._spawn(index)
+                replacement.restarts = old.restarts + 1
+                self._adopt(replacement)  # replaces the dict slot; old drains below
+                await self._terminate(old)
+                restarted.append(index)
+                logger.info("repro.cluster: rolled worker %d", index)
+        return restarted
+
+    async def resize(self, target: int) -> int:
+        """Grow or shrink the fleet to *target* workers (graceful drain)."""
+        if target < 1:
+            raise ValueError(f"workers must be >= 1, got {target}")
+        assert self._fleet_lock is not None
+        async with self._fleet_lock:
+            for index in sorted(self._workers, reverse=True):
+                if len(self._workers) <= target:
+                    break
+                worker = self._workers.pop(index)
+                self._crashes.pop(index, None)
+                await self._terminate(worker)
+            index = 0
+            while len(self._workers) < target:
+                if index not in self._workers:
+                    self._adopt(await self._spawn(index))
+                index += 1
+            self.workers = target
+        return target
+
+    # ------------------------------------------------------------------
+    # fleet observability
+    # ------------------------------------------------------------------
+    async def _worker_health(self, worker: Worker) -> dict | None:
+        connection = ClientConnection(self.host, worker.control_port)
+        try:
+            response = await asyncio.wait_for(
+                connection.request("GET", "/healthz"), timeout=10.0
+            )
+            return response.json() if response.status == 200 else None
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+            return None
+        finally:
+            connection.close()
+
+    async def fleet_health(self) -> dict:
+        """Merged fleet ``/healthz`` plus a ``cluster`` membership block."""
+        workers = sorted(self._workers.values(), key=lambda worker: worker.index)
+        snapshots = await asyncio.gather(
+            *(self._worker_health(worker) for worker in workers)
+        )
+        merged = merge_health_snapshots([s for s in snapshots if s is not None])
+        members = []
+        for worker, snapshot in zip(workers, snapshots):
+            info = worker.info()
+            info["reachable"] = snapshot is not None
+            members.append(info)
+        merged.setdefault("status", "empty")
+        if any(not member["reachable"] for member in members):
+            merged["status"] = "degraded"
+        merged["cluster"] = {
+            "mode": self.mode,
+            "port": self.port,
+            "workers": sum(1 for worker in workers if worker.alive),
+            "target_workers": self.workers,
+            "respawns": self._respawns,
+            "members": members,
+        }
+        return merged
+
+    async def fleet_metrics_payload(self) -> dict:
+        merged = await self.fleet_health()
+        cluster = {
+            key: value
+            for key, value in merged.get("cluster", {}).items()
+            if key != "members"
+        }
+        cluster["unreachable"] = sum(
+            1 for member in merged.get("cluster", {}).get("members", ())
+            if not member["reachable"]
+        )
+        return {
+            "healthy": merged.get("status") == "ok",
+            "routes": merged.get("routes", {}),
+            "service": merged.get("service", {}),
+            "server": merged.get("server", {}),
+            "cluster": cluster,
+        }
+
+    # ------------------------------------------------------------------
+    # control plane HTTP
+    # ------------------------------------------------------------------
+    def _require_admin(self, request: HTTPRequest) -> None:
+        if self.admin_token is None:
+            raise HTTPError(
+                403, "admin_disabled",
+                "cluster verbs are disabled (supervisor started without an admin token)",
+            )
+        presented = request.headers.get("x-admin-token") or ""
+        if not hmac.compare_digest(
+            presented.encode("utf-8"), self.admin_token.encode("utf-8")
+        ):
+            raise HTTPError(401, "unauthorized", "missing or invalid x-admin-token header")
+
+    async def _fan_out_admin(self, request: HTTPRequest):
+        """Replay one ``/admin`` request on every worker's control port."""
+        payload = json.loads(request.body) if request.body else None
+        headers = {"x-admin-token": request.headers.get("x-admin-token", "")}
+        workers = sorted(self._workers.values(), key=lambda worker: worker.index)
+
+        async def one(worker: Worker) -> dict:
+            connection = ClientConnection(self.host, worker.control_port)
+            try:
+                response = await asyncio.wait_for(
+                    connection.request(request.method, request.path, payload, headers),
+                    timeout=60.0,
+                )
+                body = response.json() if response.body else None
+                return {"worker": worker.index, "status": response.status, "body": body}
+            except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError) as exc:
+                return {
+                    "worker": worker.index, "status": 502,
+                    "error": type(exc).__name__,
+                }
+            finally:
+                connection.close()
+
+        results = await asyncio.gather(*(one(worker) for worker in workers))
+        status = 200 if results and all(r["status"] == 200 for r in results) else 502
+        return status, {"results": list(results)}
+
+    async def _dispatch_control(self, request: HTTPRequest):
+        segments = request.segments
+        if segments == ("healthz",):
+            return 200, await self.fleet_health()
+        if segments == ("metrics",):
+            return 200, render_metrics_text(await self.fleet_metrics_payload())
+        if segments == ("workers",):
+            workers = sorted(self._workers.values(), key=lambda worker: worker.index)
+            return 200, {"workers": [worker.info() for worker in workers]}
+        if len(segments) == 4 and segments[:2] == ("admin", "routes"):
+            return await self._fan_out_admin(request)
+        if segments == ("cluster", "restart"):
+            self._require_admin(request)
+            restarted = await self.rolling_restart()
+            return 200, {"restarted": restarted, "workers": len(self._workers)}
+        if segments == ("cluster", "resize"):
+            self._require_admin(request)
+            body = request.json()
+            if not isinstance(body, Mapping) or not isinstance(body.get("workers"), int):
+                raise HTTPError(
+                    400, "bad_field", "'workers' must be an integer", field="workers"
+                )
+            try:
+                target = await self.resize(body["workers"])
+            except ValueError as exc:
+                raise HTTPError(400, "bad_field", str(exc), field="workers") from None
+            return 200, {"workers": target}
+        raise HTTPError(404, "not_found", f"no cluster endpoint at {request.path!r}")
+
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HTTPError as exc:
+                    writer.write(json_response(exc.status, exc.payload(), keep_alive=False))
+                    await writer.drain()
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    break
+                if request is None:
+                    break
+                try:
+                    status, payload = await self._dispatch_control(request)
+                except HTTPError as exc:
+                    status, payload = exc.status, exc.payload()
+                except Exception as exc:
+                    logger.exception(
+                        "unhandled error on cluster control %s %s",
+                        request.method, request.path,
+                    )
+                    status = 500
+                    payload = {
+                        "error": {
+                            "code": "internal_error",
+                            "message": f"{type(exc).__name__} while serving the request",
+                        }
+                    }
+                if isinstance(payload, str):  # pre-rendered text (``/metrics``)
+                    response = render_response(
+                        status,
+                        payload.encode("utf-8"),
+                        content_type="text/plain; charset=utf-8",
+                        keep_alive=request.keep_alive,
+                    )
+                else:
+                    response = json_response(status, payload, keep_alive=request.keep_alive)
+                try:
+                    writer.write(response)
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if not request.keep_alive:
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass

@@ -66,8 +66,11 @@ class ModelGateway:
             even over an injected registry (e.g. a ``repro.server`` drain),
             or ``False`` to keep a privately-created service alive past the
             gateway.
-        **service_kwargs: Forwarded to the private registry's service when
-            *registry* is ``None``.
+        **service_kwargs: Forwarded to the private registry (and through it
+            to its service) when *registry* is ``None`` — including the
+            registry-level ``mmap_bundles=True`` flag that memory-maps
+            bundles deployed by path (one physical copy of the arrays shared
+            across every process serving the bundle).
     """
 
     def __init__(

@@ -123,12 +123,24 @@ class DeploymentRegistry:
         service: The prediction service deployments are registered in; a
             private one is created by default (extra keyword arguments are
             forwarded to its constructor).
+        mmap_bundles: Load bundles deployed by path memory-mapped (read-only
+            arrays page-shared across processes serving the same bundle)
+            instead of as private in-memory copies.  The cluster tier turns
+            this on so N workers hold one physical copy of each bundle's
+            arrays; predictions are bitwise-identical either way.
     """
 
-    def __init__(self, service: PredictionService | None = None, **service_kwargs) -> None:
+    def __init__(
+        self,
+        service: PredictionService | None = None,
+        *,
+        mmap_bundles: bool = False,
+        **service_kwargs,
+    ) -> None:
         if service is not None and service_kwargs:
             raise ValueError("pass either a service or service kwargs, not both")
         self.service = service if service is not None else PredictionService(**service_kwargs)
+        self.mmap_bundles = mmap_bundles
         self._lock = threading.RLock()
         self._routes: dict[str, _Route] = {}
 
@@ -169,7 +181,7 @@ class DeploymentRegistry:
         """
         self._validate_names(route, version)
         if isinstance(model, (str, Path)):
-            model = ModelBundle.load(model)
+            model = ModelBundle.load(model, mmap=self.mmap_bundles)
         source = None
         if isinstance(model, ModelBundle):
             source = model.path
@@ -229,7 +241,12 @@ class DeploymentRegistry:
                 )
             available = {name: available[name] for name in routes}
         return {
-            name: self.deploy(name, version, ModelBundle.load(path), activate=activate)
+            name: self.deploy(
+                name,
+                version,
+                ModelBundle.load(path, mmap=self.mmap_bundles),
+                activate=activate,
+            )
             for name, path in sorted(available.items())
         }
 

@@ -21,6 +21,7 @@ from repro.loadgen.harness import (
     GatewayTarget,
     HTTPTarget,
     LoadReport,
+    MultiHTTPTarget,
     latency_summary,
     run_closed_loop,
     run_open_loop,
@@ -38,6 +39,7 @@ __all__ = [
     "HTTPTarget",
     "KEY_DISTRIBUTIONS",
     "LoadReport",
+    "MultiHTTPTarget",
     "Workload",
     "WorkloadRequest",
     "build_workload",

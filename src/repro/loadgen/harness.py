@@ -23,6 +23,7 @@ error and shed counts — whose ``save()`` emits the JSON artifact the
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
 import time
 from dataclasses import dataclass
@@ -60,13 +61,27 @@ class GatewayTarget:
 
 
 class HTTPTarget:
-    """Drive a live ``repro.server`` over keep-alive HTTP connections."""
+    """Drive a live ``repro.server`` over keep-alive HTTP connections.
+
+    Connection-level failures are retried **once** on a fresh socket before
+    counting as an error.  The pool already re-sends transparently when an
+    *idle pooled* socket turns out to have been closed by the server; the
+    extra retry here also covers a reset on a fresh connection — the
+    accept-queue race against a worker draining out of a shared
+    ``SO_REUSEPORT`` port during a rolling restart.  Predictions are
+    idempotent and read-only, so one re-send is always safe.
+    """
+
+    #: Transport-level failures eligible for the single re-send.
+    _RETRYABLE = (ConnectionError, asyncio.IncompleteReadError, OSError)
 
     def __init__(self, host: str, port: int, route: str) -> None:
         self.host = host
         self.port = port
         self.route = route
         self._pool: ConnectionPool | None = None
+        #: Connection-level failures transparently retried (observability).
+        self.retries = 0
 
     @property
     def path(self) -> str:
@@ -75,10 +90,15 @@ class HTTPTarget:
     async def predict(self, sequence: tuple[str, ...], key: str) -> str:
         if self._pool is None:
             self._pool = ConnectionPool(self.host, self.port)
+        payload = {"sequence": list(sequence), "key": key}
         try:
-            response = await self._pool.request(
-                "POST", self.path, {"sequence": list(sequence), "key": key}
-            )
+            response = await self._pool.request("POST", self.path, payload)
+        except self._RETRYABLE:
+            self.retries += 1
+            try:
+                response = await self._pool.request("POST", self.path, payload)
+            except Exception:
+                return ERROR
         except Exception:
             return ERROR
         if response.status == 200:
@@ -91,6 +111,37 @@ class HTTPTarget:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+
+
+class MultiHTTPTarget:
+    """Drive several servers as one fleet, striping requests by routing key.
+
+    For benchmarking worker fleets without a front balancer: each request's
+    key picks a member (stable BLAKE2b hash), so per-key affinity matches
+    what a consistent-hash tier would do and every member sees a fair,
+    deterministic share of the key space.
+    """
+
+    def __init__(self, addresses: Iterable[tuple[str, int]], route: str) -> None:
+        self._targets = [HTTPTarget(host, port, route) for host, port in addresses]
+        if not self._targets:
+            raise ValueError("MultiHTTPTarget needs at least one address")
+        self.route = route
+
+    @property
+    def retries(self) -> int:
+        return sum(target.retries for target in self._targets)
+
+    def _member(self, key: str) -> HTTPTarget:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return self._targets[int.from_bytes(digest, "big") % len(self._targets)]
+
+    async def predict(self, sequence: tuple[str, ...], key: str) -> str:
+        return await self._member(key).predict(sequence, key)
+
+    async def aclose(self) -> None:
+        for target in self._targets:
+            await target.aclose()
 
 
 @dataclass(frozen=True)

@@ -24,11 +24,12 @@ the only functions that touch the layout; models interact through
 
 from __future__ import annotations
 
+import fnmatch
 import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -38,6 +39,11 @@ from repro.pipeline.store import atomic_replace
 BUNDLE_FORMAT_VERSION = 1
 
 MANIFEST_NAME = "manifest.json"
+
+#: Name of the per-array index written into an extracted-archive directory;
+#: it is written last (atomically), so its presence marks a complete
+#: extraction.
+_EXTRACT_INDEX = "index.json"
 
 _ARRAY_REF = "__array__"
 
@@ -264,11 +270,92 @@ def write_bundle(
     return path
 
 
-def read_bundle(path: str | Path) -> tuple[dict, dict]:
+def extract_archive(path: str | Path, archive_name: str) -> Path:
+    """Extract a bundle's ``arrays-<digest>.npz`` into mappable ``.npy`` files.
+
+    The compressed npz archive cannot be memory-mapped (its members are
+    deflated inside the zip), so the mmap loading path materialises a sibling
+    directory ``arrays-<digest>.extracted/`` holding one plain ``.npy`` file
+    per array plus an ``index.json`` mapping array keys to file names.  The
+    archive is content-addressed and immutable, so the extraction is too:
+
+    * every ``.npy`` is written through :func:`atomic_replace`, and the index
+      is written last — a directory with an index is always complete;
+    * concurrent extractors (N cluster workers cold-starting on one bundle)
+      may duplicate work but land byte-identical files, never torn ones;
+    * a finished extraction is reused for free by every later mmap load, and
+      its pages are shared by every process that maps them.
+
+    Returns the extraction directory.
+    """
+    path = Path(path)
+    extract_dir = path / f"{Path(archive_name).stem}.extracted"
+    index_path = extract_dir / _EXTRACT_INDEX
+    if index_path.is_file():
+        return extract_dir
+    extract_dir.mkdir(parents=True, exist_ok=True)
+    index: dict[str, str] = {}
+    with np.load(path / archive_name) as archive:
+        # Keys are state paths ("state/coef"); file names are positional so
+        # no sanitisation can collide.
+        for position, key in enumerate(sorted(archive.files)):
+            file_name = f"a{position:05d}.npy"
+            array = archive[key]
+
+            def write(tmp: Path, array: np.ndarray = array) -> None:
+                with open(tmp, "wb") as stream:
+                    np.save(stream, array)
+
+            atomic_replace(extract_dir / file_name, write)
+            index[key] = file_name
+    atomic_replace(
+        index_path,
+        lambda tmp: tmp.write_text(json.dumps(index, sort_keys=True), encoding="utf-8"),
+    )
+    return extract_dir
+
+
+def _load_arrays_mmap(
+    path: Path, archive_name: str, materialize: Sequence[str]
+) -> dict[str, np.ndarray]:
+    """Memory-mapped view of a bundle's arrays (see :func:`extract_archive`).
+
+    Arrays whose key matches an fnmatch pattern of *materialize* are loaded
+    as ordinary in-memory copies — the opt-out for arrays a model mutates in
+    place (a mapped array is read-only; writing to it raises).
+    """
+    extract_dir = extract_archive(path, archive_name)
+    index = json.loads((extract_dir / _EXTRACT_INDEX).read_text(encoding="utf-8"))
+    arrays: dict[str, np.ndarray] = {}
+    for key, file_name in index.items():
+        if any(fnmatch.fnmatchcase(key, pattern) for pattern in materialize):
+            arrays[key] = np.load(extract_dir / file_name)
+        else:
+            arrays[key] = np.load(extract_dir / file_name, mmap_mode="r")
+    return arrays
+
+
+def read_bundle(
+    path: str | Path,
+    *,
+    mmap: bool = False,
+    materialize: Sequence[str] = (),
+) -> tuple[dict, dict]:
     """Read a bundle directory back into ``(manifest, state)``.
 
     The returned manifest no longer contains the ``state``/``arrays`` keys;
     the state tree has every array reference resolved.
+
+    Args:
+        mmap: Load state arrays as read-only memory maps over an extracted
+            ``.npy`` sidecar of the content-addressed archive (see
+            :func:`extract_archive`) instead of in-memory copies.  Mapped
+            pages are shared between every process serving the same bundle,
+            so N workers hold one physical copy; array *values* are
+            bit-for-bit identical to a normal load.
+        materialize: fnmatch patterns (against state-array keys such as
+            ``state/coef``) that are loaded as plain in-memory arrays even
+            under ``mmap=True`` — the opt-out for arrays a model mutates.
 
     Raises:
         FileNotFoundError: When *path* is not a bundle directory.
@@ -288,8 +375,11 @@ def read_bundle(path: str | Path) -> tuple[dict, dict]:
     arrays: dict[str, np.ndarray] = {}
     archive_name = manifest.pop("arrays", None)
     if archive_name:
-        with np.load(path / archive_name) as archive:
-            arrays = {name: archive[name] for name in archive.files}
+        if mmap:
+            arrays = _load_arrays_mmap(path, archive_name, materialize)
+        else:
+            with np.load(path / archive_name) as archive:
+                arrays = {name: archive[name] for name in archive.files}
     state = _unflatten(manifest.pop("state"), arrays)
     return manifest, state
 

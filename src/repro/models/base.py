@@ -15,6 +15,7 @@ models; a private store is created transparently for standalone use.
 from __future__ import annotations
 
 import abc
+import json
 from pathlib import Path
 from typing import Iterable, Sequence
 
@@ -243,8 +244,15 @@ class CuisineModel(abc.ABC):
         }
         return write_bundle(path, manifest, self.get_state(), dtype_policy=dtype_policy)
 
+    #: fnmatch patterns (against bundle state-array keys, e.g.
+    #: ``state/embeddings``) of arrays this model mutates in place after
+    #: :meth:`set_state`.  Under ``load_bundle(mmap=True)`` matching arrays
+    #: are materialised as writable in-memory copies instead of read-only
+    #: maps; everything else stays mapped and page-shared across processes.
+    MMAP_MATERIALIZE: tuple[str, ...] = ()
+
     @classmethod
-    def load_bundle(cls, path: str | Path) -> "CuisineModel":
+    def load_bundle(cls, path: str | Path, *, mmap: bool = False) -> "CuisineModel":
         """Load a bundle saved by :meth:`save_bundle` into a fresh model.
 
         The model class is resolved through the registry by the bundled
@@ -252,11 +260,27 @@ class CuisineModel(abc.ABC):
         model.  The returned model predicts without a feature store or
         training corpus (see :meth:`predict_proba_sequences`) and keeps the
         bundle's metadata in :attr:`bundle_manifest`.
+
+        Args:
+            mmap: Load state arrays as read-only memory maps over the
+                bundle's extracted archive (one physical copy shared by
+                every process serving the bundle) instead of private
+                in-memory copies.  ``predict_proba`` is bitwise-identical
+                either way; arrays named by the resolved model class's
+                :attr:`MMAP_MATERIALIZE` patterns are copied into memory.
         """
         from repro.models.artifacts import read_bundle
-        from repro.models.registry import create_model
+        from repro.models.registry import create_model, model_class
 
-        manifest, state = read_bundle(path)
+        materialize: tuple[str, ...] = ()
+        if mmap:
+            # Peek the manifest for the registry name so the resolved class
+            # can declare which arrays must stay writable copies.
+            peek = json.loads(
+                (Path(path) / "manifest.json").read_text(encoding="utf-8")
+            )
+            materialize = tuple(model_class(peek["model"]).MMAP_MATERIALIZE)
+        manifest, state = read_bundle(path, mmap=mmap, materialize=materialize)
         model = create_model(manifest["model"], label_space=manifest["label_space"])
         model.set_state(state)
         model._train_fingerprint = manifest.get("corpus_fingerprint")

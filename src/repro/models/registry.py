@@ -95,6 +95,21 @@ def create_model(
     return factory(label_space=label_space, **kwargs)
 
 
+def model_class(name: str) -> type[CuisineModel]:
+    """The model class registered under *name* (without instantiating it).
+
+    Bundle loading consults the class for load-time policy (e.g.
+    :attr:`~repro.models.base.CuisineModel.MMAP_MATERIALIZE`) before any
+    arrays are read.
+    """
+    if name not in _FACTORIES:
+        raise KeyError(f"unknown model {name!r}; known models: {sorted(_FACTORIES)}")
+    factory = _FACTORIES[name]
+    if isinstance(factory, type):
+        return factory
+    return CuisineModel  # non-class factories get the neutral default
+
+
 def display_name(name: str) -> str:
     """Table IV column header for a registry name."""
     return DISPLAY_NAMES.get(name, name)

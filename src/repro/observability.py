@@ -255,6 +255,64 @@ class RouteMetrics:
         }
 
 
+# ----------------------------------------------------------------------
+# fleet-wide merging
+# ----------------------------------------------------------------------
+#: Keys identifying a dict as a RollingLatency snapshot (see
+#: :meth:`RollingLatency.snapshot`); the cluster tier's recursive health
+#: merge uses this to route latency dicts to :func:`merge_latency_snapshots`.
+LATENCY_SNAPSHOT_KEYS: frozenset[str] = frozenset(
+    {"count", "total_seconds", "mean_ms", "max_ms", "window"}
+    | {f"p{int(q * 100)}_ms" for q in LATENCY_QUANTILES}
+)
+
+
+def merge_counter_dicts(dicts: "list[Mapping[str, int]] | tuple[Mapping[str, int], ...]") -> dict[str, int]:
+    """Sum per-worker :meth:`CounterSet.as_dict` snapshots into one.
+
+    Counters are monotonic, so the fleet-wide value of each name is exactly
+    the sum across workers; zero-valued names stay omitted and keys stay
+    sorted (the same invariants one worker's snapshot has).
+    """
+    merged: Counter = Counter()
+    for snapshot in dicts:
+        for name, count in snapshot.items():
+            merged[name] += int(count)
+    return {name: count for name, count in sorted(merged.items()) if count}
+
+
+def merge_latency_snapshots(snapshots: "list[Mapping] | tuple[Mapping, ...]") -> dict:
+    """Merge per-worker :meth:`RollingLatency.snapshot` payloads into one.
+
+    ``count`` and ``total_seconds`` sum exactly, ``max_ms`` is the fleet
+    maximum and ``mean_ms`` is recomputed from the exact totals.  The rolling
+    quantiles cannot be merged exactly from pre-aggregated summaries (the
+    underlying ring samples stay in each worker), so each ``pXX_ms`` is the
+    count-weighted average of the workers' quantiles — the standard
+    approximation for pre-aggregated percentiles.  It is exact when every
+    worker sees the same distribution (the kernel's ``SO_REUSEPORT`` hashing
+    approximates this) and always lies within the min/max of the member
+    quantiles.  Workers that recorded nothing contribute no weight.
+    """
+    counts = [int(s.get("count", 0)) for s in snapshots]
+    total_count = sum(counts)
+    total_seconds = float(sum(float(s.get("total_seconds", 0.0)) for s in snapshots))
+    merged = {
+        "count": total_count,
+        "total_seconds": total_seconds,
+        "mean_ms": (1000.0 * total_seconds / total_count) if total_count else 0.0,
+        "max_ms": max((float(s.get("max_ms", 0.0)) for s in snapshots), default=0.0),
+        "window": max((int(s.get("window", 0)) for s in snapshots), default=0),
+    }
+    for q in LATENCY_QUANTILES:
+        key = f"p{int(q * 100)}_ms"
+        weighted = sum(
+            count * float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
+        )
+        merged[key] = (weighted / total_count) if total_count else 0.0
+    return merged
+
+
 _METRIC_NAME_SANITIZER = re.compile(r"[^0-9A-Za-z_]")
 
 

@@ -34,6 +34,7 @@ import asyncio
 import functools
 import hmac
 import logging
+import socket
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -147,6 +148,17 @@ class ModelServer:
         gateway: The gateway fronted by this server.
         host / port: Bind address; ``port=0`` binds an ephemeral port (the
             bound port is published on :attr:`port` once serving).
+        sock: Pre-bound listening socket to serve on instead of binding
+            ``host:port`` — how a :mod:`repro.cluster` supervisor hands a
+            worker its share of a ``SO_REUSEPORT`` port.  The server takes
+            ownership; :attr:`host`/:attr:`port` are read back from it.
+        control_port: When not ``None``, additionally serve the same
+            endpoints on a private ``host:control_port`` listener (``0``
+            binds an ephemeral port, published on :attr:`control_port`).
+            Workers behind a shared port stay individually addressable
+            through it for health checks and admin fan-out.
+        worker_id: Fleet index reported in the ``server`` stats block of
+            ``/healthz`` and ``/metrics`` (``None`` outside a fleet).
         admin_token: Shared secret for the ``/admin`` control plane; ``None``
             disables admin endpoints entirely (403).
         max_inflight: Admission window — prediction requests beyond this
@@ -165,6 +177,9 @@ class ModelServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        sock: socket.socket | None = None,
+        control_port: int | None = None,
+        worker_id: int | None = None,
         admin_token: str | None = None,
         max_inflight: int = 64,
         max_batch_items: int = 256,
@@ -180,6 +195,8 @@ class ModelServer:
         self.gateway = gateway
         self.host = host
         self.port = port
+        self.control_port = control_port
+        self.worker_id = worker_id
         self.admin_token = admin_token
         self.max_inflight = max_inflight
         self.max_batch_items = max_batch_items
@@ -198,7 +215,9 @@ class ModelServer:
         self._inflight = 0
         self._draining = False
         self._connections: set[_Connection] = set()
+        self._sock = sock
         self._server: asyncio.base_events.Server | None = None
+        self._control_server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
         # Pool width == admission window: every admitted request gets a
@@ -214,13 +233,28 @@ class ModelServer:
         """Bind, serve until :meth:`request_stop`, then drain gracefully."""
         self._loop = asyncio.get_running_loop()
         self._stop_event = asyncio.Event()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            host=self.host,
-            port=self.port,
-            limit=max(self.max_header_bytes, 65536),
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        limit = max(self.max_header_bytes, 65536)
+        if self._sock is not None:
+            self._server = await asyncio.start_server(
+                self._handle_connection, sock=self._sock, limit=limit
+            )
+            self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port, limit=limit
+            )
+            self.port = self._server.sockets[0].getsockname()[1]
+        if self.control_port is not None:
+            # A private per-process listener sharing the exact same handler:
+            # the data port may be one SO_REUSEPORT socket among many, but
+            # this address reaches *this* worker deterministically.
+            self._control_server = await asyncio.start_server(
+                self._handle_connection,
+                host=self.host,
+                port=self.control_port,
+                limit=limit,
+            )
+            self.control_port = self._control_server.sockets[0].getsockname()[1]
         logger.info("repro.server listening on %s:%d", self.host, self.port)
         if ready is not None:
             ready()
@@ -263,9 +297,10 @@ class ModelServer:
     async def _drain(self) -> None:
         """Stop accepting, finish in-flight requests, close the gateway."""
         self._draining = True
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
+        for server in (self._server, self._control_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
         # Idle keep-alive connections are parked in a read; closing the
         # transport wakes them into a clean EOF exit.  Busy connections
         # finish their current request (the handler loop then exits on the
@@ -396,7 +431,10 @@ class ModelServer:
     # ------------------------------------------------------------------
     def _server_stats(self) -> dict:
         counters = self.counters.as_dict()
-        return {
+        stats: dict = {}
+        if self.worker_id is not None:
+            stats["worker_id"] = self.worker_id
+        return stats | {
             "inflight": self._inflight,
             "max_inflight": self.max_inflight,
             "draining": self._draining,

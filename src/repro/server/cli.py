@@ -25,8 +25,10 @@ import json
 import logging
 import os
 import signal
+import socket
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 from repro.gateway.gateway import ModelGateway
@@ -51,8 +53,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="train a small demo model in-process and serve it as cuisine@v1",
     )
     parser.add_argument("--version", default="v1", help="version label for deployed bundles")
+    parser.add_argument(
+        "--route",
+        help="serve a single-bundle --export-dir under this route name "
+        "instead of the bundle's model name",
+    )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8000, help="0 binds an ephemeral port")
+    parser.add_argument(
+        "--socket-fd",
+        type=int,
+        help="serve on this inherited listening socket instead of binding "
+        "--host/--port (cluster worker mode; the fd must be a bound, "
+        "listening TCP socket)",
+    )
+    parser.add_argument(
+        "--control-port",
+        type=int,
+        help="also serve on a private host:control-port listener (0 binds an "
+        "ephemeral port) so this process stays individually addressable "
+        "behind a shared SO_REUSEPORT data port",
+    )
+    parser.add_argument(
+        "--worker-id",
+        type=int,
+        help="fleet index reported in /healthz and /metrics server stats",
+    )
+    parser.add_argument(
+        "--mmap-bundles",
+        action="store_true",
+        help="memory-map bundle arrays (read-only, page-shared across "
+        "worker processes) instead of copying them per process",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        help="prediction result-cache entries (0 disables the cache)",
+    )
+    parser.add_argument(
+        "--max-batch-size",
+        type=int,
+        help="micro-batch size of the prediction service worker",
+    )
+    parser.add_argument(
+        "--service-time",
+        type=float,
+        default=0.0,
+        help="benchmark hook: add this many seconds of synthetic work to "
+        "every model pass, pinning per-process capacity independent of "
+        "host CPU count",
+    )
     parser.add_argument(
         "--admin-token",
         default=os.environ.get("REPRO_ADMIN_TOKEN"),
@@ -73,8 +123,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _demo_gateway(scale: float, seed: int, workdir: str) -> ModelGateway:
-    """A gateway serving one quickly-trained logreg as ``cuisine@v1``."""
+def train_demo_export(scale: float, seed: int, workdir: str | Path) -> Path:
+    """Train the demo logreg into *workdir*; returns the bundle directory.
+
+    Shared by ``repro-serve --demo`` (one process, trains in-line) and
+    ``repro-cluster --demo`` (the supervisor trains **once**, then every
+    worker loads the same immutable bundle).
+    """
     from repro.core.experiment import ExperimentConfig, ExperimentRunner
     from repro.data import generate_recipedb
 
@@ -84,23 +139,69 @@ def _demo_gateway(scale: float, seed: int, workdir: str) -> ModelGateway:
         models=("logreg",),
         seed=seed,
         statistical_kwargs={"logreg": {"max_iter": 40}},
-        export_dir=workdir,
+        export_dir=str(workdir),
     )
     ExperimentRunner(config, corpus=corpus).run()
-    gateway = ModelGateway()
-    gateway.deploy("cuisine", "v1", Path(workdir) / "logreg")
+    return Path(workdir) / "logreg"
+
+
+def _demo_gateway(scale: float, seed: int, workdir: str, **gateway_kwargs) -> ModelGateway:
+    """A gateway serving one quickly-trained logreg as ``cuisine@v1``."""
+    bundle = train_demo_export(scale, seed, workdir)
+    gateway = ModelGateway(**gateway_kwargs)
+    gateway.deploy("cuisine", "v1", bundle)
     return gateway
 
 
-def _export_gateway(export_dir: str, version: str) -> ModelGateway:
-    gateway = ModelGateway()
+def _export_gateway(
+    export_dir: str, version: str, route: str | None = None, **gateway_kwargs
+) -> ModelGateway:
+    gateway = ModelGateway(**gateway_kwargs)
+    if route is not None:
+        from repro.serving.bundle import discover_bundles
+
+        bundles = discover_bundles(export_dir)
+        if len(bundles) != 1:
+            gateway.close()
+            raise SystemExit(
+                f"--route needs exactly one bundle under {export_dir!r}, "
+                f"found {sorted(bundles)}"
+            )
+        ((name, path),) = bundles.items()
+        deployment = gateway.deploy(route, version, path)
+        logger.info("deployed %s@%s from %s", route, deployment.version, path)
+        return gateway
     deployed = gateway.deploy_export_dir(export_dir, version)
     if not deployed:
         gateway.close()
         raise SystemExit(f"no bundles found under {export_dir!r}")
-    for route, deployment in sorted(deployed.items()):
-        logger.info("deployed %s@%s from %s", route, deployment.version, deployment.source)
+    for route_name, deployment in sorted(deployed.items()):
+        logger.info(
+            "deployed %s@%s from %s", route_name, deployment.version, deployment.source
+        )
     return gateway
+
+
+def _inject_service_time(gateway: ModelGateway, seconds: float) -> None:
+    """Pin every deployed model's pass time to at least *seconds*.
+
+    A benchmark hook (``--service-time``): scale-out benchmarks need worker
+    capacity bounded by a known per-request service time, not by how many
+    host cores the CI machine happens to have.  Both serving paths (fused
+    encoder and generic) funnel through ``predict_proba_features``, so the
+    sleep applies exactly once per model pass.
+    """
+    registry = gateway.registry
+    for route in registry.routes():
+        for version in registry.versions(route):
+            model = registry.resolve(route, version).model
+            original = model.predict_proba_features
+
+            def slowed(features, *, _original=original):
+                time.sleep(seconds)
+                return _original(features)
+
+            model.predict_proba_features = slowed
 
 
 async def _serve(server: ModelServer, ready_file: str | None) -> None:
@@ -114,9 +215,12 @@ async def _serve(server: ModelServer, ready_file: str | None) -> None:
     def announce() -> None:
         print(f"repro-serve listening on http://{server.host}:{server.port}", flush=True)
         if ready_file:
-            Path(ready_file).write_text(
-                json.dumps({"host": server.host, "port": server.port, "pid": os.getpid()})
-            )
+            payload = {"host": server.host, "port": server.port, "pid": os.getpid()}
+            if server.control_port is not None:
+                payload["control_port"] = server.control_port
+            if server.worker_id is not None:
+                payload["worker_id"] = server.worker_id
+            Path(ready_file).write_text(json.dumps(payload))
 
     await server.serve(ready=announce)
 
@@ -127,15 +231,34 @@ def main(argv: list[str] | None = None) -> int:
         level=getattr(logging, args.log_level.upper(), logging.INFO),
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
+    gateway_kwargs: dict = {}
+    if args.mmap_bundles:
+        gateway_kwargs["mmap_bundles"] = True
+    if args.cache_size is not None:
+        gateway_kwargs["cache_size"] = args.cache_size
+    if args.max_batch_size is not None:
+        gateway_kwargs["max_batch_size"] = args.max_batch_size
+    sock = None
+    if args.socket_fd is not None:
+        sock = socket.socket(fileno=args.socket_fd)
     with tempfile.TemporaryDirectory(prefix="repro-serve-demo-") as workdir:
         if args.demo:
-            gateway = _demo_gateway(args.demo_scale, args.demo_seed, workdir)
+            gateway = _demo_gateway(
+                args.demo_scale, args.demo_seed, workdir, **gateway_kwargs
+            )
         else:
-            gateway = _export_gateway(args.export_dir, args.version)
+            gateway = _export_gateway(
+                args.export_dir, args.version, args.route, **gateway_kwargs
+            )
+        if args.service_time > 0:
+            _inject_service_time(gateway, args.service_time)
         server = ModelServer(
             gateway,
             host=args.host,
             port=args.port,
+            sock=sock,
+            control_port=args.control_port,
+            worker_id=args.worker_id,
             admin_token=args.admin_token,
             max_inflight=args.max_inflight,
             max_batch_items=args.max_batch_items,

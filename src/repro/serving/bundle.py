@@ -130,16 +130,21 @@ class ModelBundle:
         return self.manifest.get("corpus_fingerprint")
 
     @classmethod
-    def load(cls, path: str | Path) -> "ModelBundle":
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "ModelBundle":
         """Load the bundle at *path*.
 
         The manifest schema is validated **up front** (see
         :func:`validate_manifest`) so malformed bundles fail with a clear
         message before ``arrays.npz`` is opened; loading then delegates to
         the registry-aware :meth:`~repro.models.base.CuisineModel.load_bundle`.
+
+        Args:
+            mmap: Memory-map the bundle's state arrays (read-only, page-
+                shared across processes) instead of copying them into memory;
+                ``predict_proba`` is bitwise-identical either way.
         """
         validate_manifest(path)
-        return cls(path=Path(path), model=CuisineModel.load_bundle(path))
+        return cls(path=Path(path), model=CuisineModel.load_bundle(path, mmap=mmap))
 
 
 def bundle_name(path: str | Path) -> str:
@@ -188,13 +193,17 @@ def discover_bundles(export_dir: str | Path) -> dict[str, Path]:
 
 
 def load_bundles(
-    export_dir: str | Path, names: Sequence[str] | None = None
+    export_dir: str | Path,
+    names: Sequence[str] | None = None,
+    *,
+    mmap: bool = False,
 ) -> dict[str, ModelBundle]:
     """Load (a subset of) the bundles under *export_dir*, keyed by model name.
 
     Args:
         export_dir: Directory of bundle sub-directories.
         names: Restrict loading to these model names (all when ``None``).
+        mmap: Memory-map bundle arrays (see :meth:`ModelBundle.load`).
 
     Raises:
         KeyError: When a requested name has no bundle.
@@ -210,4 +219,4 @@ def load_bundles(
                 f"available: {sorted(available)}"
             )
         selected = {name: available[name] for name in names}
-    return {name: ModelBundle.load(path) for name, path in selected.items()}
+    return {name: ModelBundle.load(path, mmap=mmap) for name, path in selected.items()}

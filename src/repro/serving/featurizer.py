@@ -24,9 +24,12 @@ staying **bitwise-identical** to the sequential path:
   token, not once per occurrence) and the CSR is assembled vectorised,
   bitwise-identical to ``HashingVectorizer.transform``.
 
-:meth:`BatchFeaturizer.encoder_for` gates the precomputed encoders on the
-model's spec: only unigram specs qualify (n-gram analyzers need the generic
-path), and a model that overrides ``encode_tokens`` keeps its own encoding.
+Both encoders run the shared :func:`~repro.features.counts.ngram_features`
+analyzer first, so n-gram specs (``ngram_range > (1, 1)``) take the fused
+path too — the expansion produces exactly the feature strings the reference
+vectorizers analyze, and everything downstream is the same merged CSR
+assembly.  :meth:`BatchFeaturizer.encoder_for` gates only on the model: one
+that overrides ``encode_tokens`` keeps its own encoding.
 """
 
 from __future__ import annotations
@@ -38,6 +41,7 @@ from typing import Sequence
 import numpy as np
 from scipy import sparse
 
+from repro.features.counts import ngram_features
 from repro.features.hashing import HashingVectorizer, _stable_hash
 from repro.features.tfidf import TfidfVectorizer
 from repro.pipeline.fingerprint import sequence_key, stable_hash
@@ -93,16 +97,15 @@ def _assemble_csr(
 class PrecomputedTfidfEncoder:
     """Fused tokens → TF-IDF CSR encoding over a fitted vectorizer.
 
-    Bitwise-identical to ``vectorizer.transform(token_lists)`` for unigram
-    vectorizers: same counts, same sublinear/idf weighting (one multiply per
-    stored element), same normalisation order of operations.
+    Bitwise-identical to ``vectorizer.transform(token_lists)`` for any
+    ``ngram_range``: the shared analyzer expands the same n-gram strings,
+    then same counts, same sublinear/idf weighting (one multiply per stored
+    element), same normalisation order of operations.
     """
 
     def __init__(self, vectorizer: TfidfVectorizer) -> None:
         if vectorizer.idf_ is None:
             raise RuntimeError("vectorizer is not fitted; call fit() first")
-        if vectorizer._counter.ngram_range != (1, 1):
-            raise ValueError("precomputed TF-IDF encoding requires a unigram spec")
         self.vectorizer = vectorizer
         # Precomputed once per fitted model: the term -> column table and the
         # idf weights, referenced (not copied) from the fitted artifacts.
@@ -110,12 +113,18 @@ class PrecomputedTfidfEncoder:
         self._idf = sparse.csr_matrix(vectorizer.idf_)
         self._n_features = vectorizer.n_features
         self._sublinear = vectorizer.sublinear_tf
+        self._ngram_range = vectorizer._counter.ngram_range
 
     def encode(self, token_lists: Sequence[Sequence[str]]) -> sparse.csr_matrix:
         """TF-IDF CSR matrix of *token_lists* (one fused NumPy pass)."""
         get = self._vocabulary_get
+        ngram_range = self._ngram_range
         column_chunks = [
-            [idx for idx in map(get, tokens) if idx is not None]
+            [
+                idx
+                for idx in map(get, ngram_features(tokens, ngram_range))
+                if idx is not None
+            ]
             for tokens in token_lists
         ]
         n_docs = len(column_chunks)
@@ -146,16 +155,16 @@ class PrecomputedTfidfEncoder:
 class PrecomputedHashingEncoder:
     """Memoised hashing-trick encoding for stateless hashed features.
 
-    ``HashingVectorizer.transform`` digests every token *occurrence* with
-    BLAKE2b.  This encoder memoises token → (bucket, sign) in a bounded LRU
-    (hashing runs once per distinct token) and assembles the CSR with the
-    same vectorised merge as the TF-IDF path — bitwise-identical output.
+    ``HashingVectorizer.transform`` digests every feature *occurrence* with
+    BLAKE2b.  This encoder memoises feature → (bucket, sign) in a bounded
+    LRU (hashing runs once per distinct feature string — n-grams included)
+    and assembles the CSR with the same vectorised merge as the TF-IDF path
+    — bitwise-identical output for any ``ngram_range``.
     """
 
     def __init__(self, vectorizer: HashingVectorizer, memo_size: int = 65536) -> None:
-        if vectorizer.ngram_range != (1, 1):
-            raise ValueError("precomputed hashing encoding requires a unigram spec")
         self.vectorizer = vectorizer
+        self._ngram_range = vectorizer.ngram_range
         self._memo: OrderedDict[str, tuple[int, float]] = OrderedDict()
         self._memo_size = memo_size
         self._memo_lock = threading.Lock()
@@ -183,7 +192,7 @@ class PrecomputedHashingEncoder:
         for tokens in token_lists:
             columns: list[int] = []
             signs: list[float] = []
-            for token in tokens:
+            for token in ngram_features(tokens, self._ngram_range):
                 bucket, sign = self._bucket_sign(token)
                 columns.append(bucket)
                 signs.append(sign)
@@ -350,11 +359,11 @@ class BatchFeaturizer:
     def encoder_for(self, model):
         """The precomputed encoder for *model*, or ``None``.
 
-        A model qualifies only when its spec allows the fused path: it uses
-        the stock ``StatisticalModel.encode_tokens`` (no subclass or
-        per-instance override) over a fitted unigram vectorizer.  Sequential
-        models (vocabulary encoding is already batch-vectorised) and n-gram
-        specs fall back to ``model.predict_proba_tokens``.
+        A model qualifies when it uses the stock
+        ``StatisticalModel.encode_tokens`` (no subclass or per-instance
+        override) over a fitted vectorizer — any ``ngram_range``.
+        Sequential models (vocabulary encoding is already batch-vectorised)
+        fall back to ``model.predict_proba_tokens``.
         """
         from repro.models.statistical import StatisticalModel
 
@@ -370,11 +379,10 @@ class BatchFeaturizer:
             return cached
         encoder = None
         if isinstance(vectorizer, TfidfVectorizer):
-            if vectorizer.idf_ is not None and vectorizer._counter.ngram_range == (1, 1):
+            if vectorizer.idf_ is not None:
                 encoder = PrecomputedTfidfEncoder(vectorizer)
         elif isinstance(vectorizer, HashingVectorizer):
-            if vectorizer.ngram_range == (1, 1):
-                encoder = PrecomputedHashingEncoder(vectorizer)
+            encoder = PrecomputedHashingEncoder(vectorizer)
         if encoder is not None:
             # Cached on the model object itself so hot-swapped models (and
             # requests pinned to them mid-swap) each keep their own encoder.

@@ -1,0 +1,45 @@
+"""Shared fixtures for the multi-process cluster suite.
+
+One logreg bundle is exported per session; every cluster test preforks
+real ``repro.server`` worker *processes* over that export, so the
+expensive fixtures (training, a running fleet) are session/module-scoped
+and the per-test work is plain HTTP against live sockets.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+
+#: Same token the server suite uses; workers inherit it via the supervisor.
+ADMIN_TOKEN = "test-admin-token"
+
+
+@pytest.fixture(scope="session")
+def cluster_export_dir(tiny_corpus, tmp_path_factory):
+    """An export directory holding exactly one bundle (``logreg``) —
+    what ``--route cuisine`` needs."""
+    path = tmp_path_factory.mktemp("cluster-bundles")
+    config = ExperimentConfig(
+        models=("logreg",),
+        seed=3,
+        statistical_kwargs={"logreg": {"max_iter": 30}},
+        export_dir=str(path),
+    )
+    ExperimentRunner(config, corpus=tiny_corpus).run()
+    return path
+
+
+def wait_until(predicate, *, timeout: float = 30.0, interval: float = 0.1):
+    """Poll *predicate* until it returns a truthy value; fail on timeout."""
+    deadline = time.monotonic() + timeout
+    while True:
+        value = predicate()
+        if value:
+            return value
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"condition not met within {timeout}s")
+        time.sleep(interval)

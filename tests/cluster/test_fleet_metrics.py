@@ -1,0 +1,111 @@
+"""Unit tests for fleet-wide health-snapshot merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import merge_health_snapshots
+from repro.observability import RollingLatency, merge_latency_snapshots
+
+
+class TestScalarMerging:
+    def test_integer_counters_sum(self):
+        merged = merge_health_snapshots(
+            [{"requests": 10}, {"requests": 4}, {"requests": 1}]
+        )
+        assert merged == {"requests": 15}
+
+    def test_floats_average(self):
+        merged = merge_health_snapshots(
+            [{"mean_batch_size": 2.0}, {"mean_batch_size": 4.0}]
+        )
+        assert merged["mean_batch_size"] == pytest.approx(3.0)
+
+    def test_booleans_or_except_healthy_ands(self):
+        merged = merge_health_snapshots(
+            [
+                {"healthy": True, "draining": False},
+                {"healthy": False, "draining": True},
+            ]
+        )
+        assert merged["healthy"] is False  # one sick worker → sick fleet
+        assert merged["draining"] is True  # some worker is draining
+
+    def test_status_merges_worst_of(self):
+        assert merge_health_snapshots([{"status": "ok"}, {"status": "ok"}]) == {
+            "status": "ok"
+        }
+        merged = merge_health_snapshots([{"status": "ok"}, {"status": "degraded"}])
+        assert merged["status"] == "degraded"
+
+    def test_agreeing_strings_keep_value(self):
+        merged = merge_health_snapshots([{"active": "v1"}, {"active": "v1"}])
+        assert merged["active"] == "v1"
+
+    def test_disagreeing_strings_become_sorted_set(self):
+        """Mid-rolling-restart the fleet may serve two versions at once."""
+        merged = merge_health_snapshots([{"active": "v2"}, {"active": "v1"}])
+        assert merged["active"] == ["v1", "v2"]
+
+
+class TestStructure:
+    def test_empty_input(self):
+        assert merge_health_snapshots([]) == {}
+
+    def test_nested_dicts_recurse(self):
+        merged = merge_health_snapshots(
+            [
+                {"server": {"counters": {"requests_total": 7}}},
+                {"server": {"counters": {"requests_total": 5}}},
+            ]
+        )
+        assert merged == {"server": {"counters": {"requests_total": 12}}}
+
+    def test_heterogeneous_keys_union(self):
+        """A worker mid-restart may miss routes the others carry."""
+        merged = merge_health_snapshots(
+            [
+                {"routes": {"cuisine": {"requests": 3}}},
+                {"routes": {"cuisine": {"requests": 2}, "dessert": {"requests": 9}}},
+            ]
+        )
+        assert merged["routes"]["cuisine"]["requests"] == 5
+        assert merged["routes"]["dessert"]["requests"] == 9
+
+    def test_worker_identity_dropped(self):
+        merged = merge_health_snapshots(
+            [{"worker_id": 0, "requests": 1}, {"worker_id": 1, "requests": 2}]
+        )
+        assert merged == {"requests": 3}
+
+    def test_none_values_ignored(self):
+        merged = merge_health_snapshots([{"active": None}, {"active": "v1"}])
+        assert merged["active"] == "v1"
+        assert merge_health_snapshots([{"active": None}]) == {"active": None}
+
+
+class TestLatencyMerging:
+    def _snapshot(self, samples):
+        latency = RollingLatency()
+        for seconds in samples:
+            latency.record(seconds)
+        return latency.snapshot()
+
+    def test_latency_shaped_dicts_merge_not_sum(self):
+        """A latency snapshot must merge through merge_latency_snapshots —
+        summing p95s across workers would be nonsense."""
+        first = self._snapshot([0.010] * 9)
+        second = self._snapshot([0.100])
+        merged = merge_health_snapshots(
+            [{"latency": first}, {"latency": second}]
+        )
+        assert merged["latency"] == merge_latency_snapshots([first, second])
+        assert merged["latency"]["count"] == 10
+        assert merged["latency"]["max_ms"] == pytest.approx(100.0)
+
+    def test_exact_counts_and_totals(self):
+        first = self._snapshot([0.001, 0.002, 0.003])
+        second = self._snapshot([0.004, 0.005])
+        merged = merge_health_snapshots([{"latency": first}, {"latency": second}])
+        assert merged["latency"]["count"] == 5
+        assert merged["latency"]["total_seconds"] == pytest.approx(0.015)

@@ -1,0 +1,122 @@
+"""HTTPTarget's single connection-level retry and MultiHTTPTarget striping."""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+
+import pytest
+
+from repro.loadgen.client import ClientResponse
+from repro.loadgen.harness import ERROR, OK, SHED, HTTPTarget, MultiHTTPTarget
+
+
+class FlakyPool:
+    """A stand-in pool scripted to fail N times before answering."""
+
+    def __init__(self, failures, status: int = 200) -> None:
+        self._failures = list(failures)
+        self._status = status
+        self.calls = 0
+
+    async def request(self, method, path, payload, headers=None):
+        self.calls += 1
+        if self._failures:
+            raise self._failures.pop(0)
+        return ClientResponse(status=self._status, headers={}, body=b"{}")
+
+    def close(self) -> None:
+        pass
+
+
+def _target_with_pool(pool) -> HTTPTarget:
+    target = HTTPTarget("127.0.0.1", 1, "cuisine")
+    target._pool = pool
+    return target
+
+
+class TestHTTPTargetRetry:
+    def test_connection_reset_is_retried_once(self):
+        pool = FlakyPool([ConnectionResetError()])
+        target = _target_with_pool(pool)
+        assert asyncio.run(target.predict(("x",), "user-1")) == OK
+        assert pool.calls == 2
+        assert target.retries == 1
+
+    @pytest.mark.parametrize(
+        "failure",
+        [ConnectionResetError(), asyncio.IncompleteReadError(b"", 1), OSError()],
+        ids=["reset", "eof", "oserror"],
+    )
+    def test_every_transport_failure_kind_is_retryable(self, failure):
+        target = _target_with_pool(FlakyPool([failure]))
+        assert asyncio.run(target.predict(("x",), "user-1")) == OK
+
+    def test_second_failure_is_an_error(self):
+        pool = FlakyPool([ConnectionResetError(), ConnectionResetError()])
+        target = _target_with_pool(pool)
+        assert asyncio.run(target.predict(("x",), "user-1")) == ERROR
+        assert pool.calls == 2  # exactly one re-send, never a loop
+        assert target.retries == 1
+
+    def test_non_transport_failure_is_not_retried(self):
+        pool = FlakyPool([ValueError("bad payload")])
+        target = _target_with_pool(pool)
+        assert asyncio.run(target.predict(("x",), "user-1")) == ERROR
+        assert pool.calls == 1
+        assert target.retries == 0
+
+    def test_statuses_still_classified(self):
+        assert asyncio.run(
+            _target_with_pool(FlakyPool([], status=429)).predict(("x",), "k")
+        ) == SHED
+        assert asyncio.run(
+            _target_with_pool(FlakyPool([], status=500)).predict(("x",), "k")
+        ) == ERROR
+
+    def test_retry_after_shed_status_never_happens(self):
+        """A 429 is a *response*, not a transport failure — no re-send."""
+        pool = FlakyPool([], status=429)
+        target = _target_with_pool(pool)
+        asyncio.run(target.predict(("x",), "k"))
+        assert pool.calls == 1
+
+
+class TestMultiHTTPTarget:
+    ADDRESSES = [("127.0.0.1", 9001), ("127.0.0.1", 9002), ("127.0.0.1", 9003)]
+
+    def test_empty_addresses_rejected(self):
+        with pytest.raises(ValueError, match="at least one address"):
+            MultiHTTPTarget([], "cuisine")
+
+    def test_striping_is_deterministic(self):
+        first = MultiHTTPTarget(self.ADDRESSES, "cuisine")
+        second = MultiHTTPTarget(self.ADDRESSES, "cuisine")
+        for index in range(50):
+            key = f"user-{index}"
+            assert first._member(key).port == second._member(key).port
+            assert first._member(key) is first._member(key)
+
+    def test_striping_matches_blake2b(self):
+        target = MultiHTTPTarget(self.ADDRESSES, "cuisine")
+        key = "user-17"
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        expected = int.from_bytes(digest, "big") % len(self.ADDRESSES)
+        assert target._member(key) is target._targets[expected]
+
+    def test_every_member_gets_a_share(self):
+        target = MultiHTTPTarget(self.ADDRESSES, "cuisine")
+        owners = {target._member(f"user-{index}").port for index in range(100)}
+        assert owners == {port for _, port in self.ADDRESSES}
+
+    def test_predict_delegates_to_the_owning_member(self):
+        target = MultiHTTPTarget(self.ADDRESSES, "cuisine")
+        member = target._member("user-17")
+        pool = FlakyPool([ConnectionResetError()])
+        member._pool = pool
+        # Other members would explode if touched (no server is listening and
+        # their pools are unset real pools pointing at closed ports) — but
+        # only the owning member's scripted pool is exercised.
+        assert asyncio.run(target.predict(("x",), "user-17")) == OK
+        assert pool.calls == 2
+        assert target.retries == 1  # aggregated over members

@@ -182,14 +182,31 @@ class TestPrecomputedEncoders:
         with pytest.raises(RuntimeError, match="not fitted"):
             PrecomputedTfidfEncoder(TfidfVectorizer())
 
-    def test_ngram_spec_rejected(self, sequences):
+    NGRAM_RANGES = [(1, 2), (2, 2), (1, 3), (3, 3)]
+
+    @pytest.mark.parametrize("ngram_range", NGRAM_RANGES, ids=str)
+    def test_tfidf_ngram_encoder_bitwise(self, sequences, ngram_range):
         docs = _token_docs(sequences)
-        vectorizer = TfidfVectorizer(ngram_range=(1, 2))
-        vectorizer.fit(docs)
-        with pytest.raises(ValueError, match="unigram"):
-            PrecomputedTfidfEncoder(vectorizer)
-        with pytest.raises(ValueError, match="unigram"):
-            PrecomputedHashingEncoder(HashingVectorizer(ngram_range=(1, 2)))
+        vectorizer = TfidfVectorizer(ngram_range=ngram_range)
+        vectorizer.fit(docs[: len(docs) // 2])
+        encoder = PrecomputedTfidfEncoder(vectorizer)
+        _assert_csr_bitwise(vectorizer.transform(docs), encoder.encode(docs))
+
+    @pytest.mark.parametrize("ngram_range", NGRAM_RANGES, ids=str)
+    def test_hashing_ngram_encoder_bitwise(self, sequences, ngram_range):
+        docs = _token_docs(sequences)
+        vectorizer = HashingVectorizer(n_features=128, ngram_range=ngram_range)
+        encoder = PrecomputedHashingEncoder(vectorizer)
+        _assert_csr_bitwise(vectorizer.transform(docs), encoder.encode(docs))
+
+    def test_ngram_vectorizer_model_gets_encoder(self, sequences):
+        """N-gram specs now qualify for the fused dispatch path."""
+        docs = _token_docs(sequences)
+        model = create_model("naive_bayes")
+        model.vectorizer = TfidfVectorizer(ngram_range=(1, 2)).fit(docs)
+        assert isinstance(
+            BatchFeaturizer().encoder_for(model), PrecomputedTfidfEncoder
+        )
 
 
 class TestEncoderDispatch:

@@ -10,8 +10,8 @@ Walks the full online story of the reproduction stack:
 4. replay a seeded open-loop workload (Zipf-hot keys, Poisson arrivals)
    with :mod:`repro.loadgen`, hot-swapping ``v2`` in mid-run through the
    admin API — zero requests dropped;
-5. print the loadgen report next to the server's own latency quantiles,
-   then drain gracefully.
+5. print the loadgen report next to the server's own latency quantiles and
+   the service's batch-control / coalescing stats, then drain gracefully.
 
 Run with:  python examples/http_serving_demo.py
 """
@@ -60,7 +60,9 @@ def main() -> None:
         ExperimentRunner(config, corpus=corpus).run()
 
         print("\n[2] Serving cuisine@v1 over HTTP (v2 deployed dark)...")
-        gateway = ModelGateway()
+        # Adaptive batch control: lone requests flush immediately, a backlog
+        # grows batches toward the 25ms latency objective.
+        gateway = ModelGateway(batch_policy="adaptive", slo_ms=25.0)
         gateway.deploy("cuisine", "v1", f"{export_dir}/logreg")
         gateway.deploy("cuisine", "v2", f"{export_dir}/naive_bayes", activate=False)
         server = ModelServer(gateway, admin_token=ADMIN_TOKEN, max_inflight=128)
@@ -115,12 +117,27 @@ def main() -> None:
         by_variant = health["routes"]["cuisine"]["by_variant"]
         print(f"    requests by variant   {by_variant} (swap dropped nothing)")
         # The prediction service splits each batch's wall clock into stage
-        # timers (also flattened into /metrics as service_stages_* lines).
-        stages = health["service"]["stages"]
+        # timers (also flattened into /metrics as service_stages_* lines);
+        # unit-free queue_depth / batch_size distributions sit next to them.
+        service_stats = health["service"]
+        stages = service_stats["stages"]
         print("    service stages        " + "  ".join(
             f"{name}: mean={snapshot['mean_ms']:.2f}ms p99={snapshot['p99_ms']:.2f}ms"
-            for name, snapshot in stages.items()
+            for name, snapshot in stages.items() if "mean_ms" in snapshot
         ))
+        batching = service_stats["batching"]
+        batch_size = stages["batch_size"]
+        queue_depth = stages["queue_depth"]
+        print(
+            f"    batch control         policy={batching['policy']} "
+            f"window={batching['window_ms']:.1f}ms "
+            f"batch p50={batch_size['p50']:.0f} max={batch_size['max']:.0f} "
+            f"queue p99={queue_depth['p99']:.0f}"
+        )
+        print(
+            f"    coalescing            hits={service_stats['coalesced_hits']} "
+            f"(identical in-flight requests shared one model pass)"
+        )
 
         print("\n[5] Draining gracefully (finish in-flight, close the service)...")
         handle.stop()

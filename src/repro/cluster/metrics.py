@@ -7,7 +7,10 @@ structural recursion:
 
 * dicts shaped like a :class:`~repro.observability.RollingLatency` snapshot
   merge through :func:`~repro.observability.merge_latency_snapshots`
-  (exact counts/totals/max, count-weighted quantiles);
+  (exact counts/totals/max, count-weighted quantiles); the unit-free
+  :class:`~repro.observability.RollingDistribution` shape (batch sizes,
+  queue depths) routes likewise to
+  :func:`~repro.observability.merge_distribution_snapshots`;
 * integer leaves (request/error/cache counters, capacities, in-flight
   gauges) **sum** — the fleet serves the union of the workers' traffic;
 * float leaves (``mean_batch_size``, ``agreement_rate``) **average** over
@@ -29,12 +32,19 @@ from __future__ import annotations
 from typing import Mapping, Sequence
 
 from repro.observability import (
+    DISTRIBUTION_SNAPSHOT_KEYS,
     LATENCY_SNAPSHOT_KEYS,
     merge_counter_dicts,
+    merge_distribution_snapshots,
     merge_latency_snapshots,
 )
 
-__all__ = ["merge_health_snapshots", "merge_counter_dicts", "merge_latency_snapshots"]
+__all__ = [
+    "merge_health_snapshots",
+    "merge_counter_dicts",
+    "merge_distribution_snapshots",
+    "merge_latency_snapshots",
+]
 
 #: Keys that identify a single worker and are meaningless fleet-wide.
 _PER_WORKER_KEYS = frozenset({"worker_id"})
@@ -45,6 +55,19 @@ def _is_latency_snapshot(value: object) -> bool:
         isinstance(value, Mapping)
         and "count" in value
         and set(value.keys()) <= LATENCY_SNAPSHOT_KEYS
+    )
+
+
+def _is_distribution_snapshot(value: object) -> bool:
+    # "mean" (unit-free, vs "mean_ms") separates the two snapshot shapes;
+    # without the explicit route a distribution would fall through to the
+    # generic merge, which *sums* integer leaves — fleet-wide "max batch
+    # size" must be the max, not the sum.
+    return (
+        isinstance(value, Mapping)
+        and "count" in value
+        and "mean" in value
+        and set(value.keys()) <= DISTRIBUTION_SNAPSHOT_KEYS
     )
 
 
@@ -81,6 +104,8 @@ def _merge_values(key: str, values: list):
         return None
     if all(_is_latency_snapshot(value) for value in present):
         return merge_latency_snapshots(present)
+    if all(_is_distribution_snapshot(value) for value in present):
+        return merge_distribution_snapshots(present)
     if all(isinstance(value, Mapping) for value in present):
         return _merge_nodes(present)
     if all(isinstance(value, bool) for value in present):

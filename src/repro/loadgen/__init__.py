@@ -27,7 +27,9 @@ from repro.loadgen.harness import (
     run_open_loop,
 )
 from repro.loadgen.workload import (
+    ARRIVAL_SHAPES,
     KEY_DISTRIBUTIONS,
+    SEQUENCE_DISTRIBUTIONS,
     Workload,
     WorkloadRequest,
     build_workload,
@@ -35,9 +37,11 @@ from repro.loadgen.workload import (
 )
 
 __all__ = [
+    "ARRIVAL_SHAPES",
     "GatewayTarget",
     "HTTPTarget",
     "KEY_DISTRIBUTIONS",
+    "SEQUENCE_DISTRIBUTIONS",
     "LoadReport",
     "MultiHTTPTarget",
     "Workload",

@@ -138,6 +138,74 @@ class RollingLatency:
         return payload
 
 
+class RollingDistribution:
+    """Unit-free value distribution with rolling quantiles.
+
+    The dimensionless sibling of :class:`RollingLatency` for gauges sampled
+    per event — batch sizes, queue depths.  Lifetime ``count``/``total``/
+    ``max`` plus p50/p95/p99 over the most recent ``window`` samples.  The
+    snapshot's key set (``mean``/``max``/``p50``… — no ``_ms`` suffixes, no
+    ``total_seconds``) is disjoint from a latency snapshot's, so the fleet
+    merge can route the two shapes to the right aggregator.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._lock = threading.Lock()
+        self._ring = np.zeros(window, dtype=np.float64)
+        self._filled = 0
+        self._next = 0
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+
+    def record(self, value: float) -> None:
+        with self._lock:
+            self._ring[self._next] = value
+            self._next = (self._next + 1) % self.window
+            self._filled = min(self._filled + 1, self.window)
+            self._count += 1
+            self._total += value
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def quantile(self, q: float) -> float:
+        """Rolling quantile over the ring buffer; 0.0 when empty."""
+        with self._lock:
+            if self._filled == 0:
+                return 0.0
+            samples = self._ring[: self._filled].copy()
+        return float(np.quantile(samples, q))
+
+    def snapshot(self) -> dict:
+        """Lifetime totals plus rolling quantiles (JSON-safe, stable keys)."""
+        with self._lock:
+            filled = self._filled
+            samples = self._ring[:filled].copy() if filled else None
+            count = self._count
+            total = self._total
+            maximum = self._max
+        payload = {
+            "count": int(count),
+            "total": float(total),
+            "mean": (total / count) if count else 0.0,
+            "max": float(maximum),
+            "window": int(self.window),
+        }
+        for q in LATENCY_QUANTILES:
+            key = f"p{int(q * 100)}"
+            payload[key] = (
+                float(np.quantile(samples, q)) if samples is not None else 0.0
+            )
+        return payload
+
+
 class StageTimer:
     """Named per-stage latency timers over shared :class:`RollingLatency`.
 
@@ -149,6 +217,11 @@ class StageTimer:
     :func:`render_metrics_text` flattens into ``..._stages_featurize_ms_*``
     style metric lines automatically.
 
+    Alongside the timers, :meth:`record_value` tracks dimensionless
+    per-batch gauges (``batch_size``, ``queue_depth``) as
+    :class:`RollingDistribution` stages of the same snapshot — one nested
+    dict per stage either way, distinguishable by key shape.
+
     Stages are created lazily on first :meth:`record`; timers for stages that
     never ran are absent from the snapshot (mirroring ``CounterSet``'s
     zeros-omitted convention).
@@ -158,6 +231,7 @@ class StageTimer:
         self.window = window
         self._lock = threading.Lock()
         self._stages: dict[str, RollingLatency] = {}
+        self._values: dict[str, RollingDistribution] = {}
 
     def _stage(self, name: str) -> RollingLatency:
         with self._lock:
@@ -167,21 +241,37 @@ class StageTimer:
                 self._stages[name] = stage
             return stage
 
+    def _value_stage(self, name: str) -> RollingDistribution:
+        with self._lock:
+            stage = self._values.get(name)
+            if stage is None:
+                stage = RollingDistribution(window=self.window)
+                self._values[name] = stage
+            return stage
+
     def record(self, name: str, seconds: float, count: int = 1) -> None:
         """Attribute one observed *seconds* duration of stage *name* to
         *count* logical requests (same semantics as ``RollingLatency.record``)."""
         self._stage(name).record(seconds, count=count)
 
+    def record_value(self, name: str, value: float) -> None:
+        """Record one sample of the dimensionless distribution *name*."""
+        self._value_stage(name).record(value)
+
     def quantile(self, name: str, q: float) -> float:
         """Rolling quantile of one stage; 0.0 for a stage never recorded."""
         with self._lock:
-            stage = self._stages.get(name)
+            stage = self._stages.get(name) or self._values.get(name)
         return stage.quantile(q) if stage is not None else 0.0
 
     def snapshot(self) -> dict:
-        """``{stage: latency_snapshot}`` for every recorded stage, sorted."""
+        """``{stage: snapshot}`` for every recorded stage, sorted.
+
+        Latency stages and value distributions share the namespace (a name
+        is only ever one kind); each nests its own snapshot dict.
+        """
         with self._lock:
-            stages = sorted(self._stages.items())
+            stages = sorted({**self._stages, **self._values}.items())
         return {name: stage.snapshot() for name, stage in stages}
 
 
@@ -266,6 +356,14 @@ LATENCY_SNAPSHOT_KEYS: frozenset[str] = frozenset(
     | {f"p{int(q * 100)}_ms" for q in LATENCY_QUANTILES}
 )
 
+#: Keys identifying a dict as a :meth:`RollingDistribution.snapshot` — the
+#: unit-free shape (``mean``/``max``/``p50``…, no ``_ms``), routed by the
+#: fleet merge to :func:`merge_distribution_snapshots`.
+DISTRIBUTION_SNAPSHOT_KEYS: frozenset[str] = frozenset(
+    {"count", "total", "mean", "max", "window"}
+    | {f"p{int(q * 100)}" for q in LATENCY_QUANTILES}
+)
+
 
 def merge_counter_dicts(dicts: "list[Mapping[str, int]] | tuple[Mapping[str, int], ...]") -> dict[str, int]:
     """Sum per-worker :meth:`CounterSet.as_dict` snapshots into one.
@@ -306,6 +404,32 @@ def merge_latency_snapshots(snapshots: "list[Mapping] | tuple[Mapping, ...]") ->
     }
     for q in LATENCY_QUANTILES:
         key = f"p{int(q * 100)}_ms"
+        weighted = sum(
+            count * float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
+        )
+        merged[key] = (weighted / total_count) if total_count else 0.0
+    return merged
+
+
+def merge_distribution_snapshots(snapshots: "list[Mapping] | tuple[Mapping, ...]") -> dict:
+    """Merge per-worker :meth:`RollingDistribution.snapshot` payloads.
+
+    Same scheme as :func:`merge_latency_snapshots`, minus the unit: exact
+    ``count``/``total`` sums, fleet ``max``, recomputed ``mean``, and
+    count-weighted quantile approximation for ``p50``/``p95``/``p99``.
+    """
+    counts = [int(s.get("count", 0)) for s in snapshots]
+    total_count = sum(counts)
+    total = float(sum(float(s.get("total", 0.0)) for s in snapshots))
+    merged = {
+        "count": total_count,
+        "total": total,
+        "mean": (total / total_count) if total_count else 0.0,
+        "max": max((float(s.get("max", 0.0)) for s in snapshots), default=0.0),
+        "window": max((int(s.get("window", 0)) for s in snapshots), default=0),
+    }
+    for q in LATENCY_QUANTILES:
+        key = f"p{int(q * 100)}"
         weighted = sum(
             count * float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
         )

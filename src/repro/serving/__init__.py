@@ -15,16 +15,28 @@ The subsystem turns exported model bundles into a running inference layer:
   hashing-trick specs, bitwise-identical to the sequential path);
 * :mod:`repro.serving.cache` — :class:`ShardedResultCache`, the
   epoch-guarded LRU result cache partitioned into independently-locked
-  stripes.
+  stripes, which also hosts the single-flight registry coalescing identical
+  concurrent requests;
+* :mod:`repro.serving.batching` — the pluggable flush control of the
+  micro-batch worker: :class:`FixedBatchPolicy` (constant size/timeout,
+  the default) and :class:`AdaptiveBatchPolicy` (SLO-aware windows sized
+  from observed queue depth).
 """
 
+from repro.serving.batching import (
+    AdaptiveBatchPolicy,
+    BatchPlan,
+    BatchPolicy,
+    FixedBatchPolicy,
+    resolve_batch_policy,
+)
 from repro.serving.bundle import (
     ModelBundle,
     discover_bundles,
     load_bundles,
     validate_manifest,
 )
-from repro.serving.cache import ShardedResultCache
+from repro.serving.cache import InFlight, ShardedResultCache
 from repro.serving.featurizer import (
     BatchFeaturizer,
     PrecomputedHashingEncoder,
@@ -33,7 +45,12 @@ from repro.serving.featurizer import (
 from repro.serving.service import PredictionService
 
 __all__ = [
+    "AdaptiveBatchPolicy",
     "BatchFeaturizer",
+    "BatchPlan",
+    "BatchPolicy",
+    "FixedBatchPolicy",
+    "InFlight",
     "ModelBundle",
     "PrecomputedHashingEncoder",
     "PrecomputedTfidfEncoder",
@@ -42,4 +59,5 @@ __all__ = [
     "discover_bundles",
     "load_bundles",
     "validate_manifest",
+    "resolve_batch_policy",
 ]

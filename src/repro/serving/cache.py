@@ -18,6 +18,17 @@ The capacity bound is enforced per stripe (``capacity // n_stripes`` each),
 so the total entry count never exceeds ``capacity``; a skewed key
 distribution can leave some stripes below their bound, which only means the
 cache is *smaller* than configured, never larger.
+
+The cache also hosts the **single-flight registry** the prediction service
+coalesces identical concurrent requests through: per stripe, a small dict of
+:class:`InFlight` records keyed like cache entries.  The LRU only helps
+*after* the first result lands; single-flight covers the window *before* it
+— N concurrent requests for one hot key join one flight, the leader computes
+once and every follower shares the (copied) result.  Flight records carry
+the epoch they were opened under, so a hot-swap mid-flight is detected by
+comparing epochs at join and at completion — a flight opened against a
+retired model never satisfies a waiter.  Flights share the stripe locks, so
+coalescing adds no global serialization point.
 """
 
 from __future__ import annotations
@@ -28,7 +39,28 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["ShardedResultCache"]
+__all__ = ["InFlight", "ShardedResultCache"]
+
+
+class InFlight:
+    """One in-progress computation other requests may wait on.
+
+    The leader (the caller :meth:`ShardedResultCache.join_flight` elected)
+    computes, then publishes through
+    :meth:`ShardedResultCache.finish_flight`, which sets ``value`` *or*
+    ``error`` before firing ``event``.  ``epoch`` is the model epoch the
+    flight was opened under — a follower must re-check it after the event:
+    a smaller-than-current epoch means a hot-swap landed mid-flight and the
+    result belongs to the retired model.
+    """
+
+    __slots__ = ("epoch", "event", "value", "error")
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+        self.event = threading.Event()
+        self.value: np.ndarray | None = None
+        self.error: BaseException | None = None
 
 
 class ShardedResultCache:
@@ -55,6 +87,9 @@ class ShardedResultCache:
         self._stripe_locks: tuple[threading.Lock, ...] = tuple(
             threading.Lock() for _ in range(self.n_stripes)
         )
+        #: Per-stripe single-flight registries (guarded by the stripe locks).
+        #: Independent of ``capacity`` — coalescing works with caching off.
+        self._flights: tuple[dict, ...] = tuple({} for _ in range(self.n_stripes))
         #: Per-model epochs, bumped on hot-swap/removal.  A ``put`` carrying
         #: an older epoch is silently dropped — the result was computed by a
         #: model object that has since been retired.
@@ -113,6 +148,68 @@ class ShardedResultCache:
         return True
 
     # ------------------------------------------------------------------
+    # single-flight coalescing
+    # ------------------------------------------------------------------
+    def join_flight(
+        self, model_name: str, sequence: tuple[str, ...], epoch: int
+    ) -> "tuple[InFlight, bool]":
+        """Join (or open) the in-flight computation for a key.
+
+        Returns ``(flight, is_leader)``.  The leader owns the computation
+        and **must** call :meth:`finish_flight` (success or failure) so
+        followers never hang.  A caller only joins an existing flight whose
+        ``epoch`` matches its own — an epoch mismatch means the resident
+        flight was opened before a hot-swap; the caller opens a fresh
+        flight in its place and leads it (the displaced leader still
+        finishes its own record, which simply is no longer registered).
+        """
+        index = self._stripe_of(model_name, sequence)
+        key = (model_name, sequence)
+        flights = self._flights[index]
+        with self._stripe_locks[index]:
+            flight = flights.get(key)
+            if flight is not None and flight.epoch == epoch:
+                return flight, False
+            flight = InFlight(epoch)
+            flights[key] = flight
+            return flight, True
+
+    def finish_flight(
+        self,
+        model_name: str,
+        sequence: tuple[str, ...],
+        flight: "InFlight",
+        *,
+        value: np.ndarray | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        """Publish a flight's outcome and wake its followers.
+
+        Deregisters *flight* (only if it is still the registered record —
+        it may have been displaced by a newer-epoch flight), stores the
+        result as a copy (or the error), and fires the event.
+        """
+        index = self._stripe_of(model_name, sequence)
+        key = (model_name, sequence)
+        flights = self._flights[index]
+        with self._stripe_locks[index]:
+            if flights.get(key) is flight:
+                del flights[key]
+        if error is not None:
+            flight.error = error
+        elif value is not None:
+            flight.value = value.copy()
+        flight.event.set()
+
+    def inflight_count(self) -> int:
+        """Number of currently registered flights (diagnostics)."""
+        total = 0
+        for index in range(self.n_stripes):
+            with self._stripe_locks[index]:
+                total += len(self._flights[index])
+        return total
+
+    # ------------------------------------------------------------------
     # epochs and invalidation
     # ------------------------------------------------------------------
     def epoch(self, model_name: str) -> int:
@@ -167,4 +264,5 @@ class ShardedResultCache:
             "capacity": self.capacity,
             "stripes": self.n_stripes,
             "stripe_capacity": self.stripe_capacity,
+            "in_flight": self.inflight_count(),
         }

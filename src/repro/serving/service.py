@@ -9,11 +9,15 @@ three paths:
 * :meth:`~PredictionService.predict` / :meth:`~PredictionService.predict_proba`
   — single requests.  Concurrent callers are **micro-batched**: requests
   enter a bounded queue and a worker thread flushes them as one model pass
-  when the batch is full or the flush timeout expires.
+  under a pluggable :class:`~repro.serving.batching.BatchPolicy` (fixed
+  size/timeout by default; SLO-aware adaptive sizing optionally).
 * :meth:`~PredictionService.predict_batch` /
   :meth:`~PredictionService.predict_proba_batch` — explicit batches,
   featurized and predicted in one pass.
-* An **LRU result cache** short-circuits repeated inputs on every path.
+* An **LRU result cache** short-circuits repeated inputs on every path, and
+  **single-flight coalescing** covers the window the cache cannot: N
+  concurrent identical requests trigger one featurize+predict, every waiter
+  shares the (copied) result.
 
 The service keeps per-model request counters and service-wide hit/latency
 counters (:meth:`~PredictionService.stats`).
@@ -42,6 +46,7 @@ from repro.observability import CounterSet, RollingLatency, StageTimer
 from repro.pipeline.engine import CorpusEngine
 from repro.pipeline.fingerprint import sequence_key
 from repro.pipeline.store import FeatureStore, _save_json
+from repro.serving.batching import BatchPolicy, resolve_batch_policy
 from repro.serving.bundle import ModelBundle, load_bundles
 from repro.serving.cache import ShardedResultCache
 from repro.serving.featurizer import BatchFeaturizer
@@ -81,13 +86,27 @@ class PredictionService:
             one over a shared/cache-dir-backed store) so inference reuses
             the exact per-shard artifacts training produced; by default an
             in-process engine over *store* is created.
-        max_batch_size: Flush the micro-batch queue at this many requests.
+        max_batch_size: Flush the micro-batch queue at this many requests
+            (the hard cap; a batch policy can plan smaller, never larger).
         flush_interval: Seconds the worker waits for a batch to fill after
             the first request arrives — a lone request therefore pays up to
             this much extra latency in exchange for batching under load.
             ``0`` disables the wait: each flush takes only what is already
-            queued.
-        cache_size: Bound on the LRU result cache (0 disables caching).
+            queued.  (Used by the default fixed policy; an adaptive policy
+            chooses its own windows.)
+        batch_policy: ``"fixed"`` (default), ``"adaptive"``, or a
+            :class:`~repro.serving.batching.BatchPolicy` instance — how the
+            worker sizes each flush.  See :mod:`repro.serving.batching`.
+        slo_ms: Per-request latency objective handed to the adaptive policy
+            (ignored by ``"fixed"`` and by policy instances).
+        coalesce: Single-flight coalescing of identical concurrent requests
+            (default on): the first request for a ``(model, sequence)`` key
+            computes, concurrent duplicates wait on it and share a copy of
+            the result — one model pass instead of N.  Hot-swaps mid-flight
+            are epoch-guarded: a flight started against a retired model
+            version never satisfies its waiters.
+        cache_size: Bound on the LRU result cache (0 disables caching;
+            coalescing works either way).
         cache_stripes: Number of independently-locked stripes the result
             cache is sharded into (clamped to ``cache_size``), so hot-key
             traffic does not serialize on one lock.
@@ -105,6 +124,9 @@ class PredictionService:
         engine: CorpusEngine | None = None,
         max_batch_size: int = 32,
         flush_interval: float = 0.005,
+        batch_policy: "BatchPolicy | str | None" = None,
+        slo_ms: float | None = None,
+        coalesce: bool = True,
         cache_size: int = 2048,
         cache_stripes: int = 16,
         queue_size: int = 4096,
@@ -124,6 +146,13 @@ class PredictionService:
         self.engine = engine if engine is not None else CorpusEngine(self.store)
         self.max_batch_size = max_batch_size
         self.flush_interval = flush_interval
+        self.batch_policy = resolve_batch_policy(
+            batch_policy,
+            max_batch_size=max_batch_size,
+            flush_interval=flush_interval,
+            slo_ms=slo_ms,
+        )
+        self.coalesce = coalesce
         self.cache_size = cache_size
         self.request_timeout = request_timeout
 
@@ -342,15 +371,30 @@ class PredictionService:
             first = self._queue.get()
             if first is _SHUTDOWN:
                 return
+            # One policy consultation per batch: the plan says how many
+            # requests this flush may collect and how long it may wait for
+            # them.  The plan is clamped — limit to [1, max_batch_size],
+            # window to >= 0 — so a misbehaving policy degrades batching
+            # but can never crash the loop (queue.get raises ValueError on
+            # a negative timeout) or exceed the service's hard batch cap.
+            depth = self._queue.qsize()
+            plan = self.batch_policy.plan(depth)
+            limit = int(plan.limit)
+            if not limit >= 1:
+                limit = 1
+            limit = min(limit, self.max_batch_size)
+            window = float(plan.window)
+            if not window > 0:  # also catches NaN
+                window = 0.0
             batch = [first]
             # Flush on size or on timeout: block-accumulate until the batch
-            # is full or flush_interval has elapsed since the first request;
+            # is full or the window has elapsed since the first request;
             # past the deadline, only instantaneously queued requests are
-            # still drained (so flush_interval=0 batches whatever is already
+            # still drained (so window=0 batches whatever is already
             # waiting without ever sleeping).
-            deadline = time.monotonic() + self.flush_interval
+            deadline = time.monotonic() + window
             sentinel_seen = False
-            while len(batch) < self.max_batch_size:
+            while len(batch) < limit:
                 remaining = deadline - time.monotonic()
                 try:
                     if remaining > 0:
@@ -363,6 +407,11 @@ class PredictionService:
                     sentinel_seen = True
                     break
                 batch.append(item)
+            self._stages.record_value("queue_depth", depth)
+            self._stages.record_value("batch_size", len(batch))
+            self.batch_policy.observe(
+                batch_size=len(batch), queue_depth=self._queue.qsize()
+            )
             self._process_batch(batch)
             if sentinel_seen:
                 return
@@ -415,9 +464,11 @@ class PredictionService:
     def predict_proba(self, model_name: str, sequence: Iterable[str]) -> np.ndarray:
         """Class-probability vector for one raw recipe item sequence.
 
-        Cache hits return immediately; misses are micro-batched with any
-        concurrent requests before running the model.  After :meth:`close`,
-        new submissions are rejected with ``RuntimeError``.
+        Cache hits return immediately; identical concurrent misses coalesce
+        into one single-flight computation (when ``coalesce`` is on); the
+        remaining misses are micro-batched with any concurrent requests
+        before running the model.  After :meth:`close`, new submissions are
+        rejected with ``RuntimeError``.
         """
         self._ensure_open()
         # Epoch before model: if a swap lands between the two reads, the
@@ -429,12 +480,66 @@ class PredictionService:
         validated = self._validated(sequence)
         start = time.perf_counter()
         self._counters.increment(f"requests:{model_name}")
-        cached = self._cache_get(model_name, validated)
-        if cached is not None:
-            self._counters.increment("cache_hits")
+        while True:
+            cached = self._cache_get(model_name, validated)
+            if cached is not None:
+                self._counters.increment("cache_hits")
+                self._record_latency(start)
+                return cached
+            if not self.coalesce:
+                self._counters.increment("cache_misses")
+                return self._submit_and_wait(model_name, validated, model, epoch, start)
+            flight, is_leader = self._result_cache.join_flight(
+                model_name, validated, epoch
+            )
+            if is_leader:
+                self._counters.increment("cache_misses")
+                try:
+                    result = self._submit_and_wait(
+                        model_name, validated, model, epoch, start
+                    )
+                except BaseException as exc:
+                    # Followers share the leader's fate — never hang them.
+                    self._result_cache.finish_flight(
+                        model_name, validated, flight, error=exc
+                    )
+                    raise
+                self._result_cache.finish_flight(
+                    model_name, validated, flight, value=result
+                )
+                return result
+            # Follower: wait for the leader's computation instead of
+            # enqueueing a duplicate.
+            if not flight.event.wait(timeout=self.request_timeout):
+                raise TimeoutError(
+                    f"prediction for model {model_name!r} timed out after "
+                    f"{self.request_timeout}s (coalesced)"
+                )
+            if flight.epoch != self._model_epoch(model_name):
+                # A hot-swap landed mid-flight: the leader computed against
+                # the retired model version.  The leader's own caller keeps
+                # its pinned result (historical semantics); waiters retry
+                # against the current model.
+                self._counters.increment("coalesced_stale")
+                epoch = self._model_epoch(model_name)
+                model = self._require_model(model_name)
+                continue
+            if flight.error is not None:
+                raise flight.error
+            self._counters.increment("coalesced_hits")
             self._record_latency(start)
-            return cached
-        self._counters.increment("cache_misses")
+            assert flight.value is not None
+            return flight.value.copy()
+
+    def _submit_and_wait(
+        self,
+        model_name: str,
+        validated: tuple[str, ...],
+        model: CuisineModel,
+        epoch: int,
+        start: float,
+    ) -> np.ndarray:
+        """Enqueue one micro-batch request and wait for its result."""
         request = _Request(
             model_name=model_name,
             sequence=validated,
@@ -534,14 +639,22 @@ class PredictionService:
             "requests_by_model": requests,
             "cache_hits": counters.get("cache_hits", 0),
             "cache_misses": counters.get("cache_misses", 0),
+            #: Requests served by joining another request's in-flight
+            #: computation (single-flight), and waits retried because a
+            #: hot-swap landed mid-flight.
+            "coalesced_hits": counters.get("coalesced_hits", 0),
+            "coalesced_stale": counters.get("coalesced_stale", 0),
             "batches_flushed": batches,
             "batched_requests": batched,
             "mean_batch_size": (batched / batches) if batches else 0.0,
             "largest_batch": largest,
             "latency": self._latency.snapshot(),
             #: Per-stage split of the batch wall clock: queue_wait (submit →
-            #: batch drained), featurize (tokens), predict (encode + model).
+            #: batch drained), featurize (tokens), predict (encode + model) —
+            #: plus the per-flush queue_depth / batch_size distributions.
             "stages": self._stages.snapshot(),
+            #: The active batch policy's self-description (+ live signals).
+            "batching": self.batch_policy.describe(),
         }
         payload["cached_entries"] = len(self._result_cache)
         payload["cache"] = self._result_cache.stats()

@@ -94,3 +94,80 @@ def test_workload_len_and_duration():
     assert len(workload) == 10
     assert isinstance(workload, Workload)
     assert workload.duration == workload.requests[-1].arrival
+
+
+class TestBurstArrivals:
+    def test_same_seed_same_burst_schedule(self):
+        kwargs = dict(n_requests=300, seed=4, rate=200.0, arrival="burst")
+        assert build_workload(POOL, **kwargs) == build_workload(POOL, **kwargs)
+        assert build_workload(POOL, **kwargs).arrival == "burst"
+
+    def test_burst_arrivals_nondecreasing(self):
+        workload = build_workload(POOL, n_requests=500, seed=4, rate=200.0, arrival="burst")
+        arrivals = np.array([request.arrival for request in workload.requests])
+        assert np.all(np.diff(arrivals) >= 0)
+
+    def test_burstier_than_poisson(self):
+        """On/off modulation must raise the inter-arrival coefficient of
+        variation well above the Poisson process's ~1."""
+        n = 2000
+        burst = build_workload(
+            POOL, n_requests=n, seed=6, rate=200.0, arrival="burst", burst_factor=6.0
+        )
+        poisson = build_workload(POOL, n_requests=n, seed=6, rate=200.0)
+        def cv(workload):
+            gaps = np.diff([request.arrival for request in workload.requests])
+            return gaps.std() / gaps.mean()
+        assert cv(poisson) < 1.3
+        assert cv(burst) > 1.5 * cv(poisson)
+
+    def test_default_arrival_shape_unchanged(self):
+        """The historical configuration must replay bit-for-bit: defaults
+        keep the Poisson draw order (regression against reordering draws)."""
+        workload = build_workload(POOL, n_requests=50, seed=9, rate=100.0)
+        assert workload.arrival == "poisson"
+        rng = np.random.default_rng(9)
+        rng.integers(0, len(POOL), size=50)          # sequence indices
+        rng.integers(0, 100, size=50)                # key ranks
+        arrivals = np.cumsum(rng.exponential(1.0 / 100.0, size=50))
+        np.testing.assert_array_equal(
+            [request.arrival for request in workload.requests], arrivals
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"arrival": "burst"}, "rate"),
+            ({"arrival": "burst", "rate": 100, "burst_factor": 1.0}, "burst_factor"),
+            ({"arrival": "burst", "rate": 100, "burst_on_seconds": 0}, "positive"),
+            ({"arrival": "burst", "rate": 100, "burst_off_seconds": -1}, "positive"),
+            ({"arrival": "square"}, "arrival"),
+        ],
+    )
+    def test_invalid_burst_configs_raise(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            build_workload(POOL, n_requests=10, seed=1, **kwargs)
+
+
+class TestSequenceDistribution:
+    def test_zipf_sequences_concentrate_on_rank_zero(self):
+        workload = build_workload(
+            POOL, n_requests=2000, seed=8, sequence_distribution="zipf", zipf_s=1.6
+        )
+        counts = {}
+        for request in workload.requests:
+            counts[request.sequence] = counts.get(request.sequence, 0) + 1
+        hottest = max(counts, key=counts.get)
+        assert hottest == POOL[0]  # rank 0 of the pool is the hottest payload
+        assert counts[hottest] > 2 * (2000 / len(POOL))
+
+    def test_uniform_sequences_stay_flat(self):
+        workload = build_workload(POOL, n_requests=2000, seed=8)
+        counts = {}
+        for request in workload.requests:
+            counts[request.sequence] = counts.get(request.sequence, 0) + 1
+        assert max(counts.values()) < 1.3 * (2000 / len(POOL))
+
+    def test_unknown_sequence_distribution_raises(self):
+        with pytest.raises(ValueError, match="sequence_distribution"):
+            build_workload(POOL, n_requests=10, seed=1, sequence_distribution="pareto")

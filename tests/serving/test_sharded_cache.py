@@ -93,12 +93,16 @@ class TestBounds:
             "capacity": 64,
             "stripes": 8,
             "stripe_capacity": 8,
+            "in_flight": 0,
         }
 
 
 class TestEpochsAndInvalidation:
     def test_invalidate_drops_only_named_model(self):
-        cache = ShardedResultCache(capacity=64)
+        # stripe_capacity must cover every entry landing in one stripe even
+        # under an adversarial PYTHONHASHSEED, or LRU eviction (not
+        # invalidation) drops entries and the counts below flake.
+        cache = ShardedResultCache(capacity=640)
         for index in range(10):
             cache.put("old", (f"seq-{index}",), _row(index))
             cache.put("other", (f"seq-{index}",), _row(index))
@@ -224,3 +228,119 @@ class TestConcurrentHotSwap:
                 served = service.predict_proba("logreg", sequence)
                 np.testing.assert_allclose(served, row, rtol=0, atol=1e-12)
                 assert int(np.argmax(served)) == int(np.argmax(row))
+
+
+class TestSingleFlight:
+    def test_leader_then_followers(self):
+        cache = ShardedResultCache(capacity=64, n_stripes=8)
+        flight, is_leader = cache.join_flight("m", ("a",), epoch=0)
+        assert is_leader
+        joined, joined_leader = cache.join_flight("m", ("a",), epoch=0)
+        assert joined is flight and not joined_leader
+        assert cache.inflight_count() == 1
+        cache.finish_flight("m", ("a",), flight, value=_row(7))
+        assert flight.event.is_set()
+        assert flight.value[0] == 7.0
+        assert cache.inflight_count() == 0
+
+    def test_flight_value_stored_as_copy(self):
+        cache = ShardedResultCache(capacity=64, n_stripes=8)
+        flight, _ = cache.join_flight("m", ("a",), epoch=0)
+        value = _row(7)
+        cache.finish_flight("m", ("a",), flight, value=value)
+        value[0] = -1.0
+        assert flight.value[0] == 7.0
+
+    def test_error_published_to_flight(self):
+        cache = ShardedResultCache(capacity=64, n_stripes=8)
+        flight, _ = cache.join_flight("m", ("a",), epoch=0)
+        boom = RuntimeError("boom")
+        cache.finish_flight("m", ("a",), flight, error=boom)
+        assert flight.event.is_set()
+        assert flight.error is boom and flight.value is None
+
+    def test_epoch_mismatch_opens_fresh_flight(self):
+        """A caller holding a newer epoch must not join a pre-swap flight:
+        it displaces the stale record and leads a fresh one."""
+        cache = ShardedResultCache(capacity=64, n_stripes=8)
+        stale, _ = cache.join_flight("m", ("a",), epoch=0)
+        cache.invalidate("m")  # hot-swap: epoch 0 -> 1
+        fresh, is_leader = cache.join_flight("m", ("a",), epoch=cache.epoch("m"))
+        assert is_leader and fresh is not stale
+        # The displaced leader finishing must not deregister the new flight.
+        cache.finish_flight("m", ("a",), stale, value=_row(0))
+        assert cache.inflight_count() == 1
+        again, again_leader = cache.join_flight("m", ("a",), epoch=cache.epoch("m"))
+        assert again is fresh and not again_leader
+        cache.finish_flight("m", ("a",), fresh, value=_row(1))
+
+    def test_flights_work_with_caching_disabled(self):
+        cache = ShardedResultCache(capacity=0)
+        flight, is_leader = cache.join_flight("m", ("a",), epoch=0)
+        assert is_leader
+        cache.finish_flight("m", ("a",), flight, value=_row(3))
+        assert flight.value[0] == 3.0
+
+
+class TestCoalescingAcrossHotSwap:
+    def test_v1_flight_never_satisfies_waiters_after_swap(self, tiny_corpus):
+        """Satellite: a single-flight computation started on v1 must not
+        satisfy waiters once a swap to v2 bumps the epoch — the follower
+        retries and returns v2's prediction (the leader keeps its pinned v1
+        result, the historical contract)."""
+        v1 = create_model("logreg", max_iter=30)
+        v1.fit(tiny_corpus)
+        v2 = create_model("logreg", max_iter=5)
+        v2.fit(tiny_corpus)
+        sequence = tiny_corpus.recipes[0].sequence
+
+        entered = threading.Event()
+        release = threading.Event()
+        original = v1.predict_proba_features
+
+        def gated(features, *, _original=original):
+            entered.set()
+            assert release.wait(timeout=10.0)
+            return _original(features)
+
+        v1.predict_proba_features = gated
+        try:
+            with PredictionService({"cuisine": v1}) as service:
+                outcome = {}
+
+                def leader():
+                    outcome["leader"] = service.predict_proba("cuisine", sequence)
+
+                def follower():
+                    outcome["follower"] = service.predict_proba("cuisine", sequence)
+
+                leader_thread = threading.Thread(target=leader)
+                leader_thread.start()
+                assert entered.wait(timeout=10.0)  # v1 is mid-computation
+                follower_thread = threading.Thread(target=follower)
+                follower_thread.start()
+                time.sleep(0.05)  # let the follower join the flight
+                service.add_model(v2, name="cuisine")  # hot-swap bumps epoch
+                release.set()  # v1's computation completes *after* the swap
+                leader_thread.join(timeout=10.0)
+                follower_thread.join(timeout=10.0)
+                assert not leader_thread.is_alive()
+                assert not follower_thread.is_alive()
+                stats = service.stats()
+        finally:
+            v1.predict_proba_features = original
+
+        expected_v1 = v1.predict_proba_sequences([sequence])[0]
+        expected_v2 = v2.predict_proba_sequences([sequence])[0]
+        # Model versions differ enough that v1 != v2 for this input.
+        assert not np.allclose(expected_v1, expected_v2, atol=1e-12)
+        # Leader: pinned to the model it started on.
+        np.testing.assert_allclose(outcome["leader"], expected_v1, rtol=0, atol=1e-12)
+        # Follower: never served v1's stale result.
+        np.testing.assert_allclose(outcome["follower"], expected_v2, rtol=0, atol=1e-12)
+        assert stats["coalesced_stale"] >= 1
+        # The v1 result was epoch-guarded out of the cache: a fresh request
+        # now gets v2's answer (from cache or a fresh pass), never v1's.
+        with PredictionService({"cuisine": v2}) as check:
+            served = check.predict_proba("cuisine", sequence)
+        np.testing.assert_allclose(served, expected_v2, rtol=0, atol=1e-12)

@@ -26,6 +26,7 @@ setup(
         "console_scripts": [
             "repro-serve = repro.server.cli:main",
             "repro-cluster = repro.cluster.cli:main",
+            "repro-eval = repro.eval.cli:main",
         ],
     },
 )

@@ -1,0 +1,74 @@
+"""``repro.eval`` — the **online quality gate** for deployed model versions.
+
+Not to be confused with :mod:`repro.evaluation`, which regenerates the
+*paper's* offline tables and figures from library objects.  This package
+decides whether a *candidate deployment* is safe to promote:
+
+* :mod:`repro.eval.golden` — per-route, versioned, content-fingerprinted
+  golden sets (JSONL next to the bundles, held-out-cuisine slices);
+* :mod:`repro.eval.policy` — every threshold in one ``EvalPolicy`` dataclass;
+* :mod:`repro.eval.harness` — the layered evaluator (compatibility →
+  accuracy → calibration → slices, each layer gated on the previous) running
+  candidate vs baseline through the live gateway with versions pinned;
+* :mod:`repro.eval.canary` — the statistical canary analyzer fusing
+  golden-set results with live shadow agreement into a deterministic, seeded
+  ``promote`` / ``hold`` / ``rollback`` :class:`~repro.eval.canary.Verdict`
+  with byte-identical canonical JSON;
+* :mod:`repro.eval.cli` — the ``repro-eval`` console entry point
+  (``--json`` for machine consumers).
+
+The server admin plane exposes the gate as
+``GET/POST /admin/routes/<route>/evaluate`` and stores the latest verdict in
+the deployment registry, where ``stats()``, ``/metrics`` and
+``health_snapshot()`` pick it up.
+"""
+
+from repro.eval.canary import (
+    CanaryAnalyzer,
+    ShadowEvidence,
+    VERDICT_CODES,
+    Verdict,
+    binomial_cdf,
+    evaluate_route,
+)
+from repro.eval.golden import (
+    CORE_SLICE,
+    GoldenExample,
+    GoldenSet,
+    build_golden_set,
+    golden_set_path,
+    load_golden_set,
+    save_golden_set,
+)
+from repro.eval.harness import (
+    EvalReport,
+    LayerResult,
+    LayeredEvaluator,
+    accuracy_score,
+    brier_score,
+    expected_calibration_error,
+)
+from repro.eval.policy import EvalPolicy
+
+__all__ = [
+    "CORE_SLICE",
+    "CanaryAnalyzer",
+    "EvalPolicy",
+    "EvalReport",
+    "GoldenExample",
+    "GoldenSet",
+    "LayerResult",
+    "LayeredEvaluator",
+    "ShadowEvidence",
+    "VERDICT_CODES",
+    "Verdict",
+    "accuracy_score",
+    "binomial_cdf",
+    "brier_score",
+    "build_golden_set",
+    "evaluate_route",
+    "expected_calibration_error",
+    "golden_set_path",
+    "load_golden_set",
+    "save_golden_set",
+]

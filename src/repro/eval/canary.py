@@ -1,0 +1,418 @@
+"""Statistical canary analysis: from measurements to a deterministic verdict.
+
+The analyzer fuses two evidence streams —
+
+* the golden-set :class:`~repro.eval.harness.EvalReport` (paired per-example
+  correctness of candidate and baseline on frozen ground truth), and
+* live shadow agreement counters from :mod:`repro.observability`
+  (``shadow_pair_agree:<primary>-><shadow>`` plus per-class counts),
+
+— into one machine-readable :class:`Verdict`: ``promote`` / ``hold`` /
+``rollback``, with every input (policy, seed, golden fingerprint) and every
+intermediate statistic embedded, so the decision is auditable and exactly
+reproducible.
+
+Statistics are deliberately boring and exactly seeded:
+
+* a **paired bootstrap** over per-example correctness gives a percentile
+  confidence interval on the accuracy delta (``np.random.default_rng(seed)``
+  — same seed, same interval, bit for bit);
+* an **exact one-sided binomial test** (log-space, no approximation) asks how
+  surprising the observed shadow agreement count would be if the true rate
+  were exactly the policy's ``min_agreement_rate`` — run on the aggregate
+  pair and again per class to catch class-skewed disagreement that aggregate
+  agreement hides.
+
+Decision semantics:
+
+* ``rollback`` — the candidate is *confidently* worse: the bootstrap CI lies
+  entirely below the non-inferiority margin, or live shadow agreement is
+  significantly below the floor with enough samples.
+* ``promote`` — every eval layer passed, the CI lies entirely at-or-above the
+  margin, and no shadow evidence contradicts.
+* ``hold`` — everything else: insufficient evidence, borderline intervals,
+  failed soft layers (calibration/slices), or shadow contradiction short of
+  significance.  Hold is the safe default; the flywheel retries later with
+  more traffic.
+
+Verdicts contain **no timestamps or host state**; :meth:`Verdict.to_json`
+is canonical (sorted keys, compact separators), so the same inputs produce
+byte-identical verdict JSON across processes and machines — a property the
+test suite enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+from scipy.special import gammaln
+
+from repro.eval.golden import GoldenSet
+from repro.eval.harness import EvalReport, LayeredEvaluator
+from repro.eval.policy import EvalPolicy
+
+#: decision name -> numeric code exported to /metrics (float so the cluster
+#: fleet merge averages rather than sums worker-reported codes).
+VERDICT_CODES: dict[str, float] = {"promote": 1.0, "hold": 0.0, "rollback": -1.0}
+
+
+def binomial_cdf(successes: int, trials: int, rate: float) -> float:
+    """Exact P(X <= successes) for X ~ Binomial(trials, rate), in log space."""
+    if trials < 0:
+        raise ValueError(f"trials must be >= 0, got {trials}")
+    if successes >= trials:
+        return 1.0
+    if successes < 0:
+        return 0.0
+    if rate <= 0.0:
+        return 1.0
+    if rate >= 1.0:
+        return 0.0
+    counts = np.arange(0, successes + 1, dtype=np.float64)
+    log_pmf = (
+        gammaln(trials + 1)
+        - gammaln(counts + 1)
+        - gammaln(trials - counts + 1)
+        + counts * np.log(rate)
+        + (trials - counts) * np.log1p(-rate)
+    )
+    return float(min(1.0, np.exp(log_pmf).sum()))
+
+
+@dataclass(frozen=True)
+class ShadowEvidence:
+    """Live shadow agreement counts for one (primary, shadow) version pair."""
+
+    primary: str
+    shadow: str
+    requests: int
+    agreements: int
+    by_class: Mapping[str, tuple[int, int]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 0 or self.agreements < 0:
+            raise ValueError("shadow counts must be non-negative")
+        if self.agreements > self.requests:
+            raise ValueError(
+                f"agreements ({self.agreements}) exceed requests ({self.requests})"
+            )
+
+    @property
+    def agreement_rate(self) -> float | None:
+        if self.requests == 0:
+            return None
+        return self.agreements / self.requests
+
+    @classmethod
+    def from_metrics_snapshot(
+        cls, snapshot: Mapping, primary: str, shadow: str
+    ) -> "ShadowEvidence":
+        """Extract the pair's evidence from ``RouteMetrics.snapshot()`` output.
+
+        Counters are attributed per (primary, shadow) pair, so traffic
+        mirrored before a hot-swap (a different pair) never pollutes the
+        current pair's test.
+        """
+        shadow_stats = snapshot.get("shadow", {})
+        pair = shadow_stats.get("pairs", {}).get(f"{primary}->{shadow}", {})
+        requests = int(pair.get("requests", 0))
+        agreements = int(pair.get("agreements", 0))
+        by_class = {}
+        for label, rated in shadow_stats.get("by_class", {}).get(shadow, {}).items():
+            by_class[label] = (
+                int(rated.get("agreements", 0)),
+                int(rated.get("disagreements", 0)),
+            )
+        return cls(
+            primary=primary,
+            shadow=shadow,
+            requests=requests,
+            agreements=agreements,
+            by_class=by_class or None,
+        )
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """One deterministic promote/hold/rollback decision with its evidence."""
+
+    route: str
+    candidate: str
+    baseline: str
+    decision: str
+    reasons: tuple[str, ...]
+    seed: int
+    golden_version: str
+    golden_fingerprint: str
+    policy: dict
+    statistics: dict
+    report: dict
+
+    def __post_init__(self) -> None:
+        if self.decision not in VERDICT_CODES:
+            raise ValueError(
+                f"decision must be one of {sorted(VERDICT_CODES)}, "
+                f"got {self.decision!r}"
+            )
+
+    @property
+    def code(self) -> float:
+        return VERDICT_CODES[self.decision]
+
+    def as_dict(self) -> dict:
+        return {
+            "route": self.route,
+            "candidate": self.candidate,
+            "baseline": self.baseline,
+            "decision": self.decision,
+            "code": self.code,
+            "reasons": list(self.reasons),
+            "seed": int(self.seed),
+            "golden_version": self.golden_version,
+            "golden_fingerprint": self.golden_fingerprint,
+            "policy": self.policy,
+            "statistics": self.statistics,
+            "report": self.report,
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators, no timestamps.
+
+        Same seed + same golden set + same model pair ⇒ byte-identical
+        output; the admin plane and the flywheel compare and store this form.
+        """
+        import json
+
+        return json.dumps(self.as_dict(), sort_keys=True, separators=(",", ":"))
+
+    def summary(self) -> dict:
+        """Compact flat form for ``stats()`` / ``/metrics`` / health merging.
+
+        ``code`` is a float on purpose: the cluster health merge sums ints
+        and averages floats, and a fleet of workers reporting the same
+        verdict should average to that verdict, not sum to a multiple.
+        """
+        return {
+            "candidate": self.candidate,
+            "baseline": self.baseline,
+            "decision": self.decision,
+            "code": self.code,
+        }
+
+
+class CanaryAnalyzer:
+    """Turns an :class:`EvalReport` (+ optional live evidence) into a verdict."""
+
+    def __init__(self, policy: EvalPolicy | None = None, *, seed: int = 0) -> None:
+        self.policy = policy if policy is not None else EvalPolicy()
+        self.seed = int(seed)
+
+    def analyze(
+        self, report: EvalReport, shadow: ShadowEvidence | None = None
+    ) -> Verdict:
+        """Decide promote/hold/rollback for *report* (+ optional *shadow*)."""
+        policy = self.policy
+        reasons: list[str] = []
+        statistics: dict = {"bootstrap": None, "shadow": None}
+
+        rollback = False
+        promotable = report.passed
+
+        if report.candidate_correct is None or report.baseline_correct is None:
+            # Compatibility failed: the pair was never measured, so there is
+            # no statistical ground to stand on — hold, never rollback.
+            compat = report.layer("compatibility")
+            for problem in compat.details.get("problems", []):
+                reasons.append(f"compatibility: {problem}")
+            promotable = False
+        else:
+            lower, upper, observed = self._bootstrap_delta(
+                report.candidate_correct, report.baseline_correct
+            )
+            margin = -policy.max_accuracy_drop
+            statistics["bootstrap"] = {
+                "delta": observed,
+                "lower": lower,
+                "upper": upper,
+                "margin": margin,
+                "resamples": policy.bootstrap_resamples,
+                "confidence": policy.confidence,
+            }
+            if upper < margin:
+                rollback = True
+                reasons.append(
+                    f"accuracy delta CI [{lower:.4f}, {upper:.4f}] lies entirely "
+                    f"below the non-inferiority margin {margin:.4f}"
+                )
+            elif lower < margin:
+                promotable = False
+                reasons.append(
+                    f"accuracy delta CI [{lower:.4f}, {upper:.4f}] straddles the "
+                    f"non-inferiority margin {margin:.4f}; more evidence needed"
+                )
+            if not report.passed:
+                failed = report.failed_layer
+                promotable = False
+                reasons.append(f"eval layer {failed!r} failed")
+
+        if shadow is not None:
+            shadow_stats, shadow_rollback, shadow_blocks = self._shadow_test(shadow)
+            statistics["shadow"] = shadow_stats
+            if shadow_rollback:
+                rollback = True
+            if shadow_blocks:
+                promotable = False
+            reasons.extend(shadow_stats.pop("reasons"))
+
+        if rollback:
+            decision = "rollback"
+        elif promotable:
+            decision = "promote"
+            reasons.append(
+                "all eval layers passed and the accuracy delta CI clears the "
+                "non-inferiority margin"
+            )
+        else:
+            decision = "hold"
+
+        return Verdict(
+            route=report.route,
+            candidate=report.candidate,
+            baseline=report.baseline,
+            decision=decision,
+            reasons=tuple(reasons),
+            seed=self.seed,
+            golden_version=report.golden_version,
+            golden_fingerprint=report.golden_fingerprint,
+            policy=policy.as_dict(),
+            statistics=statistics,
+            report=report.as_dict(),
+        )
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def _bootstrap_delta(
+        self, candidate_correct: np.ndarray, baseline_correct: np.ndarray
+    ) -> tuple[float, float, float]:
+        """Seeded paired-bootstrap percentile CI on the accuracy delta.
+
+        Resampling examples (not the two systems independently) preserves the
+        per-example pairing, which is what makes small deltas detectable.
+        """
+        policy = self.policy
+        count = len(candidate_correct)
+        observed = float(candidate_correct.mean() - baseline_correct.mean())
+        rng = np.random.default_rng(self.seed)
+        indices = rng.integers(0, count, size=(policy.bootstrap_resamples, count))
+        deltas = (
+            candidate_correct[indices].mean(axis=1)
+            - baseline_correct[indices].mean(axis=1)
+        )
+        tail = (1.0 - policy.confidence) / 2.0
+        lower, upper = np.quantile(deltas, [tail, 1.0 - tail])
+        return float(lower), float(upper), observed
+
+    def _shadow_test(self, shadow: ShadowEvidence) -> tuple[dict, bool, bool]:
+        """Binomial tests on live agreement; returns (stats, rollback, block).
+
+        ``rollback`` when aggregate agreement is significantly below the
+        policy floor; ``block`` (demote promote to hold) when evidence is
+        below the floor without significance, or a single class shows a
+        significant skew the aggregate hides.
+        """
+        policy = self.policy
+        reasons: list[str] = []
+        rollback = False
+        block = False
+        stats: dict = {
+            "primary": shadow.primary,
+            "shadow": shadow.shadow,
+            "requests": int(shadow.requests),
+            "agreements": int(shadow.agreements),
+            "agreement_rate": shadow.agreement_rate,
+            "min_agreement_rate": policy.min_agreement_rate,
+            "p_value": None,
+            "sufficient": shadow.requests >= policy.min_shadow_requests,
+            "skewed_classes": [],
+            "reasons": reasons,
+        }
+        if shadow.requests < policy.min_shadow_requests:
+            reasons.append(
+                f"shadow evidence inconclusive: {shadow.requests} mirrored "
+                f"requests < {policy.min_shadow_requests} required"
+            )
+            return stats, rollback, block
+
+        p_value = binomial_cdf(
+            shadow.agreements, shadow.requests, policy.min_agreement_rate
+        )
+        stats["p_value"] = p_value
+        rate = shadow.agreement_rate or 0.0
+        if rate < policy.min_agreement_rate:
+            if p_value < policy.shadow_alpha:
+                rollback = True
+                reasons.append(
+                    f"live agreement {rate:.4f} over {shadow.requests} requests "
+                    f"is significantly below the {policy.min_agreement_rate:.2f} "
+                    f"floor (p={p_value:.4g})"
+                )
+            else:
+                block = True
+                reasons.append(
+                    f"live agreement {rate:.4f} is below the "
+                    f"{policy.min_agreement_rate:.2f} floor but not yet "
+                    f"significant (p={p_value:.4g})"
+                )
+
+        skewed: list[str] = []
+        for label in sorted(shadow.by_class or {}):
+            agree, disagree = shadow.by_class[label]
+            total = agree + disagree
+            if total < policy.min_class_examples:
+                continue
+            class_p = binomial_cdf(agree, total, policy.min_agreement_rate)
+            if agree / total < policy.min_agreement_rate and class_p < policy.shadow_alpha:
+                skewed.append(label)
+        if skewed:
+            block = True
+            stats["skewed_classes"] = skewed
+            reasons.append(
+                f"shadow agreement is significantly skewed on classes {skewed}"
+            )
+        return stats, rollback, block
+
+
+def evaluate_route(
+    gateway,
+    route: str,
+    candidate: str,
+    golden: GoldenSet,
+    *,
+    baseline: str | None = None,
+    policy: EvalPolicy | None = None,
+    seed: int = 0,
+    use_shadow: bool = True,
+) -> tuple[EvalReport, Verdict]:
+    """One-call gate: layered evaluation + canary analysis for a route.
+
+    Pulls live shadow evidence for the ``(baseline, candidate)`` pair from
+    the route's metrics when *use_shadow* is true (absent counters simply
+    yield zero mirrored requests, which the analyzer treats as
+    inconclusive).  This is the entry point the server admin plane and the
+    ``repro-eval`` CLI share.
+    """
+    evaluator = LayeredEvaluator(gateway)
+    report = evaluator.evaluate(
+        route, candidate, golden, baseline=baseline, policy=policy
+    )
+    shadow = None
+    if use_shadow:
+        snapshot = gateway.registry.metrics(route).snapshot()
+        shadow = ShadowEvidence.from_metrics_snapshot(
+            snapshot, primary=report.baseline, shadow=candidate
+        )
+    analyzer = CanaryAnalyzer(policy, seed=seed)
+    return report, analyzer.analyze(report, shadow)

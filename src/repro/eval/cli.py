@@ -1,0 +1,222 @@
+"""``repro-eval`` — run the eval gate from the command line.
+
+Three subcommands cover the gate's lifecycle:
+
+* ``repro-eval build`` — deterministically build a golden set from the
+  held-out test split of a synthetic corpus and persist it as JSONL;
+* ``repro-eval run`` — offline gate: load a baseline and a candidate bundle
+  into a private gateway, replay the golden set, print the verdict;
+* ``repro-eval remote`` — ask a *running* server (or cluster supervisor) to
+  evaluate via ``POST /admin/routes/<route>/evaluate``, so the decision uses
+  the live process's shadow counters.
+
+``--json`` prints the verdict's canonical JSON (sorted keys, compact, no
+timestamps) so shell scripts and the future flywheel consume decisions
+without parsing prose.  The exit code mirrors the decision: ``0`` promote,
+``1`` hold, ``2`` rollback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.error
+import urllib.request
+
+from repro.eval.canary import Verdict, evaluate_route
+from repro.eval.golden import build_golden_set, load_golden_set, save_golden_set
+from repro.eval.policy import EvalPolicy
+
+#: Decision -> process exit code (promote is the only "success").
+EXIT_CODES = {"promote": 0, "hold": 1, "rollback": 2}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-eval",
+        description="Golden-set eval gate: build sets, evaluate candidates, "
+        "emit promote/hold/rollback verdicts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser(
+        "build", help="build a golden set from a synthetic corpus test split"
+    )
+    build.add_argument("--out", required=True, help="output JSONL path")
+    build.add_argument("--route", default="cuisine", help="route the set evaluates")
+    build.add_argument("--size", type=int, help="cap the set to N seeded-sampled examples")
+    build.add_argument("--holdout", type=int, default=2, help="rarest N cuisines become holdout slices")
+    build.add_argument("--set-version", default="1", help="version label of the golden set")
+    build.add_argument("--scale", type=float, default=0.01, help="synthetic corpus scale")
+    build.add_argument("--seed", type=int, default=7, help="corpus + sampling seed")
+
+    run = sub.add_parser(
+        "run", help="offline gate: evaluate a candidate bundle against a baseline bundle"
+    )
+    run.add_argument("--route", default="cuisine")
+    run.add_argument("--baseline-bundle", required=True, help="baseline bundle directory")
+    run.add_argument("--candidate-bundle", required=True, help="candidate bundle directory")
+    run.add_argument("--baseline-version", default="baseline")
+    run.add_argument("--candidate-version", default="candidate")
+    run.add_argument("--golden", required=True, help="golden set JSONL path")
+    run.add_argument("--policy", help="JSON object overriding EvalPolicy fields")
+    run.add_argument("--seed", type=int, default=0, help="bootstrap seed")
+    run.add_argument("--json", action="store_true", help="print canonical verdict JSON")
+
+    remote = sub.add_parser(
+        "remote", help="evaluate through a running server's admin plane"
+    )
+    remote.add_argument("--url", required=True, help="server base URL, e.g. http://127.0.0.1:8000")
+    remote.add_argument("--route", default="cuisine")
+    remote.add_argument("--candidate", required=True, help="deployed candidate version")
+    remote.add_argument("--baseline", help="deployed baseline version (default: active)")
+    remote.add_argument("--golden", required=True, help="golden set path *on the server host*")
+    remote.add_argument("--token", required=True, help="admin token")
+    remote.add_argument("--policy", help="JSON object overriding EvalPolicy fields")
+    remote.add_argument("--seed", type=int, default=0, help="bootstrap seed")
+    remote.add_argument(
+        "--apply",
+        action="store_true",
+        help="let the server act on the verdict (promote swaps the candidate "
+        "active; rollback restores the previous version if the candidate is "
+        "active)",
+    )
+    remote.add_argument("--json", action="store_true", help="print canonical verdict JSON")
+    remote.add_argument("--timeout", type=float, default=60.0)
+    return parser
+
+
+def _parse_policy(raw: str | None) -> EvalPolicy | None:
+    if raw is None:
+        return None
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"--policy is not valid JSON: {exc}")
+    if not isinstance(payload, dict):
+        raise SystemExit("--policy must be a JSON object of EvalPolicy fields")
+    try:
+        return EvalPolicy.from_dict(payload)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"--policy rejected: {exc}")
+
+
+def _print_verdict(verdict_dict: dict, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(verdict_dict, sort_keys=True, separators=(",", ":")))
+        return
+    print(
+        f"verdict: {verdict_dict['decision']}  "
+        f"(candidate={verdict_dict['candidate']} "
+        f"baseline={verdict_dict['baseline']} "
+        f"route={verdict_dict['route']})"
+    )
+    for reason in verdict_dict.get("reasons", []):
+        print(f"  - {reason}")
+    bootstrap = (verdict_dict.get("statistics") or {}).get("bootstrap")
+    if bootstrap:
+        print(
+            f"  accuracy delta {bootstrap['delta']:+.4f} "
+            f"CI [{bootstrap['lower']:+.4f}, {bootstrap['upper']:+.4f}] "
+            f"margin {bootstrap['margin']:+.4f}"
+        )
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from repro.data import generate_recipedb
+    from repro.data.splits import train_val_test_split
+
+    corpus = generate_recipedb(scale=args.scale, seed=args.seed)
+    splits = train_val_test_split(corpus, seed=args.seed)
+    golden = build_golden_set(
+        splits.test,
+        args.route,
+        version=args.set_version,
+        size=args.size,
+        holdout_cuisines=args.holdout,
+        seed=args.seed,
+    )
+    path = save_golden_set(golden, args.out)
+    print(
+        f"wrote golden set {path} "
+        f"({len(golden)} examples, {len(golden.slices())} slices, "
+        f"fingerprint {golden.fingerprint()})"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.gateway.gateway import ModelGateway
+
+    policy = _parse_policy(args.policy)
+    golden = load_golden_set(args.golden)
+    gateway = ModelGateway()
+    try:
+        gateway.deploy(args.route, args.baseline_version, args.baseline_bundle)
+        gateway.deploy(
+            args.route, args.candidate_version, args.candidate_bundle, activate=False
+        )
+        _, verdict = evaluate_route(
+            gateway,
+            args.route,
+            args.candidate_version,
+            golden,
+            baseline=args.baseline_version,
+            policy=policy,
+            seed=args.seed,
+        )
+    finally:
+        gateway.close()
+    _print_verdict(verdict.as_dict(), args.json)
+    return EXIT_CODES[verdict.decision]
+
+
+def _cmd_remote(args: argparse.Namespace) -> int:
+    body: dict = {
+        "candidate": args.candidate,
+        "golden": args.golden,
+        "seed": args.seed,
+    }
+    if args.baseline:
+        body["baseline"] = args.baseline
+    if args.apply:
+        body["apply"] = True
+    if args.policy:
+        policy = _parse_policy(args.policy)
+        body["policy"] = policy.as_dict()
+    request = urllib.request.Request(
+        f"{args.url.rstrip('/')}/admin/routes/{args.route}/evaluate",
+        data=json.dumps(body).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "X-Admin-Token": args.token,
+        },
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        raise SystemExit(f"server rejected evaluation ({exc.code}): {detail}")
+    except urllib.error.URLError as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc.reason}")
+    verdict_dict = payload.get("verdict", payload)
+    _print_verdict(verdict_dict, args.json)
+    if args.apply and not args.json and "applied" in payload:
+        print(f"  applied: {payload['applied']}")
+    return EXIT_CODES.get(verdict_dict.get("decision"), 1)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_remote(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,260 @@
+"""Per-route golden sets: versioned, content-fingerprinted eval fixtures.
+
+A golden set is the frozen ground truth the eval gate replays against every
+candidate version: raw item sequences with expected cuisine labels, tagged
+with a slice name so the evaluator can report generalization separately for
+the distribution tail.  Sets are built deterministically from a
+:class:`~repro.data.recipedb.RecipeDB` split and persisted as JSONL (one
+header line + one example per line) next to the model bundles they gate, so
+the artifact that decides promotion ships with the artifacts being promoted.
+
+The header records a BLAKE2b content fingerprint covering every example;
+:func:`load_golden_set` recomputes and verifies it, so a golden set edited in
+place (accidentally or otherwise) is rejected instead of silently changing
+what "passing" means.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.data.recipedb import RecipeDB
+
+#: Slice tag of examples outside the held-out generalization slices.
+CORE_SLICE = "core"
+
+#: Prefix of the per-cuisine generalization slices.
+HOLDOUT_PREFIX = "holdout:"
+
+_FORMAT = "repro-golden-set"
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GoldenExample:
+    """One frozen eval case: a raw sequence, its label, and its slice."""
+
+    sequence: tuple[str, ...]
+    expected: str
+    slice_name: str = CORE_SLICE
+
+    def __post_init__(self) -> None:
+        if not self.sequence:
+            raise ValueError("golden example has an empty sequence")
+        if not self.expected:
+            raise ValueError("golden example has an empty expected label")
+        if not self.slice_name:
+            raise ValueError("golden example has an empty slice name")
+
+
+@dataclass(frozen=True)
+class GoldenSet:
+    """An immutable golden set for one route.
+
+    Attributes:
+        route: The gateway route this set evaluates.
+        version: Caller-chosen version label of the set itself (golden sets
+            evolve independently of model versions).
+        label_space: Canonically-ordered labels the expected labels live in;
+            must be a subset of the route's label space at evaluation time.
+        examples: The frozen eval cases.
+    """
+
+    route: str
+    version: str
+    label_space: tuple[str, ...]
+    examples: tuple[GoldenExample, ...]
+
+    def __post_init__(self) -> None:
+        if not self.route:
+            raise ValueError("golden set route must be non-empty")
+        if not self.version:
+            raise ValueError("golden set version must be non-empty")
+        if len(set(self.label_space)) != len(self.label_space):
+            raise ValueError("golden set label space has duplicate labels")
+        known = set(self.label_space)
+        unknown = sorted({ex.expected for ex in self.examples} - known)
+        if unknown:
+            raise ValueError(
+                f"golden examples expect labels {unknown} outside the set's "
+                f"label space"
+            )
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def fingerprint(self) -> str:
+        """Stable BLAKE2b content hash covering every field of every example."""
+        cached = self.__dict__.get("_fingerprint_cache")
+        if cached is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(f"{self.route}\x1e{self.version}\x1e".encode("utf-8"))
+            digest.update("\x1f".join(self.label_space).encode("utf-8"))
+            digest.update(b"\x1d")
+            for example in self.examples:
+                digest.update("\x1f".join(example.sequence).encode("utf-8"))
+                digest.update(
+                    f"\x1e{example.expected}\x1e{example.slice_name}\x1d".encode("utf-8")
+                )
+            cached = digest.hexdigest()
+            object.__setattr__(self, "_fingerprint_cache", cached)
+        return cached
+
+    def slices(self) -> dict[str, tuple[int, ...]]:
+        """Example indices grouped by slice name, sorted by slice."""
+        grouped: dict[str, list[int]] = {}
+        for index, example in enumerate(self.examples):
+            grouped.setdefault(example.slice_name, []).append(index)
+        return {name: tuple(grouped[name]) for name in sorted(grouped)}
+
+
+def build_golden_set(
+    corpus: RecipeDB,
+    route: str,
+    *,
+    version: str = "1",
+    size: int | None = None,
+    holdout_cuisines: int = 2,
+    seed: int = 0,
+    label_space: Sequence[str] | None = None,
+) -> GoldenSet:
+    """Deterministically build a golden set from a corpus split.
+
+    Pass a held-out split (e.g. ``train_val_test_split(...).test``) — never
+    training data — so the gate measures generalization, not memorization.
+
+    Args:
+        corpus: The recipes to freeze into eval cases.
+        route: Gateway route the set will evaluate.
+        version: Version label of the golden set itself.
+        size: Optional cap; when smaller than the corpus, a seeded uniform
+            sample of this many recipes is taken (same seed → same set).
+        holdout_cuisines: The rarest N cuisines (ties broken by name) are
+            tagged ``holdout:<cuisine>`` instead of ``core``; these tail
+            classes are where a retrained candidate most easily regresses
+            without moving aggregate accuracy, so the evaluator's slice layer
+            watches them separately.
+        seed: PRNG seed for the sampling step.
+        label_space: Override the recorded label space (defaults to the
+            cuisines present in the sampled corpus, in canonical order).
+
+    Returns:
+        A :class:`GoldenSet`; identical inputs produce byte-identical sets.
+    """
+    if size is not None and size < len(corpus):
+        corpus = corpus.sample(size, seed=seed)
+    counts = corpus.cuisine_counts()
+    rarest = sorted(counts, key=lambda cuisine: (counts[cuisine], cuisine))
+    holdout = set(rarest[: max(0, holdout_cuisines)])
+    space = tuple(label_space) if label_space is not None else corpus.present_cuisines()
+    examples = tuple(
+        GoldenExample(
+            sequence=recipe.sequence,
+            expected=recipe.cuisine,
+            slice_name=(
+                f"{HOLDOUT_PREFIX}{recipe.cuisine}"
+                if recipe.cuisine in holdout
+                else CORE_SLICE
+            ),
+        )
+        for recipe in corpus
+    )
+    return GoldenSet(route=route, version=version, label_space=space, examples=examples)
+
+
+def golden_set_path(directory: str | Path, route: str) -> Path:
+    """The conventional location of a route's golden set next to its bundles."""
+    return Path(directory) / f"golden_{route}.jsonl"
+
+
+def save_golden_set(golden: GoldenSet, path: str | Path) -> Path:
+    """Persist *golden* as JSONL: one header line, then one example per line."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "format": _FORMAT,
+        "format_version": _FORMAT_VERSION,
+        "route": golden.route,
+        "version": golden.version,
+        "label_space": list(golden.label_space),
+        "examples": len(golden.examples),
+        "fingerprint": golden.fingerprint(),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for example in golden.examples:
+        lines.append(
+            json.dumps(
+                {
+                    "sequence": list(example.sequence),
+                    "expected": example.expected,
+                    "slice": example.slice_name,
+                },
+                sort_keys=True,
+            )
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def load_golden_set(path: str | Path) -> GoldenSet:
+    """Load a golden set, verifying its recorded content fingerprint.
+
+    Raises:
+        FileNotFoundError: If *path* does not exist.
+        ValueError: If the file is not a golden set, is truncated, or its
+            content no longer matches the fingerprint in the header.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError(f"golden set {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"golden set {path} has a malformed header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("format") != _FORMAT:
+        raise ValueError(f"{path} is not a {_FORMAT} file")
+    if header.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"golden set {path} has format_version "
+            f"{header.get('format_version')!r}; this reader supports "
+            f"{_FORMAT_VERSION}"
+        )
+    examples = []
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"golden set {path} line {number}: {exc}") from exc
+        examples.append(
+            GoldenExample(
+                sequence=tuple(record["sequence"]),
+                expected=record["expected"],
+                slice_name=record.get("slice", CORE_SLICE),
+            )
+        )
+    declared = header.get("examples")
+    if declared is not None and declared != len(examples):
+        raise ValueError(
+            f"golden set {path} declares {declared} examples but holds "
+            f"{len(examples)} (truncated or concatenated file)"
+        )
+    golden = GoldenSet(
+        route=header["route"],
+        version=str(header["version"]),
+        label_space=tuple(header["label_space"]),
+        examples=tuple(examples),
+    )
+    recorded = header.get("fingerprint")
+    if recorded is not None and recorded != golden.fingerprint():
+        raise ValueError(
+            f"golden set {path} content does not match its recorded "
+            f"fingerprint {recorded} (got {golden.fingerprint()}); the file "
+            f"was modified after it was written"
+        )
+    return golden

@@ -1,0 +1,433 @@
+"""The layered evaluator: candidate vs baseline over a golden set.
+
+Layers run strictly in order and each one only runs if the previous passed —
+the design borrowed from layered text-to-query eval harnesses (cheap
+structural checks gate expensive semantic ones):
+
+1. **compatibility** — the golden set addresses this route, its labels fit
+   the route's label space, and it is large enough to say anything at all;
+2. **accuracy** — overall golden-set accuracy delta within the policy's
+   non-inferiority margin;
+3. **calibration** — per-class accuracy deltas plus expected calibration
+   error and Brier-score deltas (a candidate can match aggregate accuracy
+   while becoming badly over-confident or trading classes);
+4. **slices** — accuracy deltas per golden slice, including the
+   ``holdout:<cuisine>`` generalization slices of the distribution tail.
+
+Predictions go through the live :class:`~repro.gateway.gateway.ModelGateway`
+with the version pinned (``version=`` bypasses the traffic policy), so the
+gate exercises exactly the serving path production traffic takes — batched
+featurization, caching, label-space alignment — without generating shadow
+mirrors or perturbing routing counters beyond ordinary request metrics.
+
+The resulting :class:`EvalReport` carries both the JSON-able layer results
+and the paired per-example correctness vectors the statistical canary
+analyzer (:mod:`repro.eval.canary`) bootstraps over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.eval.golden import GoldenSet
+from repro.eval.policy import EvalPolicy
+from repro.gateway.gateway import ModelGateway
+
+#: Layer names, in gating order.
+LAYERS = ("compatibility", "accuracy", "calibration", "slices")
+
+
+def accuracy_score(predicted: np.ndarray, expected: np.ndarray) -> float:
+    """Fraction of positions where *predicted* equals *expected*."""
+    if len(expected) == 0:
+        return 0.0
+    return float(np.mean(predicted == expected))
+
+
+def brier_score(probabilities: np.ndarray, expected: np.ndarray) -> float:
+    """Multiclass Brier score: mean squared distance to the one-hot truth."""
+    if len(expected) == 0:
+        return 0.0
+    one_hot = np.zeros_like(probabilities)
+    one_hot[np.arange(len(expected)), expected] = 1.0
+    return float(np.mean(np.sum((probabilities - one_hot) ** 2, axis=1)))
+
+
+def expected_calibration_error(
+    probabilities: np.ndarray, expected: np.ndarray, bins: int = 10
+) -> float:
+    """ECE over equal-width confidence bins of the argmax probability."""
+    if len(expected) == 0:
+        return 0.0
+    confidence = probabilities.max(axis=1)
+    correct = probabilities.argmax(axis=1) == expected
+    edges = np.linspace(0.0, 1.0, bins + 1)
+    # Right-inclusive upper edge so confidence 1.0 lands in the last bin.
+    assignment = np.clip(np.digitize(confidence, edges[1:-1], right=False), 0, bins - 1)
+    total = len(expected)
+    ece = 0.0
+    for index in range(bins):
+        mask = assignment == index
+        count = int(np.sum(mask))
+        if count == 0:
+            continue
+        gap = abs(float(np.mean(correct[mask])) - float(np.mean(confidence[mask])))
+        ece += (count / total) * gap
+    return float(ece)
+
+
+@dataclass
+class LayerResult:
+    """Outcome of one eval layer.
+
+    ``skipped`` layers never ran because an earlier layer failed; they count
+    as not passed so a report only passes when all four layers ran clean.
+    """
+
+    name: str
+    passed: bool
+    skipped: bool = False
+    details: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": bool(self.passed),
+            "skipped": bool(self.skipped),
+            "details": self.details,
+        }
+
+
+@dataclass
+class EvalReport:
+    """Everything one layered evaluation produced.
+
+    ``candidate_correct`` / ``baseline_correct`` are paired per-example
+    0/1 vectors (golden-set order) consumed by the canary analyzer's seeded
+    bootstrap; they are deliberately excluded from :meth:`as_dict` — the wire
+    form carries the layer summaries, not raw vectors.
+    """
+
+    route: str
+    candidate: str
+    baseline: str
+    golden_version: str
+    golden_fingerprint: str
+    examples: int
+    layers: list[LayerResult] = field(default_factory=list)
+    candidate_correct: np.ndarray | None = field(default=None, repr=False)
+    baseline_correct: np.ndarray | None = field(default=None, repr=False)
+
+    @property
+    def passed(self) -> bool:
+        """True only when every layer ran and passed."""
+        return bool(self.layers) and all(layer.passed for layer in self.layers)
+
+    @property
+    def failed_layer(self) -> str | None:
+        """Name of the first layer that failed (skipped layers excluded)."""
+        for layer in self.layers:
+            if not layer.passed and not layer.skipped:
+                return layer.name
+        return None
+
+    def layer(self, name: str) -> LayerResult:
+        for layer in self.layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"no layer {name!r} in report; have {[l.name for l in self.layers]}")
+
+    def as_dict(self) -> dict:
+        return {
+            "route": self.route,
+            "candidate": self.candidate,
+            "baseline": self.baseline,
+            "golden_version": self.golden_version,
+            "golden_fingerprint": self.golden_fingerprint,
+            "examples": int(self.examples),
+            "passed": self.passed,
+            "failed_layer": self.failed_layer,
+            "layers": [layer.as_dict() for layer in self.layers],
+        }
+
+
+class LayeredEvaluator:
+    """Runs a golden set through the gateway for a (candidate, baseline) pair."""
+
+    def __init__(self, gateway: ModelGateway) -> None:
+        self.gateway = gateway
+
+    def evaluate(
+        self,
+        route: str,
+        candidate: str,
+        golden: GoldenSet,
+        *,
+        baseline: str | None = None,
+        policy: EvalPolicy | None = None,
+    ) -> EvalReport:
+        """Evaluate ``route@candidate`` against ``route@baseline`` on *golden*.
+
+        Args:
+            route: Gateway route both versions are deployed on.
+            candidate: The version under test (usually dark or shadowing).
+            golden: The frozen golden set to replay.
+            baseline: Reference version; defaults to the route's active one.
+            policy: Thresholds; defaults to ``EvalPolicy()``.
+
+        Returns:
+            An :class:`EvalReport` with one :class:`LayerResult` per layer.
+
+        Raises:
+            KeyError: Unknown route, or a version that is not deployed —
+                these are caller errors, not eval failures.
+            RuntimeError: No baseline given and the route has no active
+                version.
+        """
+        policy = policy if policy is not None else EvalPolicy()
+        registry = self.gateway.registry
+        route_space = registry.label_space(route)
+        if baseline is None:
+            baseline = registry.active_version(route)
+            if not baseline:
+                raise RuntimeError(
+                    f"route {route!r} has no active version to use as the "
+                    f"baseline; pass one explicitly"
+                )
+        deployed = set(registry.versions(route))
+        for role, version in (("candidate", candidate), ("baseline", baseline)):
+            if version not in deployed:
+                raise KeyError(
+                    f"{role} version {version!r} is not deployed on route "
+                    f"{route!r}; deployed: {sorted(deployed)}"
+                )
+
+        report = EvalReport(
+            route=route,
+            candidate=candidate,
+            baseline=baseline,
+            golden_version=golden.version,
+            golden_fingerprint=golden.fingerprint(),
+            examples=len(golden.examples),
+        )
+
+        compat = self._compatibility_layer(route, route_space, golden, policy)
+        report.layers.append(compat)
+        if not compat.passed:
+            self._skip_remaining(report)
+            return report
+
+        space_index = {label: i for i, label in enumerate(route_space)}
+        expected = np.array(
+            [space_index[example.expected] for example in golden.examples], dtype=np.int64
+        )
+        sequences = [example.sequence for example in golden.examples]
+        candidate_probs = self.gateway.predict_proba_batch(
+            route, sequences, version=candidate
+        )
+        baseline_probs = self.gateway.predict_proba_batch(
+            route, sequences, version=baseline
+        )
+        candidate_pred = candidate_probs.argmax(axis=1)
+        baseline_pred = baseline_probs.argmax(axis=1)
+        report.candidate_correct = (candidate_pred == expected).astype(np.float64)
+        report.baseline_correct = (baseline_pred == expected).astype(np.float64)
+
+        accuracy = self._accuracy_layer(
+            candidate_pred, baseline_pred, expected, policy
+        )
+        report.layers.append(accuracy)
+        if not accuracy.passed:
+            self._skip_remaining(report)
+            return report
+
+        calibration = self._calibration_layer(
+            candidate_probs,
+            baseline_probs,
+            candidate_pred,
+            baseline_pred,
+            expected,
+            route_space,
+            policy,
+        )
+        report.layers.append(calibration)
+        if not calibration.passed:
+            self._skip_remaining(report)
+            return report
+
+        report.layers.append(
+            self._slice_layer(candidate_pred, baseline_pred, expected, golden, policy)
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # layers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _compatibility_layer(
+        route: str,
+        route_space: Sequence[str],
+        golden: GoldenSet,
+        policy: EvalPolicy,
+    ) -> LayerResult:
+        problems: list[str] = []
+        if golden.route != route:
+            problems.append(
+                f"golden set targets route {golden.route!r}, not {route!r}"
+            )
+        extra_space = sorted(set(golden.label_space) - set(route_space))
+        if extra_space:
+            problems.append(
+                f"golden label space has labels {extra_space} outside the "
+                f"route's label space"
+            )
+        unknown = sorted(
+            {example.expected for example in golden.examples} - set(route_space)
+        )
+        if unknown:
+            problems.append(
+                f"golden examples expect labels {unknown} the route cannot emit"
+            )
+        if len(golden.examples) < policy.min_examples:
+            problems.append(
+                f"golden set holds {len(golden.examples)} examples; policy "
+                f"requires at least {policy.min_examples}"
+            )
+        return LayerResult(
+            name="compatibility",
+            passed=not problems,
+            details={
+                "problems": problems,
+                "examples": len(golden.examples),
+                "label_space_size": len(golden.label_space),
+            },
+        )
+
+    @staticmethod
+    def _accuracy_layer(
+        candidate_pred: np.ndarray,
+        baseline_pred: np.ndarray,
+        expected: np.ndarray,
+        policy: EvalPolicy,
+    ) -> LayerResult:
+        candidate_accuracy = accuracy_score(candidate_pred, expected)
+        baseline_accuracy = accuracy_score(baseline_pred, expected)
+        delta = candidate_accuracy - baseline_accuracy
+        return LayerResult(
+            name="accuracy",
+            passed=delta >= -policy.max_accuracy_drop,
+            details={
+                "candidate_accuracy": candidate_accuracy,
+                "baseline_accuracy": baseline_accuracy,
+                "delta": delta,
+                "max_accuracy_drop": policy.max_accuracy_drop,
+            },
+        )
+
+    @staticmethod
+    def _calibration_layer(
+        candidate_probs: np.ndarray,
+        baseline_probs: np.ndarray,
+        candidate_pred: np.ndarray,
+        baseline_pred: np.ndarray,
+        expected: np.ndarray,
+        route_space: Sequence[str],
+        policy: EvalPolicy,
+    ) -> LayerResult:
+        per_class: dict[str, dict] = {}
+        regressed: list[str] = []
+        for index, label in enumerate(route_space):
+            mask = expected == index
+            count = int(np.sum(mask))
+            if count < policy.min_class_examples:
+                continue
+            candidate_accuracy = accuracy_score(candidate_pred[mask], expected[mask])
+            baseline_accuracy = accuracy_score(baseline_pred[mask], expected[mask])
+            delta = candidate_accuracy - baseline_accuracy
+            per_class[label] = {
+                "examples": count,
+                "candidate_accuracy": candidate_accuracy,
+                "baseline_accuracy": baseline_accuracy,
+                "delta": delta,
+            }
+            if delta < -policy.max_class_accuracy_drop:
+                regressed.append(label)
+
+        candidate_ece = expected_calibration_error(
+            candidate_probs, expected, policy.calibration_bins
+        )
+        baseline_ece = expected_calibration_error(
+            baseline_probs, expected, policy.calibration_bins
+        )
+        candidate_brier = brier_score(candidate_probs, expected)
+        baseline_brier = brier_score(baseline_probs, expected)
+        ece_delta = candidate_ece - baseline_ece
+        brier_delta = candidate_brier - baseline_brier
+        passed = (
+            not regressed
+            and ece_delta <= policy.max_ece_increase
+            and brier_delta <= policy.max_brier_increase
+        )
+        return LayerResult(
+            name="calibration",
+            passed=passed,
+            details={
+                "per_class": per_class,
+                "regressed_classes": sorted(regressed),
+                "candidate_ece": candidate_ece,
+                "baseline_ece": baseline_ece,
+                "ece_delta": ece_delta,
+                "candidate_brier": candidate_brier,
+                "baseline_brier": baseline_brier,
+                "brier_delta": brier_delta,
+            },
+        )
+
+    @staticmethod
+    def _slice_layer(
+        candidate_pred: np.ndarray,
+        baseline_pred: np.ndarray,
+        expected: np.ndarray,
+        golden: GoldenSet,
+        policy: EvalPolicy,
+    ) -> LayerResult:
+        per_slice: dict[str, dict] = {}
+        regressed: list[str] = []
+        for name, indices in golden.slices().items():
+            count = len(indices)
+            selection = np.array(indices, dtype=np.int64)
+            candidate_accuracy = accuracy_score(
+                candidate_pred[selection], expected[selection]
+            )
+            baseline_accuracy = accuracy_score(
+                baseline_pred[selection], expected[selection]
+            )
+            delta = candidate_accuracy - baseline_accuracy
+            per_slice[name] = {
+                "examples": count,
+                "candidate_accuracy": candidate_accuracy,
+                "baseline_accuracy": baseline_accuracy,
+                "delta": delta,
+                # Small slices are reported but never enforced.
+                "enforced": count >= policy.min_class_examples,
+            }
+            if count >= policy.min_class_examples and delta < -policy.max_slice_accuracy_drop:
+                regressed.append(name)
+        return LayerResult(
+            name="slices",
+            passed=not regressed,
+            details={
+                "per_slice": per_slice,
+                "regressed_slices": sorted(regressed),
+            },
+        )
+
+    @staticmethod
+    def _skip_remaining(report: EvalReport) -> None:
+        present = {layer.name for layer in report.layers}
+        for name in LAYERS:
+            if name not in present:
+                report.layers.append(LayerResult(name=name, passed=False, skipped=True))

@@ -1,0 +1,105 @@
+"""Thresholds governing the eval gate, as one explicit dataclass.
+
+Every number the layered evaluator (:mod:`repro.eval.harness`) or the canary
+analyzer (:mod:`repro.eval.canary`) compares against lives here, so a verdict
+is fully reproducible from ``(golden set, model pair, policy, seed)`` and the
+policy travels inside the verdict JSON.  The defaults are deliberately
+conservative: a candidate must demonstrate non-inferiority, not merely fail
+to look bad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+
+
+@dataclass(frozen=True)
+class EvalPolicy:
+    """Promotion thresholds for the layered eval gate.
+
+    Attributes:
+        min_examples: Minimum golden-set size for any verdict beyond ``hold``.
+        max_accuracy_drop: Non-inferiority margin: the candidate's overall
+            golden-set accuracy may trail the baseline's by at most this much.
+        min_class_examples: Per-class / per-slice deltas are only enforced for
+            groups with at least this many examples (small groups are noise).
+        max_class_accuracy_drop: Largest tolerated accuracy drop on any single
+            class with enough examples.
+        calibration_bins: Confidence bins for expected calibration error.
+        max_ece_increase: Largest tolerated ECE increase (candidate - baseline).
+        max_brier_increase: Largest tolerated Brier-score increase.
+        max_slice_accuracy_drop: Largest tolerated accuracy drop on any golden
+            slice (``core`` or a ``holdout:<cuisine>`` generalization slice).
+        min_shadow_requests: Live shadow agreement is only statistically
+            tested once the (primary, candidate) pair has mirrored at least
+            this many requests; below it the shadow evidence is inconclusive.
+        min_agreement_rate: The live agreement rate the candidate must hold
+            against the baseline under the binomial test.
+        shadow_alpha: Significance level of the one-sided binomial test on
+            shadow agreement (aggregate and per-class).
+        bootstrap_resamples: Paired bootstrap resamples for the accuracy-delta
+            confidence interval.
+        confidence: Two-sided confidence level of the bootstrap interval.
+    """
+
+    min_examples: int = 30
+    max_accuracy_drop: float = 0.02
+    min_class_examples: int = 5
+    max_class_accuracy_drop: float = 0.15
+    calibration_bins: int = 10
+    max_ece_increase: float = 0.05
+    max_brier_increase: float = 0.02
+    max_slice_accuracy_drop: float = 0.10
+    min_shadow_requests: int = 50
+    min_agreement_rate: float = 0.80
+    shadow_alpha: float = 0.05
+    bootstrap_resamples: int = 400
+    confidence: float = 0.90
+
+    def __post_init__(self) -> None:
+        for name in ("min_examples", "min_class_examples", "min_shadow_requests"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if not isinstance(self.calibration_bins, int) or self.calibration_bins < 2:
+            raise ValueError(
+                f"calibration_bins must be an integer >= 2, got {self.calibration_bins!r}"
+            )
+        if not isinstance(self.bootstrap_resamples, int) or self.bootstrap_resamples < 10:
+            raise ValueError(
+                f"bootstrap_resamples must be an integer >= 10, "
+                f"got {self.bootstrap_resamples!r}"
+            )
+        for name in (
+            "max_accuracy_drop",
+            "max_class_accuracy_drop",
+            "max_ece_increase",
+            "max_brier_increase",
+            "max_slice_accuracy_drop",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= float(value) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        for name in ("min_agreement_rate", "shadow_alpha", "confidence"):
+            value = getattr(self, name)
+            if not 0.0 < float(value) < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+
+    def as_dict(self) -> dict:
+        """JSON-able mapping of every threshold (embedded in verdicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EvalPolicy":
+        """Rebuild a policy from :meth:`as_dict` output (e.g. a request body).
+
+        Unknown keys raise ``ValueError`` naming the offending field so typos
+        in admin requests fail loudly instead of silently keeping a default.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown EvalPolicy fields {unknown}; known: {sorted(known)}"
+            )
+        return cls(**payload)

@@ -1,4 +1,11 @@
-"""Regeneration of the paper's tables and figures from library objects."""
+"""Regeneration of the **paper's** tables and figures from library objects.
+
+Not to be confused with :mod:`repro.eval`, the *online* quality gate that
+decides whether a candidate deployment may be promoted (golden sets, layered
+candidate-vs-baseline evaluation, statistical canary verdicts).  This package
+is offline reporting: it reproduces Tables I–IV and the figures of
+conf_icde_SharmaUB20 from trained models and corpora.
+"""
 
 from repro.evaluation.figures import (
     feature_frequency_histogram,

@@ -131,6 +131,18 @@ class ModelGateway:
     def clear_policy(self, route: str) -> None:
         self.registry.clear_policy(route)
 
+    def record_verdict(self, route: str, verdict) -> None:
+        """Store an eval-gate verdict (a ``repro.eval`` ``Verdict`` or dict).
+
+        The stored form surfaces in :meth:`health_snapshot` (and so in
+        ``stats()`` / ``/metrics``) as each route's compact ``eval`` summary.
+        """
+        payload = verdict.as_dict() if hasattr(verdict, "as_dict") else verdict
+        self.registry.set_verdict(route, payload)
+
+    def verdict(self, route: str) -> dict | None:
+        return self.registry.verdict(route)
+
     # ------------------------------------------------------------------
     # data plane
     # ------------------------------------------------------------------
@@ -184,7 +196,9 @@ class ModelGateway:
             raise
         metrics.record_request(variant, time.perf_counter() - start)
         if decision.shadows:
-            self._mirror(snapshot, decision.shadows, [validated], result[np.newaxis, :])
+            self._mirror(
+                snapshot, decision.shadows, [validated], result[np.newaxis, :], variant
+            )
         return result
 
     def predict(
@@ -225,7 +239,10 @@ class ModelGateway:
             )
 
         groups: dict[tuple, list[int]] = {}
-        shadow_groups: dict[str, list[int]] = {}
+        # Mirrors are grouped by the (shadow, primary) pair — not the shadow
+        # alone — so agreement counters attribute to the exact version pair
+        # each mirrored request resolved, even mid-hot-swap.
+        shadow_groups: dict[tuple[str, str], list[int]] = {}
         for index, item in enumerate(validated):
             if version is not None:
                 decision = RoutingDecision(primary=version)
@@ -233,8 +250,11 @@ class ModelGateway:
                 request_key = keys[index] if keys is not None else derive_request_key(item)
                 decision = snapshot.policy.decide(request_key, snapshot.view)
             groups.setdefault((decision.primary, decision.ensemble), []).append(index)
+            primary_variant = (
+                decision.primary if decision.primary else "+".join(decision.ensemble)
+            )
             for shadow in decision.shadows:
-                shadow_groups.setdefault(shadow, []).append(index)
+                shadow_groups.setdefault((shadow, primary_variant), []).append(index)
 
         results = np.zeros((len(validated), len(snapshot.label_space)))
         variant_counts: dict[str, int] = {}
@@ -258,12 +278,13 @@ class ModelGateway:
             metrics.record_error(len(validated))
             raise
         metrics.record_batch(variant_counts, time.perf_counter() - start)
-        for shadow, indices in shadow_groups.items():
+        for (shadow, primary_variant), indices in shadow_groups.items():
             self._mirror(
                 snapshot,
                 (shadow,),
                 [validated[i] for i in indices],
                 results[indices],
+                primary_variant,
             )
         return results
 
@@ -316,6 +337,7 @@ class ModelGateway:
         shadows: tuple[str, ...],
         sequences: Sequence[tuple[str, ...]],
         primary_probabilities: np.ndarray,
+        primary_version: str,
     ) -> None:
         """Queue shadow predictions; the caller's response is already final."""
         primary_labels = primary_probabilities.argmax(axis=1).copy()
@@ -324,7 +346,12 @@ class ModelGateway:
                 break
             try:
                 future = self._shadow_pool.submit(
-                    self._run_shadow, snapshot, shadow, list(sequences), primary_labels
+                    self._run_shadow,
+                    snapshot,
+                    shadow,
+                    list(sequences),
+                    primary_labels,
+                    primary_version,
                 )
             except RuntimeError:
                 # close() shut the executor down between the flag check and
@@ -345,6 +372,7 @@ class ModelGateway:
         shadow: str,
         sequences: list[tuple[str, ...]],
         primary_labels: np.ndarray,
+        primary_version: str,
     ) -> None:
         metrics = snapshot.metrics
         try:
@@ -355,8 +383,27 @@ class ModelGateway:
             shadow_labels = self._aligned(
                 matrix, deployment, snapshot.label_space
             ).argmax(axis=1)
-            agreements = int(np.sum(shadow_labels == primary_labels))
-            metrics.record_shadow(shadow, agreements, len(sequences) - agreements)
+            matched = shadow_labels == primary_labels
+            agreements = int(np.sum(matched))
+            # Per-class attribution keyed by the *primary's* predicted label:
+            # a regression confined to one cuisine shows up as a skewed
+            # disagreement rate on that class even when the aggregate looks
+            # healthy.
+            by_class: dict[str, tuple[int, int]] = {}
+            for index in np.unique(primary_labels):
+                mask = primary_labels == index
+                agree = int(np.sum(matched[mask]))
+                by_class[snapshot.label_space[int(index)]] = (
+                    agree,
+                    int(np.sum(mask)) - agree,
+                )
+            metrics.record_shadow(
+                shadow,
+                agreements,
+                len(sequences) - agreements,
+                primary=primary_version,
+                by_class=by_class,
+            )
         except BaseException:
             metrics.record_shadow_error(len(sequences))
 

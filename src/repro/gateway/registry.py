@@ -107,6 +107,8 @@ class _Route:
     history: list[str] = field(default_factory=list)
     policy: TrafficPolicy = field(default_factory=ActiveVersion)
     metrics: RouteMetrics = field(default_factory=RouteMetrics)
+    #: Latest eval-gate verdict (repro.eval), as its JSON-able dict.
+    verdict: dict | None = None
 
     def view(self) -> RouteView:
         return RouteView(
@@ -370,6 +372,26 @@ class DeploymentRegistry:
         with self._lock:
             return self._require_route(route).metrics
 
+    # ------------------------------------------------------------------
+    # eval verdicts
+    # ------------------------------------------------------------------
+    def set_verdict(self, route: str, verdict: Mapping) -> None:
+        """Store the latest eval-gate verdict for *route* (JSON-able dict).
+
+        The registry only *stores* verdicts — producing them is
+        :mod:`repro.eval`'s job, and acting on them is the caller's.  The
+        stored dict is what ``GET /admin/routes/<route>/evaluate`` returns
+        and what :meth:`describe` summarises for ``stats()``/``/metrics``.
+        """
+        with self._lock:
+            self._require_route(route).verdict = dict(verdict)
+
+    def verdict(self, route: str) -> dict | None:
+        """The latest stored verdict of *route*, or ``None``."""
+        with self._lock:
+            stored = self._require_route(route).verdict
+            return dict(stored) if stored is not None else None
+
     def route_snapshot(self, route: str) -> RouteSnapshot:
         """An atomic :class:`RouteSnapshot` of *route* (the data-plane read).
 
@@ -414,13 +436,25 @@ class DeploymentRegistry:
     def describe(self) -> dict:
         """JSON-able snapshot of every route's deployments and policy."""
         with self._lock:
-            return {
-                name: {
+            described = {}
+            for name, state in sorted(self._routes.items()):
+                entry = {
                     "active": state.active,
                     "versions": sorted(state.deployments),
                     "history": list(state.history),
                     "policy": state.policy.describe(),
                     "label_space_size": len(state.label_space),
                 }
-                for name, state in sorted(self._routes.items())
-            }
+                if state.verdict is not None:
+                    # Compact summary only: the full verdict (reasons, layer
+                    # details, statistics) stays behind GET .../evaluate.
+                    # ``code`` is a float so the cluster fleet merge averages
+                    # worker-reported verdicts instead of summing them.
+                    entry["eval"] = {
+                        "candidate": state.verdict.get("candidate", ""),
+                        "baseline": state.verdict.get("baseline", ""),
+                        "decision": state.verdict.get("decision", ""),
+                        "code": float(state.verdict.get("code", 0.0)),
+                    }
+                described[name] = entry
+            return described

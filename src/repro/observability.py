@@ -283,7 +283,17 @@ class RouteMetrics:
     * ``requests`` / ``errors`` — primary-path totals;
     * ``variant:<version>`` — requests served by each deployed version;
     * ``shadow_requests`` / ``shadow_agreements`` / ``shadow_disagreements``
-      / ``shadow_errors`` — mirrored-traffic accounting.
+      / ``shadow_errors`` — mirrored-traffic accounting;
+    * ``shadow_agree:<shadow>`` / ``shadow_disagree:<shadow>`` — agreement
+      attributed to each shadow version;
+    * ``shadow_pair_agree:<primary>-><shadow>`` (and ``_disagree``) —
+      agreement attributed to the exact (primary, shadow) version pair the
+      mirrored request resolved, so a hot-swap mid-traffic starts a fresh
+      pair instead of polluting the old one;
+    * ``shadow_class_agree:<shadow>:<label>`` (and ``_disagree``) —
+      per-class agreement, keyed by the **primary's** predicted label, the
+      signal the eval gate's canary analyzer uses to catch class-skewed
+      regressions an aggregate rate would hide.
     """
 
     def __init__(self, latency_window: int = 2048) -> None:
@@ -307,16 +317,61 @@ class RouteMetrics:
         self.counters.increment("requests", count)
         self.counters.increment("errors", count)
 
-    def record_shadow(self, version: str, agreements: int, disagreements: int) -> None:
+    def record_shadow(
+        self,
+        version: str,
+        agreements: int,
+        disagreements: int,
+        *,
+        primary: str | None = None,
+        by_class: "Mapping[str, tuple[int, int]] | None" = None,
+    ) -> None:
+        """Record one mirrored batch's label agreement with the primary.
+
+        Args:
+            version: The shadow version that served the mirror.
+            agreements / disagreements: Aggregate label (dis)agreement counts.
+            primary: The primary version the mirrored requests resolved;
+                when given, agreement is additionally attributed to the
+                ``<primary>-><shadow>`` pair (hot-swap-safe attribution).
+            by_class: ``label -> (agreements, disagreements)`` keyed by the
+                primary's predicted label, for per-class skew detection.
+        """
         self.counters.increment("shadow_requests", agreements + disagreements)
         self.counters.increment(f"shadow:{version}", agreements + disagreements)
         if agreements:
             self.counters.increment("shadow_agreements", agreements)
+            self.counters.increment(f"shadow_agree:{version}", agreements)
         if disagreements:
             self.counters.increment("shadow_disagreements", disagreements)
+            self.counters.increment(f"shadow_disagree:{version}", disagreements)
+        if primary is not None:
+            pair = f"{primary}->{version}"
+            if agreements:
+                self.counters.increment(f"shadow_pair_agree:{pair}", agreements)
+            if disagreements:
+                self.counters.increment(f"shadow_pair_disagree:{pair}", disagreements)
+        if by_class:
+            for label, (agree, disagree) in by_class.items():
+                if agree:
+                    self.counters.increment(f"shadow_class_agree:{version}:{label}", agree)
+                if disagree:
+                    self.counters.increment(
+                        f"shadow_class_disagree:{version}:{label}", disagree
+                    )
 
     def record_shadow_error(self, count: int = 1) -> None:
         self.counters.increment("shadow_errors", count)
+
+    @staticmethod
+    def _rated(agreements: int, disagreements: int) -> dict:
+        total = agreements + disagreements
+        return {
+            "requests": total,
+            "agreements": agreements,
+            "disagreements": disagreements,
+            "agreement_rate": (agreements / total) if total else None,
+        }
 
     def snapshot(self) -> dict:
         counters = self.counters.as_dict()
@@ -325,6 +380,25 @@ class RouteMetrics:
             for name, count in counters.items()
             if name.startswith("variant:")
         }
+        # Reassemble the flat shadow counters into (dis)agreement pairs per
+        # shadow version, per (primary, shadow) pair and per predicted class.
+        by_version: dict[str, list[int]] = {}
+        pairs: dict[str, list[int]] = {}
+        by_class: dict[str, dict[str, list[int]]] = {}
+        for name, count in counters.items():
+            if name.startswith(("shadow_agree:", "shadow_disagree:")):
+                prefix, version = name.split(":", 1)
+                slot = by_version.setdefault(version, [0, 0])
+                slot[0 if prefix == "shadow_agree" else 1] += count
+            elif name.startswith(("shadow_pair_agree:", "shadow_pair_disagree:")):
+                prefix, pair = name.split(":", 1)
+                slot = pairs.setdefault(pair, [0, 0])
+                slot[0 if prefix == "shadow_pair_agree" else 1] += count
+            elif name.startswith(("shadow_class_agree:", "shadow_class_disagree:")):
+                prefix, rest = name.split(":", 1)
+                version, label = rest.split(":", 1)
+                slot = by_class.setdefault(version, {}).setdefault(label, [0, 0])
+                slot[0 if prefix == "shadow_class_agree" else 1] += count
         shadow_requests = counters.get("shadow_requests", 0)
         return {
             "requests": counters.get("requests", 0),
@@ -340,6 +414,21 @@ class RouteMetrics:
                     if shadow_requests
                     else None
                 ),
+                "by_version": {
+                    version: self._rated(agree, disagree)
+                    for version, (agree, disagree) in sorted(by_version.items())
+                },
+                "pairs": {
+                    pair: self._rated(agree, disagree)
+                    for pair, (agree, disagree) in sorted(pairs.items())
+                },
+                "by_class": {
+                    version: {
+                        label: self._rated(agree, disagree)
+                        for label, (agree, disagree) in sorted(labels.items())
+                    }
+                    for version, labels in sorted(by_class.items())
+                },
             },
             "latency": self.latency.snapshot(),
         }

@@ -12,7 +12,11 @@
 * ``GET /metrics`` — the same state flattened to the text exposition format
   (:func:`repro.observability.render_metrics_text`);
 * ``POST /admin/routes/<route>/{deploy,swap,rollback,retire,policy}`` —
-  the control plane, guarded by a bearer-style ``x-admin-token`` header.
+  the control plane, guarded by a bearer-style ``x-admin-token`` header;
+* ``GET/POST /admin/routes/<route>/evaluate`` — the eval gate
+  (:mod:`repro.eval`): POST replays a golden set through the gateway and
+  stores a deterministic promote/hold/rollback verdict (optionally acting on
+  it with ``apply``); GET returns the stored verdict.
 
 Production concerns the gateway cannot provide alone live here:
 **admission control** (a bounded in-flight window; excess prediction
@@ -42,6 +46,9 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.eval.canary import evaluate_route
+from repro.eval.golden import load_golden_set
+from repro.eval.policy import EvalPolicy
 from repro.gateway.gateway import ModelGateway
 from repro.gateway.policies import ABSplit, Canary, Ensemble, Shadow, TrafficPolicy
 from repro.observability import CounterSet, RollingLatency, render_metrics_text
@@ -408,10 +415,20 @@ class ModelServer:
             self._require_method(request, "POST")
             return await self._handle_predict(segments[1], request)
         if len(segments) == 4 and segments[:2] == ("admin", "routes"):
-            self._require_method(request, "POST")
-            # Off the event loop: deploy loads bundle arrays from disk, and
-            # registry mutations take the registry lock — neither may stall
-            # concurrently-served predictions.
+            # ``evaluate`` is dual-method: GET reads the stored verdict, POST
+            # runs the gate.  Every other admin action mutates and is POST-only.
+            if segments[3] == "evaluate":
+                if request.method not in ("GET", "POST"):
+                    raise HTTPError(
+                        405, "method_not_allowed",
+                        f"{request.path} only accepts GET or POST, got {request.method}",
+                    )
+            else:
+                self._require_method(request, "POST")
+            # Off the event loop: deploy loads bundle arrays from disk, eval
+            # replays a golden set through the gateway, and registry mutations
+            # take the registry lock — none may stall concurrently-served
+            # predictions.
             return await asyncio.get_running_loop().run_in_executor(
                 self._executor,
                 functools.partial(self._handle_admin, segments[2], segments[3], request),
@@ -671,6 +688,17 @@ class ModelServer:
                     "route": route,
                     "policy": self.gateway.registry.policy(route).describe(),
                 }
+            if action == "evaluate":
+                if request.method == "GET":
+                    verdict = self.gateway.verdict(route)
+                    if verdict is None:
+                        raise HTTPError(
+                            404, "no_verdict",
+                            f"route {route!r} has no stored eval verdict; POST "
+                            f"to this endpoint to run the gate",
+                        )
+                    return 200, {"route": route, "verdict": verdict}
+                return self._handle_evaluate(route, payload)
         except HTTPError:
             raise
         except KeyError as exc:
@@ -680,8 +708,86 @@ class ModelServer:
         raise HTTPError(
             404, "not_found",
             f"unknown admin action {action!r}; known: deploy, swap, rollback, "
-            f"retire, policy",
+            f"retire, policy, evaluate",
         )
+
+    def _handle_evaluate(self, route: str, payload: dict):
+        """Run the eval gate (``repro.eval``) for a candidate version.
+
+        Body fields: ``candidate`` (required), ``golden`` (required path to a
+        golden-set JSONL on this host), ``baseline`` (default: the active
+        version), ``policy`` (EvalPolicy field overrides), ``seed``
+        (bootstrap seed, default 0), ``shadow`` (use live shadow counters,
+        default true) and ``apply`` (act on the verdict: promote swaps the
+        candidate active, rollback restores the previous version when the
+        candidate is the active one).  The verdict is stored on the route
+        and summarised in ``/healthz`` and ``/metrics``.
+        """
+        candidate = self._required_string(payload, "candidate")
+        golden_path = self._required_string(payload, "golden")
+        baseline = self._optional_string(payload, "baseline")
+        seed = payload.get("seed", 0)
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise HTTPError(
+                400, "bad_field",
+                f"'seed' must be an integer, got {type(seed).__name__}",
+                field="seed",
+            )
+        policy = None
+        if payload.get("policy") is not None:
+            spec = payload["policy"]
+            if not isinstance(spec, dict):
+                raise HTTPError(
+                    400, "bad_field",
+                    f"'policy' must be a JSON object of EvalPolicy fields, "
+                    f"got {type(spec).__name__}",
+                    field="policy",
+                )
+            try:
+                policy = EvalPolicy.from_dict(spec)
+            except (TypeError, ValueError) as exc:
+                raise HTTPError(400, "bad_field", str(exc), field="policy") from None
+        try:
+            golden = load_golden_set(golden_path)
+        except FileNotFoundError:
+            raise HTTPError(
+                400, "bad_field",
+                f"no golden set at {golden_path!r} on this host",
+                field="golden",
+            ) from None
+        except ValueError as exc:
+            raise HTTPError(400, "bad_field", str(exc), field="golden") from None
+        _, verdict = evaluate_route(
+            self.gateway,
+            route,
+            candidate,
+            golden,
+            baseline=baseline,
+            policy=policy,
+            seed=seed,
+            use_shadow=bool(payload.get("shadow", True)),
+        )
+        self.gateway.record_verdict(route, verdict)
+        applied = "none"
+        if payload.get("apply"):
+            if verdict.decision == "promote":
+                if self.gateway.registry.active_version(route) != candidate:
+                    self.gateway.swap(route, candidate)
+                    applied = f"swapped active to {candidate}"
+                else:
+                    applied = f"{candidate} already active"
+            elif verdict.decision == "rollback":
+                if self.gateway.registry.active_version(route) == candidate:
+                    restored = self.gateway.rollback(route)
+                    applied = f"rolled back to {restored.version}"
+                else:
+                    applied = "none (candidate is not the active version)"
+        return 200, {
+            "route": route,
+            "verdict": verdict.as_dict(),
+            "applied": applied,
+            "active": self.gateway.registry.active_version(route),
+        }
 
     @staticmethod
     def _required_string(payload: dict, field: str) -> str:

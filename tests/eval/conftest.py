@@ -1,0 +1,69 @@
+"""Shared fixtures for the eval-gate test suite.
+
+Two logreg bundles are trained once per session on the tiny corpus: a *good*
+one on the real labels and a *degraded* one on label-permuted recipes (the
+permutation preserves schema validity while destroying the label mapping), so
+tests can exercise both promote and rollback paths deterministically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import ExperimentConfig, ExperimentRunner
+from repro.data.recipedb import RecipeDB
+from repro.eval import build_golden_set
+from repro.gateway.gateway import ModelGateway
+
+FAST_KWARGS = {"logreg": {"max_iter": 30}}
+
+
+def _train_logreg(corpus, export_dir):
+    config = ExperimentConfig(
+        models=("logreg",),
+        seed=3,
+        statistical_kwargs=FAST_KWARGS,
+        export_dir=str(export_dir),
+    )
+    ExperimentRunner(config, corpus=corpus).run()
+    return export_dir / "logreg"
+
+
+@pytest.fixture(scope="session")
+def good_bundle_dir(tiny_corpus, tmp_path_factory):
+    return _train_logreg(tiny_corpus, tmp_path_factory.mktemp("eval-good"))
+
+
+@pytest.fixture(scope="session")
+def degraded_bundle_dir(tiny_corpus, tmp_path_factory):
+    """A bundle trained on label-permuted recipes: confidently wrong."""
+    rng = np.random.default_rng(5)
+    cuisines = tiny_corpus.cuisines
+    permuted = [cuisines[i] for i in rng.permutation(len(cuisines))]
+    corrupted = RecipeDB(
+        [
+            dataclasses.replace(recipe, cuisine=cuisine)
+            for recipe, cuisine in zip(tiny_corpus.recipes, permuted)
+        ]
+    )
+    return _train_logreg(corrupted, tmp_path_factory.mktemp("eval-degraded"))
+
+
+@pytest.fixture(scope="session")
+def golden_tiny(tiny_corpus):
+    """A golden set over the whole tiny corpus (version ``g1``)."""
+    return build_golden_set(tiny_corpus, "cuisine", version="g1", seed=11)
+
+
+@pytest.fixture()
+def eval_gateway(good_bundle_dir, degraded_bundle_dir):
+    """``cuisine`` with v1 (good, active), v2 (good copy) and v3 (degraded)."""
+    gateway = ModelGateway()
+    gateway.deploy("cuisine", "v1", good_bundle_dir)
+    gateway.deploy("cuisine", "v2", good_bundle_dir, activate=False)
+    gateway.deploy("cuisine", "v3", degraded_bundle_dir, activate=False)
+    yield gateway
+    gateway.close()

@@ -1,0 +1,249 @@
+"""Canary analysis: exact binomial test, seeded bootstrap, verdict semantics.
+
+Includes the property test the acceptance criteria name: same seed + same
+golden set + same model pair ⇒ byte-identical verdict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    CanaryAnalyzer,
+    EvalPolicy,
+    EvalReport,
+    LayerResult,
+    ShadowEvidence,
+    VERDICT_CODES,
+    binomial_cdf,
+    evaluate_route,
+)
+from repro.eval.harness import LAYERS
+from repro.observability import RouteMetrics
+
+
+def make_report(candidate_correct, baseline_correct, *, passed=True, failed=()):
+    """A synthetic EvalReport with hand-chosen correctness vectors."""
+    report = EvalReport(
+        route="cuisine",
+        candidate="cand",
+        baseline="base",
+        golden_version="g1",
+        golden_fingerprint="f" * 32,
+        examples=len(candidate_correct),
+    )
+    report.layers = [
+        LayerResult(name=name, passed=passed and name not in failed)
+        for name in LAYERS
+    ]
+    report.candidate_correct = np.asarray(candidate_correct, dtype=np.float64)
+    report.baseline_correct = np.asarray(baseline_correct, dtype=np.float64)
+    return report
+
+
+class TestBinomialCdf:
+    def test_exact_small_case(self):
+        # P(X <= 2) for Binomial(4, 0.5) = (1 + 4 + 6) / 16.
+        assert binomial_cdf(2, 4, 0.5) == pytest.approx(11 / 16)
+
+    def test_matches_exact_summation(self):
+        total = sum(
+            math.comb(30, k) * 0.8**k * 0.2 ** (30 - k) for k in range(0, 21)
+        )
+        assert binomial_cdf(20, 30, 0.8) == pytest.approx(total, rel=1e-12)
+
+    def test_boundaries(self):
+        assert binomial_cdf(10, 10, 0.3) == 1.0
+        assert binomial_cdf(-1, 10, 0.3) == 0.0
+        assert binomial_cdf(0, 10, 0.0) == 1.0
+        assert binomial_cdf(5, 10, 1.0) == 0.0
+
+
+class TestVerdicts:
+    def test_identical_pair_promotes(self):
+        correct = np.ones(200)
+        verdict = CanaryAnalyzer(seed=0).analyze(make_report(correct, correct))
+        assert verdict.decision == "promote"
+        assert verdict.code == 1.0
+
+    def test_confident_regression_rolls_back(self):
+        baseline = np.ones(400)
+        candidate = np.zeros(400)
+        candidate[:200] = 1.0  # 50% vs 100%: far outside any CI
+        verdict = CanaryAnalyzer(seed=0).analyze(
+            make_report(candidate, baseline, failed=("accuracy",))
+        )
+        assert verdict.decision == "rollback"
+        assert verdict.code == -1.0
+        stats = verdict.statistics["bootstrap"]
+        assert stats["upper"] < stats["margin"]
+
+    def test_borderline_regression_holds(self):
+        rng = np.random.default_rng(7)
+        baseline = (rng.random(120) < 0.85).astype(float)
+        candidate = baseline.copy()
+        flips = rng.choice(np.flatnonzero(candidate), size=4, replace=False)
+        candidate[flips] = 0.0  # small delta: the CI straddles the margin
+        verdict = CanaryAnalyzer(seed=0).analyze(make_report(candidate, baseline))
+        assert verdict.decision == "hold"
+        stats = verdict.statistics["bootstrap"]
+        assert stats["lower"] < stats["margin"] <= stats["upper"]
+
+    def test_failed_soft_layer_blocks_promotion(self):
+        correct = np.ones(200)
+        report = make_report(correct, correct, failed=("slices",))
+        verdict = CanaryAnalyzer(seed=0).analyze(report)
+        assert verdict.decision == "hold"
+        assert any("'slices' failed" in reason for reason in verdict.reasons)
+
+    def test_compatibility_failure_holds_without_statistics(self):
+        report = EvalReport(
+            route="cuisine",
+            candidate="cand",
+            baseline="base",
+            golden_version="g1",
+            golden_fingerprint="f" * 32,
+            examples=3,
+        )
+        report.layers = [
+            LayerResult(
+                name="compatibility", passed=False, details={"problems": ["too small"]}
+            )
+        ] + [LayerResult(name=name, passed=False, skipped=True) for name in LAYERS[1:]]
+        verdict = CanaryAnalyzer(seed=0).analyze(report)
+        assert verdict.decision == "hold"
+        assert verdict.statistics["bootstrap"] is None
+
+    def test_invalid_decision_rejected(self):
+        correct = np.ones(50)
+        verdict = CanaryAnalyzer(seed=0).analyze(make_report(correct, correct))
+        with pytest.raises(ValueError, match="decision"):
+            type(verdict)(**{**verdict.__dict__, "decision": "maybe"})
+
+    def test_codes_cover_every_decision(self):
+        assert VERDICT_CODES == {"promote": 1.0, "hold": 0.0, "rollback": -1.0}
+
+
+class TestShadowEvidence:
+    def _promotable(self):
+        correct = np.ones(200)
+        return make_report(correct, correct)
+
+    def test_insufficient_shadow_traffic_is_inconclusive(self):
+        shadow = ShadowEvidence(primary="base", shadow="cand", requests=10, agreements=9)
+        verdict = CanaryAnalyzer(seed=0).analyze(self._promotable(), shadow)
+        assert verdict.decision == "promote"
+        assert verdict.statistics["shadow"]["sufficient"] is False
+
+    def test_significantly_low_agreement_rolls_back(self):
+        shadow = ShadowEvidence(primary="base", shadow="cand", requests=200, agreements=120)
+        verdict = CanaryAnalyzer(seed=0).analyze(self._promotable(), shadow)
+        assert verdict.decision == "rollback"
+        assert verdict.statistics["shadow"]["p_value"] < 0.05
+
+    def test_slightly_low_agreement_holds(self):
+        shadow = ShadowEvidence(primary="base", shadow="cand", requests=100, agreements=78)
+        verdict = CanaryAnalyzer(seed=0).analyze(self._promotable(), shadow)
+        assert verdict.decision == "hold"
+
+    def test_healthy_agreement_promotes(self):
+        shadow = ShadowEvidence(primary="base", shadow="cand", requests=200, agreements=190)
+        verdict = CanaryAnalyzer(seed=0).analyze(self._promotable(), shadow)
+        assert verdict.decision == "promote"
+
+    def test_class_skew_demotes_to_hold(self):
+        shadow = ShadowEvidence(
+            primary="base",
+            shadow="cand",
+            requests=300,
+            agreements=285,
+            by_class={"Italian": (255, 0), "Thai": (30, 15)},
+        )
+        verdict = CanaryAnalyzer(seed=0).analyze(self._promotable(), shadow)
+        assert verdict.decision == "hold"
+        assert verdict.statistics["shadow"]["skewed_classes"] == ["Thai"]
+
+    def test_from_metrics_snapshot_reads_pair_counters(self):
+        metrics = RouteMetrics()
+        metrics.record_shadow(
+            "cand", 40, 10, primary="base", by_class={"Italian": (25, 5), "Thai": (15, 5)}
+        )
+        metrics.record_shadow("cand", 7, 3, primary="other")  # different pair
+        evidence = ShadowEvidence.from_metrics_snapshot(
+            metrics.snapshot(), primary="base", shadow="cand"
+        )
+        assert evidence.requests == 50
+        assert evidence.agreements == 40
+        assert evidence.by_class == {"Italian": (25, 5), "Thai": (15, 5)}
+
+    def test_missing_pair_yields_zero_evidence(self):
+        evidence = ShadowEvidence.from_metrics_snapshot(
+            RouteMetrics().snapshot(), primary="base", shadow="cand"
+        )
+        assert evidence.requests == 0
+        assert evidence.agreement_rate is None
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_property(self):
+        """Property: any report analyzed twice with one seed is byte-stable."""
+        for trial in range(25):
+            rng = np.random.default_rng(trial)
+            count = int(rng.integers(40, 300))
+            baseline = (rng.random(count) < rng.uniform(0.5, 1.0)).astype(float)
+            flip = rng.random(count) < rng.uniform(0.0, 0.3)
+            candidate = np.where(flip, 1.0 - baseline, baseline)
+            shadow = None
+            if trial % 3 == 0:
+                requests = int(rng.integers(10, 500))
+                shadow = ShadowEvidence(
+                    primary="base",
+                    shadow="cand",
+                    requests=requests,
+                    agreements=int(rng.integers(0, requests + 1)),
+                )
+            seed = int(rng.integers(0, 2**31))
+            first = CanaryAnalyzer(seed=seed).analyze(
+                make_report(candidate, baseline), shadow
+            )
+            second = CanaryAnalyzer(seed=seed).analyze(
+                make_report(candidate, baseline), shadow
+            )
+            assert first.to_json() == second.to_json()
+            # Canonical JSON round-trips through a generic JSON parser.
+            assert json.loads(first.to_json())["decision"] == first.decision
+
+    def test_full_stack_verdict_byte_identical(self, eval_gateway, golden_tiny):
+        """Same seed + same golden set + same model pair ⇒ identical JSON."""
+        _, first = evaluate_route(eval_gateway, "cuisine", "v2", golden_tiny, seed=17)
+        _, second = evaluate_route(eval_gateway, "cuisine", "v2", golden_tiny, seed=17)
+        assert first.to_json().encode() == second.to_json().encode()
+        assert "timestamp" not in first.to_json()
+
+    def test_different_seed_changes_statistics_not_stability(
+        self, eval_gateway, golden_tiny
+    ):
+        _, first = evaluate_route(eval_gateway, "cuisine", "v2", golden_tiny, seed=1)
+        _, second = evaluate_route(eval_gateway, "cuisine", "v2", golden_tiny, seed=2)
+        assert json.loads(first.to_json())["seed"] == 1
+        assert json.loads(second.to_json())["seed"] == 2
+
+
+class TestPolicy:
+    def test_round_trip(self):
+        policy = EvalPolicy(max_accuracy_drop=0.05, bootstrap_resamples=100)
+        assert EvalPolicy.from_dict(policy.as_dict()) == policy
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown EvalPolicy fields"):
+            EvalPolicy.from_dict({"max_acc_drop": 0.1})
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError, match="min_agreement_rate"):
+            EvalPolicy(min_agreement_rate=1.5)
+        with pytest.raises(ValueError, match="bootstrap_resamples"):
+            EvalPolicy(bootstrap_resamples=1)

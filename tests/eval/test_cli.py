@@ -1,0 +1,139 @@
+"""The ``repro-eval`` CLI: golden-set builds, offline gates, ``--json`` output."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval import load_golden_set, save_golden_set
+from repro.eval.cli import main
+
+
+def test_build_writes_verifiable_golden_set(tmp_path, capsys):
+    out = tmp_path / "golden_cuisine.jsonl"
+    rc = main(
+        ["build", "--out", str(out), "--scale", "0.004", "--seed", "11", "--size", "60"]
+    )
+    assert rc == 0
+    golden = load_golden_set(out)
+    assert len(golden) == 60
+    assert golden.fingerprint() in capsys.readouterr().out
+
+    # Same arguments → byte-identical artifact.
+    again = tmp_path / "again.jsonl"
+    rc = main(
+        ["build", "--out", str(again), "--scale", "0.004", "--seed", "11", "--size", "60"]
+    )
+    assert rc == 0
+    assert again.read_bytes() == out.read_bytes()
+
+
+def test_run_promotes_equal_candidate_with_json(
+    good_bundle_dir, golden_tiny, tmp_path, capsys
+):
+    golden_path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+    argv = [
+        "run",
+        "--baseline-bundle",
+        str(good_bundle_dir),
+        "--candidate-bundle",
+        str(good_bundle_dir),
+        "--golden",
+        str(golden_path),
+        "--seed",
+        "3",
+        "--json",
+    ]
+    rc = main(argv)
+    first = capsys.readouterr().out
+    verdict = json.loads(first)
+    assert rc == 0
+    assert verdict["decision"] == "promote"
+    assert verdict["candidate"] == "candidate"
+    assert verdict["baseline"] == "baseline"
+
+    # The canonical JSON on stdout is byte-stable across runs.
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_run_rolls_back_degraded_candidate(
+    good_bundle_dir, degraded_bundle_dir, golden_tiny, tmp_path, capsys
+):
+    golden_path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+    rc = main(
+        [
+            "run",
+            "--baseline-bundle",
+            str(good_bundle_dir),
+            "--candidate-bundle",
+            str(degraded_bundle_dir),
+            "--golden",
+            str(golden_path),
+            "--json",
+        ]
+    )
+    assert rc == 2
+    assert json.loads(capsys.readouterr().out)["decision"] == "rollback"
+
+
+def test_run_human_output_lists_reasons(
+    good_bundle_dir, golden_tiny, tmp_path, capsys
+):
+    golden_path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+    rc = main(
+        [
+            "run",
+            "--baseline-bundle",
+            str(good_bundle_dir),
+            "--candidate-bundle",
+            str(good_bundle_dir),
+            "--golden",
+            str(golden_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "verdict: promote" in out
+    assert "accuracy delta" in out
+
+
+def test_bad_policy_json_exits_with_message(good_bundle_dir, golden_tiny, tmp_path):
+    golden_path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+    with pytest.raises(SystemExit, match="not valid JSON"):
+        main(
+            [
+                "run",
+                "--baseline-bundle",
+                str(good_bundle_dir),
+                "--candidate-bundle",
+                str(good_bundle_dir),
+                "--golden",
+                str(golden_path),
+                "--policy",
+                "{nope",
+            ]
+        )
+
+
+def test_policy_override_is_applied(good_bundle_dir, golden_tiny, tmp_path, capsys):
+    golden_path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+    rc = main(
+        [
+            "run",
+            "--baseline-bundle",
+            str(good_bundle_dir),
+            "--candidate-bundle",
+            str(good_bundle_dir),
+            "--golden",
+            str(golden_path),
+            "--policy",
+            '{"min_examples": 100000}',
+            "--json",
+        ]
+    )
+    verdict = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert verdict["decision"] == "hold"
+    assert verdict["policy"]["min_examples"] == 100000

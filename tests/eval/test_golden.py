@@ -1,0 +1,110 @@
+"""Golden sets: deterministic construction, JSONL persistence, tamper checks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.eval import (
+    CORE_SLICE,
+    GoldenExample,
+    GoldenSet,
+    build_golden_set,
+    golden_set_path,
+    load_golden_set,
+    save_golden_set,
+)
+
+
+class TestBuild:
+    def test_same_inputs_same_fingerprint(self, tiny_corpus):
+        first = build_golden_set(tiny_corpus, "cuisine", size=100, seed=11)
+        second = build_golden_set(tiny_corpus, "cuisine", size=100, seed=11)
+        assert first.fingerprint() == second.fingerprint()
+        assert first.examples == second.examples
+
+    def test_seed_changes_sampled_content(self, tiny_corpus):
+        first = build_golden_set(tiny_corpus, "cuisine", size=100, seed=11)
+        second = build_golden_set(tiny_corpus, "cuisine", size=100, seed=12)
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_size_caps_examples(self, tiny_corpus):
+        golden = build_golden_set(tiny_corpus, "cuisine", size=50, seed=1)
+        assert len(golden) == 50
+
+    def test_holdout_slices_tag_rarest_cuisines(self, tiny_corpus):
+        golden = build_golden_set(tiny_corpus, "cuisine", holdout_cuisines=3, seed=1)
+        counts = tiny_corpus.cuisine_counts()
+        rarest = sorted(counts, key=lambda c: (counts[c], c))[:3]
+        holdout_slices = {
+            name for name in golden.slices() if name.startswith("holdout:")
+        }
+        assert holdout_slices == {f"holdout:{c}" for c in rarest}
+        for example in golden.examples:
+            if example.expected in rarest:
+                assert example.slice_name == f"holdout:{example.expected}"
+            else:
+                assert example.slice_name == CORE_SLICE
+
+    def test_slices_partition_all_examples(self, golden_tiny):
+        indices = [i for group in golden_tiny.slices().values() for i in group]
+        assert sorted(indices) == list(range(len(golden_tiny)))
+
+    def test_expected_label_outside_space_rejected(self):
+        with pytest.raises(ValueError, match="outside the set's"):
+            GoldenSet(
+                route="cuisine",
+                version="1",
+                label_space=("Italian",),
+                examples=(GoldenExample(sequence=("a",), expected="Thai"),),
+            )
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="empty sequence"):
+            GoldenExample(sequence=(), expected="Italian")
+
+
+class TestPersistence:
+    def test_round_trip_preserves_fingerprint(self, golden_tiny, tmp_path):
+        path = save_golden_set(golden_tiny, golden_set_path(tmp_path, "cuisine"))
+        assert path.name == "golden_cuisine.jsonl"
+        loaded = load_golden_set(path)
+        assert loaded.fingerprint() == golden_tiny.fingerprint()
+        assert loaded.examples == golden_tiny.examples
+        assert loaded.label_space == golden_tiny.label_space
+        assert loaded.version == golden_tiny.version
+
+    def test_save_is_byte_deterministic(self, golden_tiny, tmp_path):
+        first = save_golden_set(golden_tiny, tmp_path / "a.jsonl").read_bytes()
+        second = save_golden_set(golden_tiny, tmp_path / "b.jsonl").read_bytes()
+        assert first == second
+
+    def test_tampered_example_rejected(self, golden_tiny, tmp_path):
+        path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["expected"] = next(
+            label for label in golden_tiny.label_space if label != record["expected"]
+        )
+        lines[1] = json.dumps(record, sort_keys=True)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="fingerprint"):
+            load_golden_set(path)
+
+    def test_truncated_file_rejected(self, golden_tiny, tmp_path):
+        path = save_golden_set(golden_tiny, tmp_path / "golden.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")
+        with pytest.raises(ValueError, match="declares"):
+            load_golden_set(path)
+
+    def test_non_golden_file_rejected(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"hello": "world"}\n')
+        with pytest.raises(ValueError, match="not a repro-golden-set"):
+            load_golden_set(path)
+
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_golden_set(tmp_path / "absent.jsonl")

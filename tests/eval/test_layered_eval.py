@@ -1,0 +1,123 @@
+"""The layered evaluator: metric helpers, gating, and gateway integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    EvalPolicy,
+    LayeredEvaluator,
+    accuracy_score,
+    brier_score,
+    build_golden_set,
+    expected_calibration_error,
+)
+from repro.eval.harness import LAYERS
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        predicted = np.array([0, 1, 2, 2])
+        expected = np.array([0, 1, 1, 2])
+        assert accuracy_score(predicted, expected) == pytest.approx(0.75)
+
+    def test_brier_perfect_prediction_is_zero(self):
+        probabilities = np.eye(3)
+        expected = np.array([0, 1, 2])
+        assert brier_score(probabilities, expected) == pytest.approx(0.0)
+
+    def test_brier_hand_computed(self):
+        probabilities = np.array([[0.8, 0.2], [0.4, 0.6]])
+        expected = np.array([0, 0])
+        # (0.04 + 0.04) and (0.36 + 0.36), averaged.
+        assert brier_score(probabilities, expected) == pytest.approx(0.4)
+
+    def test_ece_confident_and_correct_is_zero(self):
+        probabilities = np.array([[1.0, 0.0], [0.0, 1.0]])
+        expected = np.array([0, 1])
+        assert expected_calibration_error(probabilities, expected) == pytest.approx(0.0)
+
+    def test_ece_confident_and_wrong_is_large(self):
+        probabilities = np.array([[1.0, 0.0], [1.0, 0.0]])
+        expected = np.array([1, 1])
+        assert expected_calibration_error(probabilities, expected) == pytest.approx(1.0)
+
+
+class TestLayeredEvaluation:
+    def test_identical_candidate_passes_every_layer(self, eval_gateway, golden_tiny):
+        report = LayeredEvaluator(eval_gateway).evaluate("cuisine", "v2", golden_tiny)
+        assert report.baseline == "v1"
+        assert [layer.name for layer in report.layers] == list(LAYERS)
+        assert report.passed
+        assert report.failed_layer is None
+        accuracy = report.layer("accuracy")
+        assert accuracy.details["delta"] == pytest.approx(0.0)
+        assert np.array_equal(report.candidate_correct, report.baseline_correct)
+
+    def test_degraded_candidate_fails_accuracy_and_skips_rest(
+        self, eval_gateway, golden_tiny
+    ):
+        report = LayeredEvaluator(eval_gateway).evaluate("cuisine", "v3", golden_tiny)
+        assert not report.passed
+        assert report.failed_layer == "accuracy"
+        assert report.layer("accuracy").details["delta"] < -0.05
+        assert report.layer("calibration").skipped
+        assert report.layer("slices").skipped
+
+    def test_compatibility_failure_skips_everything(self, eval_gateway, golden_tiny):
+        report = LayeredEvaluator(eval_gateway).evaluate(
+            "cuisine",
+            "v2",
+            golden_tiny,
+            policy=EvalPolicy(min_examples=len(golden_tiny) + 1),
+        )
+        compat = report.layer("compatibility")
+        assert not compat.passed
+        assert any("requires at least" in p for p in compat.details["problems"])
+        for name in LAYERS[1:]:
+            assert report.layer(name).skipped
+        assert report.candidate_correct is None
+
+    def test_wrong_route_golden_fails_compatibility(self, eval_gateway, tiny_corpus):
+        golden = build_golden_set(tiny_corpus, "other-route", seed=11)
+        report = LayeredEvaluator(eval_gateway).evaluate("cuisine", "v2", golden)
+        compat = report.layer("compatibility")
+        assert not compat.passed
+        assert any("targets route" in p for p in compat.details["problems"])
+
+    def test_unknown_candidate_raises_key_error(self, eval_gateway, golden_tiny):
+        with pytest.raises(KeyError, match="candidate version 'v99'"):
+            LayeredEvaluator(eval_gateway).evaluate("cuisine", "v99", golden_tiny)
+
+    def test_unknown_route_raises_key_error(self, eval_gateway, golden_tiny):
+        with pytest.raises(KeyError, match="no route"):
+            LayeredEvaluator(eval_gateway).evaluate("nope", "v2", golden_tiny)
+
+    def test_explicit_baseline_overrides_active(self, eval_gateway, golden_tiny):
+        report = LayeredEvaluator(eval_gateway).evaluate(
+            "cuisine", "v1", golden_tiny, baseline="v2"
+        )
+        assert report.baseline == "v2"
+        assert report.passed
+
+    def test_report_as_dict_is_json_safe(self, eval_gateway, golden_tiny):
+        import json
+
+        report = LayeredEvaluator(eval_gateway).evaluate("cuisine", "v3", golden_tiny)
+        payload = report.as_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["failed_layer"] == "accuracy"
+        assert round_tripped["golden_fingerprint"] == golden_tiny.fingerprint()
+
+    def test_evaluation_traffic_generates_no_shadow_mirrors(
+        self, eval_gateway, golden_tiny
+    ):
+        from repro.gateway.policies import Shadow
+
+        eval_gateway.set_policy("cuisine", Shadow(candidate="v2"))
+        LayeredEvaluator(eval_gateway).evaluate("cuisine", "v2", golden_tiny)
+        eval_gateway.flush_shadows()
+        snapshot = eval_gateway.registry.metrics("cuisine").snapshot()
+        # Version-pinned eval predictions bypass the policy entirely.
+        assert snapshot["shadow"]["requests"] == 0

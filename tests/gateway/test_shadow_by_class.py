@@ -1,0 +1,132 @@
+"""Per-class and per-pair shadow agreement attribution, across hot-swaps.
+
+PR 4 tracked only aggregate shadow agreement per shadow version; the canary
+analyzer needs (a) counts attributed to the exact ``(primary, shadow)``
+version pair — so a hot-swap mid-traffic starts a fresh pair instead of
+polluting the old one — and (b) per-class agreement keyed by the primary's
+predicted label, so class-skewed disagreement is visible under aggregate
+agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway import ModelGateway
+from repro.gateway.policies import Shadow
+from repro.observability import RouteMetrics
+
+
+@pytest.fixture()
+def shadow_gateway(gateway_export_dir):
+    """logreg active as v1, naive_bayes dark as v2, logreg again as v3."""
+    gateway = ModelGateway()
+    gateway.deploy("cuisine", "v1", gateway_export_dir / "logreg")
+    gateway.deploy("cuisine", "v2", gateway_export_dir / "naive_bayes", activate=False)
+    gateway.deploy("cuisine", "v3", gateway_export_dir / "logreg", activate=False)
+    gateway.set_policy("cuisine", Shadow(candidate="v2"))
+    yield gateway
+    gateway.close()
+
+
+def shadow_snapshot(gateway):
+    gateway.flush_shadows()
+    return gateway.registry.metrics("cuisine").snapshot()["shadow"]
+
+
+class TestRouteMetricsRecordShadow:
+    def test_pair_and_class_counters_round_trip(self):
+        metrics = RouteMetrics()
+        metrics.record_shadow(
+            "v2", 8, 2, primary="v1", by_class={"Italian": (5, 1), "Thai": (3, 1)}
+        )
+        shadow = metrics.snapshot()["shadow"]
+        assert shadow["pairs"]["v1->v2"] == {
+            "requests": 10,
+            "agreements": 8,
+            "disagreements": 2,
+            "agreement_rate": 0.8,
+        }
+        assert shadow["by_class"]["v2"]["Italian"]["agreements"] == 5
+        assert shadow["by_class"]["v2"]["Thai"]["disagreements"] == 1
+
+    def test_legacy_call_without_primary_still_works(self):
+        metrics = RouteMetrics()
+        metrics.record_shadow("v2", 3, 1)
+        shadow = metrics.snapshot()["shadow"]
+        assert shadow["agreements"] == 3
+        assert shadow["by_version"]["v2"]["requests"] == 4
+        assert "pairs" not in shadow or shadow["pairs"] == {}
+
+    def test_distinct_pairs_accumulate_independently(self):
+        metrics = RouteMetrics()
+        metrics.record_shadow("v2", 5, 0, primary="v1")
+        metrics.record_shadow("v2", 1, 4, primary="v3")
+        shadow = metrics.snapshot()["shadow"]
+        assert shadow["pairs"]["v1->v2"]["agreements"] == 5
+        assert shadow["pairs"]["v3->v2"]["disagreements"] == 4
+        # The per-version aggregate still covers both pairs.
+        assert shadow["by_version"]["v2"]["requests"] == 10
+
+
+class TestGatewayAttribution:
+    def test_single_predicts_attribute_pair_and_class(
+        self, shadow_gateway, gateway_sequences
+    ):
+        for sequence in gateway_sequences[:10]:
+            shadow_gateway.predict_proba("cuisine", sequence)
+        shadow = shadow_snapshot(shadow_gateway)
+        pair = shadow["pairs"]["v1->v2"]
+        assert pair["requests"] == 10
+        assert pair["agreements"] + pair["disagreements"] == 10
+        by_class = shadow["by_class"]["v2"]
+        total = sum(
+            rated["agreements"] + rated["disagreements"] for rated in by_class.values()
+        )
+        assert total == 10
+        label_space = set(shadow_gateway.registry.label_space("cuisine"))
+        assert set(by_class) <= label_space
+
+    def test_batch_predicts_attribute_pair_and_class(
+        self, shadow_gateway, gateway_sequences
+    ):
+        shadow_gateway.predict_proba_batch("cuisine", gateway_sequences[:16])
+        shadow = shadow_snapshot(shadow_gateway)
+        assert shadow["pairs"]["v1->v2"]["requests"] == 16
+        by_class = shadow["by_class"]["v2"]
+        total = sum(
+            rated["agreements"] + rated["disagreements"] for rated in by_class.values()
+        )
+        assert total == 16
+
+    def test_hot_swap_starts_a_fresh_pair(self, shadow_gateway, gateway_sequences):
+        """Counters attribute to the (primary, shadow) pair live at request time."""
+        for sequence in gateway_sequences[:6]:
+            shadow_gateway.predict_proba("cuisine", sequence)
+        before = shadow_snapshot(shadow_gateway)["pairs"]
+        assert before["v1->v2"]["requests"] == 6
+        assert "v3->v2" not in before
+
+        shadow_gateway.swap("cuisine", "v3")  # hot-swap the primary mid-traffic
+        for sequence in gateway_sequences[6:14]:
+            shadow_gateway.predict_proba("cuisine", sequence)
+
+        after = shadow_snapshot(shadow_gateway)["pairs"]
+        # The old pair is frozen where it stood; the new pair starts at zero.
+        assert after["v1->v2"] == before["v1->v2"]
+        assert after["v3->v2"]["requests"] == 8
+        # v3 is the same model as v1's bundle, so the shadow totals by
+        # version keep accumulating across the swap.
+        assert shadow_snapshot(shadow_gateway)["by_version"]["v2"]["requests"] == 14
+
+    def test_swapping_shadow_candidate_changes_pair_too(
+        self, shadow_gateway, gateway_sequences
+    ):
+        for sequence in gateway_sequences[:4]:
+            shadow_gateway.predict_proba("cuisine", sequence)
+        shadow_gateway.set_policy("cuisine", Shadow(candidate="v3"))
+        for sequence in gateway_sequences[4:9]:
+            shadow_gateway.predict_proba("cuisine", sequence)
+        pairs = shadow_snapshot(shadow_gateway)["pairs"]
+        assert pairs["v1->v2"]["requests"] == 4
+        assert pairs["v1->v3"]["requests"] == 5

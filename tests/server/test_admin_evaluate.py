@@ -1,0 +1,177 @@
+"""The ``/admin/routes/<route>/evaluate`` endpoint: run, store, apply."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import build_golden_set, save_golden_set
+from tests.server.conftest import ADMIN_TOKEN, parse_metrics_text
+
+
+@pytest.fixture(scope="session")
+def golden_file(tiny_corpus, tmp_path_factory):
+    golden = build_golden_set(tiny_corpus, "cuisine", version="g1", seed=11)
+    return save_golden_set(
+        golden, tmp_path_factory.mktemp("server-golden") / "golden_cuisine.jsonl"
+    )
+
+
+def evaluate(client, body):
+    return client.admin("/admin/routes/cuisine/evaluate", body)
+
+
+def get_verdict(client):
+    return client.request(
+        "GET",
+        "/admin/routes/cuisine/evaluate",
+        headers={"x-admin-token": ADMIN_TOKEN},
+    )
+
+
+class TestEvaluateEndpoint:
+    def test_get_before_any_run_is_404(self, client):
+        status, payload = get_verdict(client)
+        assert status == 404
+        assert payload["error"]["code"] == "no_verdict"
+
+    def test_post_runs_gate_and_get_returns_stored_verdict(
+        self, client, golden_file, server_export_dir
+    ):
+        # An identical copy of the active model always promotes.
+        status, payload = client.admin(
+            "/admin/routes/cuisine/deploy",
+            {"version": "v3", "path": str(server_export_dir / "logreg"), "activate": False},
+        )
+        assert status == 200
+        status, payload = evaluate(
+            client, {"candidate": "v3", "golden": str(golden_file), "seed": 3}
+        )
+        assert status == 200
+        verdict = payload["verdict"]
+        assert verdict["decision"] == "promote"
+        assert verdict["baseline"] == "v1"
+        assert payload["applied"] == "none"
+        assert payload["active"] == "v1"  # no apply requested
+
+        status, stored = get_verdict(client)
+        assert status == 200
+        assert stored["verdict"] == verdict
+
+    def test_apply_promotes_by_swapping(self, client, golden_file, server_export_dir):
+        client.admin(
+            "/admin/routes/cuisine/deploy",
+            {"version": "v3", "path": str(server_export_dir / "logreg"), "activate": False},
+        )
+        status, payload = evaluate(
+            client,
+            {"candidate": "v3", "golden": str(golden_file), "seed": 3, "apply": True},
+        )
+        assert status == 200
+        assert payload["verdict"]["decision"] == "promote"
+        assert payload["applied"] == "swapped active to v3"
+        assert payload["active"] == "v3"
+
+    def test_verdict_surfaces_in_health_and_metrics(self, client, golden_file):
+        # cuisine@v2 (naive_bayes) vs cuisine@v1 (logreg): whatever the
+        # decision, the stored verdict must surface on every stats plane.
+        status, payload = evaluate(
+            client, {"candidate": "v2", "golden": str(golden_file), "seed": 3}
+        )
+        assert status == 200
+        decision = payload["verdict"]["decision"]
+        code = payload["verdict"]["code"]
+
+        status, health = client.request("GET", "/healthz")
+        assert status == 200
+        summary = health["routes"]["cuisine"]["eval"]
+        assert summary["decision"] == decision
+        assert summary["candidate"] == "v2"
+        assert summary["code"] == code
+
+        status, text = client.request("GET", "/metrics")
+        assert status == 200
+        metrics = parse_metrics_text(
+            text if isinstance(text, str) else text.decode("utf-8")
+        )
+        assert metrics["repro_routes_cuisine_eval_code"] == code
+
+    def test_same_seed_same_verdict_bytes_over_http(self, client, golden_file):
+        import json
+
+        body = {"candidate": "v2", "golden": str(golden_file), "seed": 9}
+        _, first = evaluate(client, body)
+        _, second = evaluate(client, body)
+        canonical = lambda v: json.dumps(v, sort_keys=True, separators=(",", ":"))
+        assert canonical(first["verdict"]) == canonical(second["verdict"])
+
+    def test_policy_override_travels_in_verdict(self, client, golden_file):
+        status, payload = evaluate(
+            client,
+            {
+                "candidate": "v2",
+                "golden": str(golden_file),
+                "policy": {"min_examples": 100000},
+            },
+        )
+        assert status == 200
+        assert payload["verdict"]["decision"] == "hold"
+        assert payload["verdict"]["policy"]["min_examples"] == 100000
+
+    def test_unknown_candidate_is_404(self, client, golden_file):
+        status, payload = evaluate(
+            client, {"candidate": "v99", "golden": str(golden_file)}
+        )
+        assert status == 404
+        assert "v99" in payload["error"]["message"]
+
+    def test_missing_golden_file_is_400_with_field(self, client, tmp_path):
+        status, payload = evaluate(
+            client, {"candidate": "v2", "golden": str(tmp_path / "absent.jsonl")}
+        )
+        assert status == 400
+        assert payload["error"]["field"] == "golden"
+
+    def test_bad_policy_is_400_with_field(self, client, golden_file):
+        status, payload = evaluate(
+            client,
+            {"candidate": "v2", "golden": str(golden_file), "policy": {"nope": 1}},
+        )
+        assert status == 400
+        assert payload["error"]["field"] == "policy"
+
+    def test_bad_seed_is_400_with_field(self, client, golden_file):
+        status, payload = evaluate(
+            client, {"candidate": "v2", "golden": str(golden_file), "seed": "x"}
+        )
+        assert status == 400
+        assert payload["error"]["field"] == "seed"
+
+    def test_missing_candidate_is_400(self, client, golden_file):
+        status, payload = evaluate(client, {"golden": str(golden_file)})
+        assert status == 400
+        assert payload["error"]["field"] == "candidate"
+
+    def test_evaluate_requires_admin_token(self, client, golden_file):
+        status, payload = client.request(
+            "POST",
+            "/admin/routes/cuisine/evaluate",
+            {"candidate": "v2", "golden": str(golden_file)},
+        )
+        assert status == 401
+
+    def test_put_is_method_not_allowed(self, client):
+        status, payload = client.request(
+            "PUT",
+            "/admin/routes/cuisine/evaluate",
+            {"candidate": "v2"},
+            headers={"x-admin-token": ADMIN_TOKEN},
+        )
+        assert status == 405
+
+    def test_other_admin_actions_still_reject_get(self, client):
+        status, payload = client.request(
+            "GET",
+            "/admin/routes/cuisine/swap",
+            headers={"x-admin-token": ADMIN_TOKEN},
+        )
+        assert status == 405

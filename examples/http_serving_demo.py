@@ -65,7 +65,11 @@ def main() -> None:
         gateway = ModelGateway(batch_policy="adaptive", slo_ms=25.0)
         gateway.deploy("cuisine", "v1", f"{export_dir}/logreg")
         gateway.deploy("cuisine", "v2", f"{export_dir}/naive_bayes", activate=False)
-        server = ModelServer(gateway, admin_token=ADMIN_TOKEN, max_inflight=128)
+        # trace_capacity covers the whole loadgen run so the slowest
+        # request's trace is still retrievable at the end.
+        server = ModelServer(
+            gateway, admin_token=ADMIN_TOKEN, max_inflight=128, trace_capacity=512
+        )
         handle = server.start_in_thread()
         print(f"    listening on http://127.0.0.1:{handle.port}")
 
@@ -139,7 +143,33 @@ def main() -> None:
             f"(identical in-flight requests shared one model pass)"
         )
 
-        print("\n[5] Draining gracefully (finish in-flight, close the service)...")
+        print("\n[5] Tracing the slowest request of the run...")
+        # Every response carried its trace id in the X-Repro-Trace header;
+        # the load report kept the ids of the slowest requests, and the
+        # server's debug plane can replay where each one spent its time.
+        slowest = report.slow_traces[0]
+        print(
+            f"    slowest request       {slowest['latency_ms']:.2f}ms "
+            f"trace_id={slowest['trace_id']}"
+        )
+        status, trace = call(
+            handle.port, "GET", f"/debug/traces/{slowest['trace_id']}"
+        )
+        if status == 200:
+            for span in trace["spans"]:
+                indent = "  " if span["parent_id"] else ""
+                duration = span["duration_ms"] or 0.0
+                print(
+                    f"      {indent}{span['name']:<26} "
+                    f"start={span['start_ms']:7.2f}ms dur={duration:7.2f}ms"
+                )
+        else:
+            # Evicted from the bounded ring by later traffic — the listing
+            # still shows what the store retained.
+            _, listing = call(handle.port, "GET", "/debug/traces")
+            print(f"    (trace evicted; store stats: {listing['stats']})")
+
+        print("\n[6] Draining gracefully (finish in-flight, close the service)...")
         handle.stop()
         print("    drained.")
 

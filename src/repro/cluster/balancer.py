@@ -30,6 +30,7 @@ import threading
 from bisect import bisect_right
 from typing import Callable, Iterable
 
+from repro.gateway.policies import derive_request_key as _derive_request_key
 from repro.loadgen.client import ConnectionPool
 from repro.server.protocol import (
     HTTPError,
@@ -38,6 +39,7 @@ from repro.server.protocol import (
     read_request,
     render_response,
 )
+from repro.trace import TRACE_HEADER, TraceStore, Tracer, format_trace_header
 
 logger = logging.getLogger(__name__)
 
@@ -128,11 +130,25 @@ class ClusterBalancer:
         replicas: int = 64,
         max_header_bytes: int = 16384,
         max_body_bytes: int = 1048576,
+        trace_sample: float | None = 1.0,
+        trace_slow_ms: float = 250.0,
+        trace_seed: int = 0,
+        trace_capacity: int = 256,
     ) -> None:
         self.host = host
         self.port = port
         self.max_header_bytes = max_header_bytes
         self.max_body_bytes = max_body_bytes
+        #: Tracing mirrors the worker servers: the balancer starts each
+        #: cross-hop trace, injects the ``X-Repro-Trace`` header so the
+        #: chosen worker adopts the same id, and keeps its own relay spans.
+        self.tracer = Tracer(
+            seed=trace_seed,
+            sample=trace_sample if trace_sample is not None else 0.0,
+            slow_ms=trace_slow_ms,
+            enabled=trace_sample is not None,
+        )
+        self.traces = TraceStore(trace_capacity, slow_ms=trace_slow_ms)
         self.ring = HashRing(replicas=replicas)
         self._addresses: dict[str, tuple[str, int]] = {}
         self._pools: dict[str, ConnectionPool] = {}
@@ -285,6 +301,28 @@ class ClusterBalancer:
                 return chosen
         return members[next(self._round_robin) % len(members)]
 
+    @staticmethod
+    def _trace_key(payload) -> str:
+        """The key a trace id is derived from: the explicit routing key when
+        present, else the content-derived key of the (first) sequence — the
+        same derivation the worker gateway uses, so ids stay deterministic
+        for a seeded scenario."""
+        if isinstance(payload, dict):
+            key = payload.get("key")
+            if isinstance(key, str):
+                return key
+            keys = payload.get("keys")
+            if isinstance(keys, list) and keys and isinstance(keys[0], str):
+                return keys[0]
+            for field in ("sequence", "sequences"):
+                value = payload.get(field)
+                if isinstance(value, list) and value:
+                    item = value[0] if field == "sequences" else value
+                    if isinstance(item, list):
+                        return _derive_request_key(str(token) for token in item)
+                    return _derive_request_key(str(token) for token in value)
+        return ""
+
     async def _relay(self, request: HTTPRequest) -> bytes:
         backend = self._pick_backend(request)
         host, port = self._addresses[backend]
@@ -304,15 +342,46 @@ class ClusterBalancer:
             for name, value in request.headers.items()
             if name not in _HOP_HEADERS
         }
+        segments = request.segments
+        trace = span = None
+        if (
+            self.tracer.enabled
+            and len(segments) == 3
+            and segments[0] == "routes"
+            and segments[2] == "predict"
+        ):
+            trace = self.tracer.begin(self._trace_key(payload))
+            if trace is not None:
+                span = trace.start_span(
+                    "balancer.relay",
+                    attrs={"backend": backend, "route": segments[1]},
+                )
+                # The worker adopts this id, so one trace stitches the
+                # balancer hop to the worker's server/gateway/service spans.
+                headers[TRACE_HEADER] = format_trace_header(trace, parent=span.span_id)
         try:
             response = await pool.request(request.method, request.path, payload, headers)
         except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            if trace is not None:
+                trace.error = True
+                span.attrs["error"] = type(exc).__name__
+                trace.end_span(span)
+                self.traces.offer(trace)
             raise HTTPError(
                 502, "bad_backend", f"worker {backend} failed: {type(exc).__name__}"
             ) from None
+        extra_headers = None
+        if trace is not None:
+            if response.status >= 400:
+                trace.error = True
+                span.attrs["status"] = response.status
+            trace.end_span(span)
+            self.traces.offer(trace)
+            extra_headers = {TRACE_HEADER: trace.trace_id}
         return render_response(
             response.status,
             response.body,
             content_type=response.headers.get("content-type", "application/json"),
             keep_alive=request.keep_alive,
+            extra_headers=extra_headers,
         )

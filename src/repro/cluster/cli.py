@@ -117,6 +117,30 @@ def build_parser() -> argparse.ArgumentParser:
         "every worker",
     )
     parser.add_argument("--drain-timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="head-sampling rate for request tracing, forwarded to every "
+        "worker and to the balancer (slow/error traces always kept)",
+    )
+    parser.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=250.0,
+        help="latency threshold (ms) above which a trace is always kept",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic trace-id / head-sampling hash",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing across the fleet",
+    )
     parser.add_argument("--demo-scale", type=float, default=0.004)
     parser.add_argument("--demo-seed", type=int, default=11)
     parser.add_argument(
@@ -188,6 +212,9 @@ def main(argv: list[str] | None = None) -> int:
         max_inflight=args.max_inflight,
         drain_timeout=args.drain_timeout,
         log_level=args.log_level,
+        trace_sample=None if args.no_trace else args.trace_sample,
+        trace_slow_ms=args.trace_slow_ms,
+        trace_seed=args.trace_seed,
     )
     try:
         asyncio.run(_run(supervisor, args.ready_file))

@@ -49,6 +49,12 @@ __all__ = [
 #: Keys that identify a single worker and are meaningless fleet-wide.
 _PER_WORKER_KEYS = frozenset({"worker_id"})
 
+#: Process-gauge keys with dedicated merge semantics: summing or averaging
+#: pids is meaningless, and averaging uptimes hides the youngest/oldest
+#: worker mid-rolling-restart.
+_PID_KEYS = frozenset({"pid"})
+_MAX_KEYS = frozenset({"uptime_seconds"})
+
 
 def _is_latency_snapshot(value: object) -> bool:
     return (
@@ -102,6 +108,17 @@ def _merge_values(key: str, values: list):
     present = [value for value in values if value is not None]
     if not present:
         return None
+    if key in _PID_KEYS and all(isinstance(value, int) for value in present):
+        # The fleet has N pids, not one: publish the sorted list (a single
+        # worker keeps its scalar so one-node views stay unchanged).
+        return present[0] if len(present) == 1 else sorted(present)
+    if key in _MAX_KEYS and all(
+        isinstance(value, (int, float)) and not isinstance(value, bool)
+        for value in present
+    ):
+        # Fleet uptime is the oldest worker's — averaging would dip on every
+        # rolling restart even though the fleet never went down.
+        return max(present)
     if all(_is_latency_snapshot(value) for value in present):
         return merge_latency_snapshots(present)
     if all(_is_distribution_snapshot(value) for value in present):

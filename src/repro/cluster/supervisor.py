@@ -199,6 +199,9 @@ class ClusterSupervisor:
         spawn_timeout: float = 120.0,
         workdir: str | Path | None = None,
         log_level: str = "INFO",
+        trace_sample: float | None = 1.0,
+        trace_slow_ms: float = 250.0,
+        trace_seed: int = 0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -230,6 +233,9 @@ class ClusterSupervisor:
         self.max_inflight = max_inflight
         self.drain_timeout = drain_timeout
         self.spawn_timeout = spawn_timeout
+        self.trace_sample = trace_sample
+        self.trace_slow_ms = trace_slow_ms
+        self.trace_seed = trace_seed
         self.workdir = Path(workdir) if workdir is not None else None
         self.log_level = log_level
 
@@ -270,7 +276,13 @@ class ClusterSupervisor:
                 if self.route is None:
                     self.route = "cuisine"
             if self.mode == "balancer":
-                self._balancer = ClusterBalancer(host=self.host, port=self.port)
+                self._balancer = ClusterBalancer(
+                    host=self.host,
+                    port=self.port,
+                    trace_sample=self.trace_sample,
+                    trace_slow_ms=self.trace_slow_ms,
+                    trace_seed=self.trace_seed,
+                )
                 started = asyncio.Event()
                 self._balancer_task = asyncio.create_task(
                     self._balancer.serve(ready=started.set)
@@ -420,6 +432,12 @@ class ClusterSupervisor:
             command += ["--service-time", str(self.service_time)]
         if self.max_inflight is not None:
             command += ["--max-inflight", str(self.max_inflight)]
+        if self.trace_sample is None:
+            command += ["--no-trace"]
+        else:
+            command += ["--trace-sample", str(self.trace_sample)]
+        command += ["--trace-slow-ms", str(self.trace_slow_ms)]
+        command += ["--trace-seed", str(self.trace_seed)]
         sock: socket.socket | None = None
         pass_fds: tuple[int, ...] = ()
         if self.mode == "reuseport":
@@ -623,6 +641,107 @@ class ClusterSupervisor:
             "cluster": cluster,
         }
 
+    async def _worker_debug(self, worker: Worker, path: str) -> dict | None:
+        """GET a worker's control-port debug endpoint; None when unreachable."""
+        connection = ClientConnection(self.host, worker.control_port)
+        try:
+            response = await asyncio.wait_for(
+                connection.request("GET", path), timeout=10.0
+            )
+            return response.json() if response.status == 200 else None
+        except (OSError, asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+            return None
+        finally:
+            connection.close()
+
+    async def fleet_traces(self) -> dict:
+        """Fleet-wide trace summaries: every worker's store + the balancer's.
+
+        Summaries sharing one trace id (a balancer hop stitched to a worker's
+        server spans) merge into a single row listing every origin that holds
+        a piece of the trace.
+        """
+        workers = sorted(self._workers.values(), key=lambda worker: worker.index)
+        payloads = await asyncio.gather(
+            *(self._worker_debug(worker, "/debug/traces") for worker in workers)
+        )
+        by_id: dict[str, dict] = {}
+
+        def fold(summary: dict, origin: str) -> None:
+            trace_id = summary.get("trace_id")
+            if not trace_id:
+                return
+            merged = by_id.get(trace_id)
+            if merged is None:
+                merged = by_id[trace_id] = dict(summary)
+                merged["origins"] = []
+            else:
+                merged["spans"] = merged.get("spans", 0) + summary.get("spans", 0)
+                merged["error"] = bool(merged.get("error")) or bool(summary.get("error"))
+                merged["slow"] = bool(merged.get("slow")) or bool(summary.get("slow"))
+                merged["duration_ms"] = max(
+                    merged.get("duration_ms") or 0.0, summary.get("duration_ms") or 0.0
+                )
+            merged["origins"].append(origin)
+
+        if self._balancer is not None:
+            for summary in self._balancer.traces.list():
+                fold(summary, "balancer")
+        for worker, payload in zip(workers, payloads):
+            if payload is None:
+                continue
+            for summary in payload.get("traces", ()):
+                fold(summary, f"worker-{worker.index}")
+        stats = {}
+        for worker, payload in zip(workers, payloads):
+            if payload is not None and "stats" in payload:
+                stats[f"worker-{worker.index}"] = payload["stats"]
+        if self._balancer is not None:
+            stats["balancer"] = self._balancer.traces.stats()
+        return {"traces": list(by_id.values()), "stats": stats}
+
+    async def fleet_trace(self, trace_id: str) -> dict | None:
+        """One merged trace: balancer spans + every worker's spans, stitched
+        by the shared id, each span annotated with its origin."""
+        workers = sorted(self._workers.values(), key=lambda worker: worker.index)
+        payloads = await asyncio.gather(
+            *(
+                self._worker_debug(worker, f"/debug/traces/{trace_id}")
+                for worker in workers
+            )
+        )
+        pieces: list[tuple[str, dict]] = []
+        if self._balancer is not None:
+            stored = self._balancer.traces.get(trace_id)
+            if stored is not None:
+                pieces.append(("balancer", stored))
+        for worker, payload in zip(workers, payloads):
+            if payload is not None:
+                pieces.append((f"worker-{worker.index}", payload))
+        if not pieces:
+            return None
+        merged: dict = {
+            "trace_id": trace_id,
+            "key": pieces[0][1].get("key"),
+            "sampled": any(piece.get("sampled") for _, piece in pieces),
+            "error": any(piece.get("error") for _, piece in pieces),
+            "slow": any(piece.get("slow") for _, piece in pieces),
+            # Each origin measures on its own monotonic clock, so durations
+            # compare but span start offsets only order *within* an origin.
+            "duration_ms": max(
+                float(piece.get("duration_ms") or 0.0) for _, piece in pieces
+            ),
+            "origins": [origin for origin, _ in pieces],
+        }
+        spans = []
+        for origin, piece in pieces:
+            for span in piece.get("spans", ()):
+                span = dict(span)
+                span["origin"] = origin
+                spans.append(span)
+        merged["spans"] = spans
+        return merged
+
     # ------------------------------------------------------------------
     # control plane HTTP
     # ------------------------------------------------------------------
@@ -674,6 +793,16 @@ class ClusterSupervisor:
         if segments == ("workers",):
             workers = sorted(self._workers.values(), key=lambda worker: worker.index)
             return 200, {"workers": [worker.info() for worker in workers]}
+        if segments == ("debug", "traces"):
+            return 200, await self.fleet_traces()
+        if len(segments) == 3 and segments[:2] == ("debug", "traces"):
+            merged = await self.fleet_trace(segments[2])
+            if merged is None:
+                raise HTTPError(
+                    404, "unknown_trace",
+                    f"no worker or balancer holds a trace {segments[2]!r}",
+                )
+            return 200, merged
         if len(segments) == 4 and segments[:2] == ("admin", "routes"):
             return await self._fan_out_admin(request)
         if segments == ("cluster", "restart"):

@@ -46,8 +46,10 @@ from repro.gateway.policies import (
 )
 from repro.gateway.registry import Deployment, DeploymentRegistry, RouteSnapshot
 from repro.models.base import CuisineModel
+from repro.observability import process_stats
 from repro.serving.bundle import ModelBundle
 from repro.serving.service import PredictionService
+from repro.trace import activate, current_trace
 
 
 class ModelGateway:
@@ -178,22 +180,46 @@ class ModelGateway:
         else:
             request_key = key if key is not None else derive_request_key(validated)
             decision = snapshot.policy.decide(request_key, snapshot.view)
+        trace = current_trace()
+        route_span = None
+        if trace is not None:
+            # The routing decision rides on the span: which policy fired,
+            # whether the caller pinned a version, and (below) the variant
+            # the request actually resolved to.
+            attrs = {
+                "route": route,
+                "policy": snapshot.policy.describe().get("kind", "active"),
+                "shadows": len(decision.shadows),
+                "ensemble": bool(decision.ensemble),
+            }
+            if version is not None:
+                attrs["pinned"] = version
+            route_span = trace.start_span("gateway.route", attrs=attrs)
         try:
-            if decision.ensemble:
-                matrix, variant = self._predict_ensemble(
-                    snapshot, decision.ensemble, [validated]
-                )
-                result = matrix[0]
-            else:
-                deployment = snapshot.deployment(decision.primary)
-                variant = deployment.version
-                row = self.service.predict_proba(deployment.service_name, validated)
-                result = self._aligned(
-                    row[np.newaxis, :], deployment, snapshot.label_space
-                )[0]
+            with activate(trace, route_span.span_id if route_span else None):
+                if decision.ensemble:
+                    matrix, variant = self._predict_ensemble(
+                        snapshot, decision.ensemble, [validated]
+                    )
+                    result = matrix[0]
+                else:
+                    deployment = snapshot.deployment(decision.primary)
+                    variant = deployment.version
+                    row = self.service.predict_proba(deployment.service_name, validated)
+                    result = self._aligned(
+                        row[np.newaxis, :], deployment, snapshot.label_space
+                    )[0]
+            if route_span is not None:
+                route_span.attrs["variant"] = variant
         except BaseException:
+            if trace is not None:
+                trace.error = True
+                route_span.attrs["error"] = True
             metrics.record_error()
             raise
+        finally:
+            if trace is not None:
+                trace.end_span(route_span)
         metrics.record_request(variant, time.perf_counter() - start)
         if decision.shadows:
             self._mirror(
@@ -258,25 +284,45 @@ class ModelGateway:
 
         results = np.zeros((len(validated), len(snapshot.label_space)))
         variant_counts: dict[str, int] = {}
+        trace = current_trace()
+        route_span = None
+        if trace is not None:
+            attrs = {
+                "route": route,
+                "policy": snapshot.policy.describe().get("kind", "active"),
+                "batch": len(validated),
+            }
+            if version is not None:
+                attrs["pinned"] = version
+            route_span = trace.start_span("gateway.route", attrs=attrs)
         try:
-            for (primary, ensemble), indices in groups.items():
-                group_sequences = [validated[i] for i in indices]
-                if ensemble:
-                    matrix, variant = self._predict_ensemble(
-                        snapshot, ensemble, group_sequences
-                    )
-                else:
-                    deployment = snapshot.deployment(primary)
-                    variant = deployment.version
-                    matrix = self.service.predict_proba_batch(
-                        deployment.service_name, group_sequences
-                    )
-                    matrix = self._aligned(matrix, deployment, snapshot.label_space)
-                results[indices] = matrix
-                variant_counts[variant] = variant_counts.get(variant, 0) + len(indices)
+            with activate(trace, route_span.span_id if route_span else None):
+                for (primary, ensemble), indices in groups.items():
+                    group_sequences = [validated[i] for i in indices]
+                    if ensemble:
+                        matrix, variant = self._predict_ensemble(
+                            snapshot, ensemble, group_sequences
+                        )
+                    else:
+                        deployment = snapshot.deployment(primary)
+                        variant = deployment.version
+                        matrix = self.service.predict_proba_batch(
+                            deployment.service_name, group_sequences
+                        )
+                        matrix = self._aligned(matrix, deployment, snapshot.label_space)
+                    results[indices] = matrix
+                    variant_counts[variant] = variant_counts.get(variant, 0) + len(indices)
+            if route_span is not None:
+                route_span.attrs["variants"] = dict(variant_counts)
         except BaseException:
+            if trace is not None:
+                trace.error = True
+                route_span.attrs["error"] = True
             metrics.record_error(len(validated))
             raise
+        finally:
+            if trace is not None:
+                trace.end_span(route_span)
         metrics.record_batch(variant_counts, time.perf_counter() - start)
         for (shadow, primary_variant), indices in shadow_groups.items():
             self._mirror(
@@ -435,6 +481,7 @@ class ModelGateway:
             "status": "ok" if errors == 0 else "degraded",
             "routes": routes,
             "service": self.service.stats(),
+            "process": process_stats(),
         }
 
     def close(self) -> None:

@@ -35,6 +35,7 @@ import numpy as np
 from repro.gateway.gateway import ModelGateway
 from repro.loadgen.client import ConnectionPool
 from repro.loadgen.workload import Workload
+from repro.trace import TRACE_HEADER
 
 #: Outcome kinds recorded per request.
 OK, SHED, ERROR = "ok", "shed", "error"
@@ -47,14 +48,16 @@ class GatewayTarget:
         self.gateway = gateway
         self.route = route
 
-    async def predict(self, sequence: tuple[str, ...], key: str) -> str:
+    async def predict(
+        self, sequence: tuple[str, ...], key: str
+    ) -> tuple[str, str | None]:
         try:
             await asyncio.to_thread(
                 self.gateway.predict_proba, self.route, sequence, key=key
             )
-            return OK
+            return OK, None
         except Exception:
-            return ERROR
+            return ERROR, None
 
     async def aclose(self) -> None:  # nothing to tear down; symmetry with HTTP
         return None
@@ -87,7 +90,9 @@ class HTTPTarget:
     def path(self) -> str:
         return f"/routes/{self.route}/predict"
 
-    async def predict(self, sequence: tuple[str, ...], key: str) -> str:
+    async def predict(
+        self, sequence: tuple[str, ...], key: str
+    ) -> tuple[str, str | None]:
         if self._pool is None:
             self._pool = ConnectionPool(self.host, self.port)
         payload = {"sequence": list(sequence), "key": key}
@@ -98,14 +103,18 @@ class HTTPTarget:
             try:
                 response = await self._pool.request("POST", self.path, payload)
             except Exception:
-                return ERROR
+                return ERROR, None
         except Exception:
-            return ERROR
+            return ERROR, None
+        # Servers with tracing enabled echo the trace id back; the report
+        # surfaces the ids of the slowest requests so an operator can jump
+        # from a latency number straight to ``/debug/traces/<id>``.
+        trace_id = response.headers.get(TRACE_HEADER.lower())
         if response.status == 200:
-            return OK
+            return OK, trace_id
         if response.status == 429:
-            return SHED
-        return ERROR
+            return SHED, trace_id
+        return ERROR, trace_id
 
     async def aclose(self) -> None:
         if self._pool is not None:
@@ -136,7 +145,9 @@ class MultiHTTPTarget:
         digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
         return self._targets[int.from_bytes(digest, "big") % len(self._targets)]
 
-    async def predict(self, sequence: tuple[str, ...], key: str) -> str:
+    async def predict(
+        self, sequence: tuple[str, ...], key: str
+    ) -> tuple[str, str | None]:
         return await self._member(key).predict(sequence, key)
 
     async def aclose(self) -> None:
@@ -159,6 +170,10 @@ class LoadReport:
     offered_rate_rps: float | None  # open-loop target rate, if any
     concurrency: int | None  # closed-loop worker count, if any
     latency: dict  # over OK requests: count/mean_ms/max_ms/p50_ms/p95_ms/p99_ms
+    #: Trace ids of the slowest completed requests (slowest first), echoed by
+    #: traced targets via the ``X-Repro-Trace`` response header — each id is
+    #: retrievable from the server's ``/debug/traces/<id>`` plane.
+    slow_traces: tuple[dict, ...] = ()
 
     def as_dict(self) -> dict:
         return {
@@ -173,6 +188,7 @@ class LoadReport:
             "offered_rate_rps": self.offered_rate_rps,
             "concurrency": self.concurrency,
             "latency": dict(self.latency),
+            "slow_traces": [dict(entry) for entry in self.slow_traces],
         }
 
     def save(self, path: str | Path) -> Path:
@@ -201,18 +217,42 @@ def latency_summary(seconds: Iterable[float]) -> dict:
     }
 
 
+#: How many of the slowest requests get their trace ids recorded.
+SLOW_TRACE_COUNT = 5
+
+
+def _slowest_traces(
+    outcomes: list[tuple[str, float, str | None]], limit: int = SLOW_TRACE_COUNT
+) -> tuple[dict, ...]:
+    """The *limit* slowest completed requests that carried a trace id."""
+    traced = [
+        (seconds, kind, trace_id)
+        for kind, seconds, trace_id in outcomes
+        if trace_id is not None
+    ]
+    traced.sort(key=lambda item: item[0], reverse=True)
+    return tuple(
+        {
+            "trace_id": trace_id,
+            "latency_ms": round(seconds * 1000.0, 3),
+            "outcome": kind,
+        }
+        for seconds, kind, trace_id in traced[:limit]
+    )
+
+
 def _build_report(
     workload: Workload,
-    outcomes: list[tuple[str, float]],
+    outcomes: list[tuple[str, float, str | None]],
     duration: float,
     *,
     mode: str,
     concurrency: int | None,
 ) -> LoadReport:
-    ok_latencies = [seconds for kind, seconds in outcomes if kind == OK]
+    ok_latencies = [seconds for kind, seconds, _ in outcomes if kind == OK]
     ok = len(ok_latencies)
-    shed = sum(1 for kind, _ in outcomes if kind == SHED)
-    errors = sum(1 for kind, _ in outcomes if kind == ERROR)
+    shed = sum(1 for kind, _, _ in outcomes if kind == SHED)
+    errors = sum(1 for kind, _, _ in outcomes if kind == ERROR)
     return LoadReport(
         mode=mode,
         seed=workload.seed,
@@ -225,16 +265,24 @@ def _build_report(
         offered_rate_rps=workload.rate,
         concurrency=concurrency,
         latency=latency_summary(ok_latencies),
+        slow_traces=_slowest_traces(outcomes),
     )
 
 
-async def _timed_predict(target, request) -> tuple[str, float]:
+async def _timed_predict(target, request) -> tuple[str, float, str | None]:
     start = time.perf_counter()
+    trace_id: str | None = None
     try:
-        kind = await target.predict(request.sequence, request.key)
+        result = await target.predict(request.sequence, request.key)
+        # Built-in targets return ``(kind, trace_id)``; a bare outcome string
+        # (custom / legacy targets) is accepted too and simply carries no id.
+        if isinstance(result, tuple):
+            kind, trace_id = result
+        else:
+            kind = result
     except Exception:
         kind = ERROR
-    return kind, time.perf_counter() - start
+    return kind, time.perf_counter() - start, trace_id
 
 
 async def _open_loop(target, workload: Workload) -> LoadReport:
@@ -257,7 +305,7 @@ async def _open_loop(target, workload: Workload) -> LoadReport:
 async def _closed_loop(target, workload: Workload, concurrency: int) -> LoadReport:
     loop = asyncio.get_running_loop()
     iterator = iter(workload.requests)
-    outcomes: list[tuple[str, float]] = []
+    outcomes: list[tuple[str, float, str | None]] = []
 
     async def worker() -> None:
         for request in iterator:  # shared iterator: each request issued once

@@ -20,12 +20,21 @@ flat text exposition format served by ``repro.server``'s ``/metrics``.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import platform
 import re
 import threading
+import time
 from collections import Counter
 from typing import Mapping
 
 import numpy as np
+
+try:  # pragma: no cover - absent only on non-POSIX platforms
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None  # type: ignore[assignment]
 
 #: Quantiles reported by every latency snapshot.
 LATENCY_QUANTILES: tuple[float, ...] = (0.50, 0.95, 0.99)
@@ -454,17 +463,40 @@ DISTRIBUTION_SNAPSHOT_KEYS: frozenset[str] = frozenset(
 )
 
 
+def _as_int(value, default: int = 0) -> int:
+    """Coerce a snapshot field to int, tolerating malformed values.
+
+    Fleet snapshots cross process and JSON boundaries; a worker mid-restart
+    or a hand-edited payload must degrade to the default, never throw inside
+    a merge that other healthy workers depend on.
+    """
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _as_float(value, default: float = 0.0) -> float:
+    """Float twin of :func:`_as_int`; NaN is treated as malformed too."""
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        return default
+    return result if result == result else default
+
+
 def merge_counter_dicts(dicts: "list[Mapping[str, int]] | tuple[Mapping[str, int], ...]") -> dict[str, int]:
     """Sum per-worker :meth:`CounterSet.as_dict` snapshots into one.
 
     Counters are monotonic, so the fleet-wide value of each name is exactly
     the sum across workers; zero-valued names stay omitted and keys stay
-    sorted (the same invariants one worker's snapshot has).
+    sorted (the same invariants one worker's snapshot has).  Non-numeric
+    values contribute nothing rather than poisoning the merge.
     """
     merged: Counter = Counter()
     for snapshot in dicts:
         for name, count in snapshot.items():
-            merged[name] += int(count)
+            merged[name] += _as_int(count)
     return {name: count for name, count in sorted(merged.items()) if count}
 
 
@@ -481,20 +513,20 @@ def merge_latency_snapshots(snapshots: "list[Mapping] | tuple[Mapping, ...]") ->
     approximates this) and always lies within the min/max of the member
     quantiles.  Workers that recorded nothing contribute no weight.
     """
-    counts = [int(s.get("count", 0)) for s in snapshots]
+    counts = [_as_int(s.get("count", 0)) for s in snapshots]
     total_count = sum(counts)
-    total_seconds = float(sum(float(s.get("total_seconds", 0.0)) for s in snapshots))
+    total_seconds = float(sum(_as_float(s.get("total_seconds", 0.0)) for s in snapshots))
     merged = {
         "count": total_count,
         "total_seconds": total_seconds,
         "mean_ms": (1000.0 * total_seconds / total_count) if total_count else 0.0,
-        "max_ms": max((float(s.get("max_ms", 0.0)) for s in snapshots), default=0.0),
-        "window": max((int(s.get("window", 0)) for s in snapshots), default=0),
+        "max_ms": max((_as_float(s.get("max_ms", 0.0)) for s in snapshots), default=0.0),
+        "window": max((_as_int(s.get("window", 0)) for s in snapshots), default=0),
     }
     for q in LATENCY_QUANTILES:
         key = f"p{int(q * 100)}_ms"
         weighted = sum(
-            count * float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
+            count * _as_float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
         )
         merged[key] = (weighted / total_count) if total_count else 0.0
     return merged
@@ -507,20 +539,20 @@ def merge_distribution_snapshots(snapshots: "list[Mapping] | tuple[Mapping, ...]
     ``count``/``total`` sums, fleet ``max``, recomputed ``mean``, and
     count-weighted quantile approximation for ``p50``/``p95``/``p99``.
     """
-    counts = [int(s.get("count", 0)) for s in snapshots]
+    counts = [_as_int(s.get("count", 0)) for s in snapshots]
     total_count = sum(counts)
-    total = float(sum(float(s.get("total", 0.0)) for s in snapshots))
+    total = float(sum(_as_float(s.get("total", 0.0)) for s in snapshots))
     merged = {
         "count": total_count,
         "total": total,
         "mean": (total / total_count) if total_count else 0.0,
-        "max": max((float(s.get("max", 0.0)) for s in snapshots), default=0.0),
-        "window": max((int(s.get("window", 0)) for s in snapshots), default=0),
+        "max": max((_as_float(s.get("max", 0.0)) for s in snapshots), default=0.0),
+        "window": max((_as_int(s.get("window", 0)) for s in snapshots), default=0),
     }
     for q in LATENCY_QUANTILES:
         key = f"p{int(q * 100)}"
         weighted = sum(
-            count * float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
+            count * _as_float(s.get(key, 0.0)) for count, s in zip(counts, snapshots)
         )
         merged[key] = (weighted / total_count) if total_count else 0.0
     return merged
@@ -528,11 +560,56 @@ def merge_distribution_snapshots(snapshots: "list[Mapping] | tuple[Mapping, ...]
 
 _METRIC_NAME_SANITIZER = re.compile(r"[^0-9A-Za-z_]")
 
+#: Monotonic instant this process first imported the module — the origin for
+#: the ``uptime_seconds`` process gauge.  Monotonic, so NTP steps and clock
+#: slew cannot make uptime jump or run backwards.
+_PROCESS_START_MONOTONIC = time.monotonic()
+
+
+def process_stats() -> dict:
+    """Process-level gauges for ``health_snapshot()`` / ``/healthz``.
+
+    ``uptime_seconds`` counts from module import (monotonic clock),
+    ``peak_rss_bytes`` is the high-water resident set (``ru_maxrss``,
+    normalized from KiB on Linux vs bytes on macOS), plus ``pid`` and the
+    interpreter version.  The fleet merge treats ``pid`` as a list and
+    ``uptime_seconds`` as the max — see ``repro.cluster.metrics``.
+    """
+    peak_rss_bytes = 0
+    if resource is not None:
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports KiB, macOS reports bytes.
+        peak_rss_bytes = int(ru_maxrss) if ru_maxrss > 1 << 32 else int(ru_maxrss) * 1024
+    return {
+        "pid": os.getpid(),
+        "uptime_seconds": time.monotonic() - _PROCESS_START_MONOTONIC,
+        "peak_rss_bytes": peak_rss_bytes,
+        "python_version": platform.python_version(),
+    }
+
+
+def sanitize_metric_name(key: str) -> str:
+    """Map an arbitrary snapshot key to a ``[a-zA-Z0-9_]`` metric-name part.
+
+    Illegal characters become ``_``; when that substitution changed anything,
+    a 6-hex-digit BLAKE2b suffix of the *original* key is appended so
+    distinct keys can never collide after sanitization (``v1@x`` and
+    ``v1-x`` both flatten to ``v1_x`` without it).  Keys that are already
+    clean pass through byte-identical, keeping historical metric names
+    stable.  Deterministic across processes and runs.
+    """
+    key = str(key)
+    sanitized = _METRIC_NAME_SANITIZER.sub("_", key)
+    if sanitized == key:
+        return sanitized
+    suffix = hashlib.blake2b(key.encode("utf-8"), digest_size=3).hexdigest()
+    return f"{sanitized}_{suffix}"
+
 
 def _flatten_metrics(prefix: str, value, lines: list[tuple[str, float]]) -> None:
     if isinstance(value, Mapping):
         for key, nested in value.items():
-            part = _METRIC_NAME_SANITIZER.sub("_", str(key))
+            part = sanitize_metric_name(key)
             _flatten_metrics(f"{prefix}_{part}" if prefix else part, nested, lines)
     elif isinstance(value, bool):
         lines.append((prefix, int(value)))
@@ -542,22 +619,37 @@ def _flatten_metrics(prefix: str, value, lines: list[tuple[str, float]]) -> None
     # numeric exposition; callers export them through JSON endpoints instead.
 
 
-def render_metrics_text(snapshot: Mapping, prefix: str = "repro") -> str:
+def render_metrics_text(
+    snapshot: Mapping,
+    prefix: str = "repro",
+    *,
+    exemplars: "Mapping[str, str] | None" = None,
+) -> str:
     """Serialize a nested snapshot dict as flat ``name value`` text lines.
 
     The exposition format is Prometheus-style: one metric per line, names
     built by joining nested dict keys with ``_`` (non-identifier characters
-    sanitized to ``_``), numeric leaves only (booleans become 0/1; strings,
-    ``None`` and sequences are skipped), lines sorted by name so the output
-    is byte-stable for a given snapshot.  Used by ``repro.server``'s
-    ``GET /metrics``.
+    sanitized via :func:`sanitize_metric_name`, which suffixes a short hash
+    whenever it had to rewrite a key so distinct keys never collide), numeric
+    leaves only (booleans become 0/1; strings, ``None`` and sequences are
+    skipped), lines sorted by name so the output is byte-stable for a given
+    snapshot.  Used by ``repro.server``'s ``GET /metrics``.
+
+    ``exemplars`` maps flat metric names to trace ids; matching lines get an
+    ``# exemplar trace_id=...`` comment appended, linking an aggregate
+    latency line to one concrete stored trace (``/debug/traces/<id>``).
     """
     lines: list[tuple[str, float]] = []
     _flatten_metrics(prefix, snapshot, lines)
     rendered = []
     for name, value in sorted(lines):
         if isinstance(value, float) and not value.is_integer():
-            rendered.append(f"{name} {value:.6f}")
+            line = f"{name} {value:.6f}"
         else:
-            rendered.append(f"{name} {int(value)}")
+            line = f"{name} {int(value)}"
+        if exemplars:
+            trace_id = exemplars.get(name)
+            if trace_id:
+                line += f" # exemplar trace_id={trace_id}"
+        rendered.append(line)
     return "\n".join(rendered) + ("\n" if rendered else "")

@@ -35,6 +35,7 @@ start immediately instead of queueing behind each other.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import functools
 import hmac
 import logging
@@ -50,7 +51,14 @@ from repro.eval.canary import evaluate_route
 from repro.eval.golden import load_golden_set
 from repro.eval.policy import EvalPolicy
 from repro.gateway.gateway import ModelGateway
-from repro.gateway.policies import ABSplit, Canary, Ensemble, Shadow, TrafficPolicy
+from repro.gateway.policies import (
+    ABSplit,
+    Canary,
+    Ensemble,
+    Shadow,
+    TrafficPolicy,
+    derive_request_key,
+)
 from repro.observability import CounterSet, RollingLatency, render_metrics_text
 from repro.server.protocol import (
     HTTPError,
@@ -59,8 +67,24 @@ from repro.server.protocol import (
     read_request,
     render_response,
 )
+from repro.trace import (
+    TRACE_HEADER,
+    Trace,
+    TraceStore,
+    Tracer,
+    call_with_trace,
+    parse_trace_header,
+)
 
 logger = logging.getLogger(__name__)
+
+#: The trace begun by ``_handle_predict`` for the request currently being
+#: answered, read back by ``_respond`` to echo ``X-Repro-Trace`` on the
+#: response.  Task-local (each connection is one asyncio task), reset per
+#: request.
+_RESPONSE_TRACE: contextvars.ContextVar[Trace | None] = contextvars.ContextVar(
+    "repro_server_response_trace", default=None
+)
 
 #: JSON policy specs accepted by the ``policy`` admin endpoint, by ``kind``.
 _POLICY_BUILDERS: dict[str, Callable[[dict], TrafficPolicy]] = {
@@ -176,6 +200,16 @@ class ModelServer:
         owns_gateway: Close the gateway at the end of the drain (the
             gateway's own ``owns_service`` flag then decides whether the
             shared ``PredictionService`` is torn down with it).
+        trace_sample: Head-sampling rate for request tracing in ``[0, 1]``;
+            ``None`` disables tracing entirely (requests then pay only a
+            single ``is None`` check).  Slow and error traces are kept at
+            100% regardless of the rate (tail sampling).
+        trace_slow_ms: Latency threshold (milliseconds) above which a trace
+            is always kept.
+        trace_seed: Seed for deterministic trace ids and the head-sampling
+            hash — a seeded loadgen scenario reproduces the same trace set.
+        trace_capacity: Ring-buffer size of the in-process trace store
+            behind ``GET /debug/traces``.
     """
 
     def __init__(
@@ -194,6 +228,10 @@ class ModelServer:
         max_header_bytes: int = 16384,
         drain_timeout: float = 30.0,
         owns_gateway: bool = True,
+        trace_sample: float | None = 1.0,
+        trace_slow_ms: float = 250.0,
+        trace_seed: int = 0,
+        trace_capacity: int = 256,
     ) -> None:
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
@@ -211,6 +249,16 @@ class ModelServer:
         self.max_header_bytes = max_header_bytes
         self.drain_timeout = drain_timeout
         self.owns_gateway = owns_gateway
+
+        #: Request tracing: deterministic ids + head sampling (tracer) and
+        #: bounded retention with tail sampling for slow/error traces (store).
+        self.tracer = Tracer(
+            seed=trace_seed,
+            sample=trace_sample if trace_sample is not None else 0.0,
+            slow_ms=trace_slow_ms,
+            enabled=trace_sample is not None,
+        )
+        self.traces = TraceStore(trace_capacity, slow_ms=trace_slow_ms)
 
         #: Server-level counters: http_requests / predict_requests /
         #: predict_sequences / shed / errors:<status> / connections.
@@ -374,21 +422,27 @@ class ModelServer:
     async def _respond(self, request: HTTPRequest) -> bytes:
         self.counters.increment("http_requests")
         keep_alive = request.keep_alive and not self._draining
+        trace_token = _RESPONSE_TRACE.set(None)
         try:
-            status, payload = await self._dispatch(request)
-        except HTTPError as exc:
-            status, payload = exc.status, exc.payload()
-        except Exception as exc:  # never a traceback on the wire
-            # (CancelledError is a BaseException and deliberately propagates:
-            # a cancelled connection task must not fabricate a 500.)
-            logger.exception("unhandled error serving %s %s", request.method, request.path)
-            status = 500
-            payload = {
-                "error": {
-                    "code": "internal_error",
-                    "message": f"{type(exc).__name__} while serving the request",
+            try:
+                status, payload = await self._dispatch(request)
+            except HTTPError as exc:
+                status, payload = exc.status, exc.payload()
+            except Exception as exc:  # never a traceback on the wire
+                # (CancelledError is a BaseException and deliberately propagates:
+                # a cancelled connection task must not fabricate a 500.)
+                logger.exception("unhandled error serving %s %s", request.method, request.path)
+                status = 500
+                payload = {
+                    "error": {
+                        "code": "internal_error",
+                        "message": f"{type(exc).__name__} while serving the request",
+                    }
                 }
-            }
+            trace = _RESPONSE_TRACE.get()
+        finally:
+            _RESPONSE_TRACE.reset(trace_token)
+        extra_headers = {TRACE_HEADER: trace.trace_id} if trace is not None else None
         if status >= 400:
             self.counters.increment(f"errors:{status}")
         if isinstance(payload, str):  # pre-rendered plain text (``/metrics``)
@@ -397,8 +451,11 @@ class ModelServer:
                 payload.encode("utf-8"),
                 content_type="text/plain; charset=utf-8",
                 keep_alive=keep_alive,
+                extra_headers=extra_headers,
             )
-        return json_response(status, payload, keep_alive=keep_alive)
+        return json_response(
+            status, payload, keep_alive=keep_alive, extra_headers=extra_headers
+        )
 
     # ------------------------------------------------------------------
     # dispatch
@@ -410,7 +467,22 @@ class ModelServer:
             return 200, self._health_payload()
         if segments == ("metrics",):
             self._require_method(request, "GET")
-            return 200, render_metrics_text(self._metrics_payload())
+            return 200, render_metrics_text(
+                self._metrics_payload(), exemplars=self._latency_exemplars()
+            )
+        if segments == ("debug", "traces"):
+            self._require_method(request, "GET")
+            return 200, {"traces": self.traces.list(), "stats": self.traces.stats()}
+        if len(segments) == 3 and segments[:2] == ("debug", "traces"):
+            self._require_method(request, "GET")
+            stored = self.traces.get(segments[2])
+            if stored is None:
+                raise HTTPError(
+                    404, "unknown_trace",
+                    f"no stored trace {segments[2]!r} (evicted, sampled out, or "
+                    f"never seen)",
+                )
+            return 200, stored
         if len(segments) == 3 and segments[0] == "routes" and segments[2] == "predict":
             self._require_method(request, "POST")
             return await self._handle_predict(segments[1], request)
@@ -463,7 +535,19 @@ class ModelServer:
     def _health_payload(self) -> dict:
         snapshot = self.gateway.health_snapshot()
         snapshot["server"] = self._server_stats()
+        if self.tracer.enabled:
+            snapshot["trace"] = self.traces.stats()
         return snapshot
+
+    def _latency_exemplars(self) -> dict[str, str] | None:
+        """Attach the slowest kept trace id to the server latency lines."""
+        trace_id = self.traces.exemplar()
+        if trace_id is None:
+            return None
+        return {
+            f"repro_server_latency_{suffix}": trace_id
+            for suffix in ("p50_ms", "p95_ms", "p99_ms", "max_ms")
+        }
 
     def _metrics_payload(self) -> dict:
         snapshot = self.gateway.health_snapshot()
@@ -563,10 +647,67 @@ class ModelServer:
         parsed["keys"] = keys
         return parsed
 
+    def _begin_trace(
+        self, route: str, request: HTTPRequest, parsed: dict
+    ) -> tuple[Trace | None, "object | None"]:
+        """Start (or adopt) the trace for a predict request.
+
+        Returns ``(trace, root_span)``; ``(None, None)`` when tracing is
+        disabled — the entire per-request tracing cost then collapses to
+        this one check.
+        """
+        if not self.tracer.enabled:
+            return None, None
+        if "sequence" in parsed:
+            key = parsed["key"] or derive_request_key(parsed["sequence"])
+        else:
+            keys = parsed["keys"]
+            key = keys[0] if keys else derive_request_key(parsed["sequences"][0])
+        trace = None
+        parent_id = None
+        header = request.headers.get(TRACE_HEADER.lower())
+        if header:
+            upstream = parse_trace_header(header)
+            if upstream is not None:
+                trace_id, sampled, parent_id = upstream
+                trace = self.tracer.adopt(trace_id, key, sampled=sampled)
+        if trace is None:
+            trace = self.tracer.begin(key)
+        attrs: dict = {"route": route}
+        if self.worker_id is not None:
+            attrs["worker_id"] = self.worker_id
+        if "sequence" in parsed:
+            # The original payload rides on the root span so an exported
+            # trace can be replayed as a loadgen workload.
+            attrs["sequence"] = list(parsed["sequence"])
+        else:
+            attrs["batch"] = len(parsed["sequences"])
+        root = trace.start_span("server.request", parent=parent_id, attrs=attrs)
+        _RESPONSE_TRACE.set(trace)
+        return trace, root
+
     async def _handle_predict(self, route: str, request: HTTPRequest):
         parsed = self._parse_predict(request)
+        trace, root = self._begin_trace(route, request, parsed)
+        try:
+            return await self._predict_admitted(route, parsed, trace, root)
+        except HTTPError as exc:
+            if trace is not None:
+                trace.error = True
+                root.attrs["status"] = exc.status
+            raise
+        finally:
+            if trace is not None:
+                trace.end_span(root)
+                self.traces.offer(trace)
+
+    async def _predict_admitted(
+        self, route: str, parsed: dict, trace: Trace | None, root
+    ):
         if self._inflight >= self.max_inflight:
             self.counters.increment("shed")
+            if root is not None:
+                root.attrs["shed"] = True
             raise HTTPError(
                 429, "overloaded",
                 f"admission window of {self.max_inflight} in-flight requests is "
@@ -594,8 +735,16 @@ class ModelServer:
                 )
                 count = len(parsed["sequences"])
             try:
+                # run_in_executor does not carry contextvars into the pool
+                # thread, so the active trace is handed across explicitly.
                 probabilities = await asyncio.get_running_loop().run_in_executor(
-                    self._executor, call
+                    self._executor,
+                    functools.partial(
+                        call_with_trace,
+                        trace,
+                        root.span_id if root is not None else None,
+                        call,
+                    ),
                 )
                 label_space = self.gateway.registry.label_space(route)
             except KeyError as exc:

@@ -135,6 +135,31 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-batch-items", type=int, default=256)
     parser.add_argument("--max-body-bytes", type=int, default=1048576)
     parser.add_argument("--drain-timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--trace-sample",
+        type=float,
+        default=1.0,
+        help="head-sampling rate for request tracing in [0, 1]; slow and "
+        "error traces are always kept regardless (tail sampling)",
+    )
+    parser.add_argument(
+        "--trace-slow-ms",
+        type=float,
+        default=250.0,
+        help="latency threshold (ms) above which a trace is always kept",
+    )
+    parser.add_argument(
+        "--trace-seed",
+        type=int,
+        default=0,
+        help="seed of the deterministic trace-id / head-sampling hash",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request tracing entirely (requests pay only an "
+        "is-enabled check; /debug/traces stays empty)",
+    )
     parser.add_argument("--demo-scale", type=float, default=0.004)
     parser.add_argument("--demo-seed", type=int, default=11)
     parser.add_argument(
@@ -293,6 +318,9 @@ def main(argv: list[str] | None = None) -> int:
             max_body_bytes=args.max_body_bytes,
             drain_timeout=args.drain_timeout,
             owns_gateway=True,
+            trace_sample=None if args.no_trace else args.trace_sample,
+            trace_slow_ms=args.trace_slow_ms,
+            trace_seed=args.trace_seed,
         )
         try:
             asyncio.run(_serve(server, args.ready_file))

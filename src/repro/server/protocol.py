@@ -203,7 +203,10 @@ def json_response(
     payload,
     *,
     keep_alive: bool = True,
+    extra_headers: Mapping[str, str] | None = None,
 ) -> bytes:
     """A JSON response with deterministic key order (sorted)."""
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
-    return render_response(status, body, keep_alive=keep_alive)
+    return render_response(
+        status, body, keep_alive=keep_alive, extra_headers=extra_headers
+    )

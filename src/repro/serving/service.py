@@ -50,6 +50,7 @@ from repro.serving.batching import BatchPolicy, resolve_batch_policy
 from repro.serving.bundle import ModelBundle, load_bundles
 from repro.serving.cache import ShardedResultCache
 from repro.serving.featurizer import BatchFeaturizer
+from repro.trace import Trace, current_span_id, current_trace
 
 _SHUTDOWN = object()
 
@@ -72,6 +73,12 @@ class _Request:
     done: threading.Event = field(default_factory=threading.Event)
     result: np.ndarray | None = None
     error: BaseException | None = None
+    # Stage breadcrumbs stamped by the batch thread and read back by the
+    # waiting caller, which turns them into trace spans on its own trace.
+    queue_wait_s: float = 0.0
+    featurize_s: float = 0.0
+    predict_s: float = 0.0
+    batch_size: int = 0
 
 
 class PredictionService:
@@ -268,7 +275,10 @@ class PredictionService:
 
     def _predict_group(
         self, model: CuisineModel, sequences: Sequence[tuple[str, ...]]
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, float, float]:
+        """Run one grouped model pass; returns ``(probabilities,
+        featurize_seconds, predict_seconds)`` so callers can attribute the
+        stage costs to the requests (and traces) that shared the pass."""
         started = time.perf_counter()
         tokens = self._featurize(model, sequences)
         featurized = time.perf_counter()
@@ -282,7 +292,7 @@ class PredictionService:
         finished = time.perf_counter()
         self._stages.record("featurize", featurized - started, count=len(sequences))
         self._stages.record("predict", finished - featurized, count=len(sequences))
-        return probabilities
+        return probabilities, featurized - started, finished - featurized
 
     def warm(
         self,
@@ -424,7 +434,10 @@ class PredictionService:
         drained_at = time.perf_counter()
         for request in batch:
             if request.submitted_at:
-                self._stages.record("queue_wait", drained_at - request.submitted_at)
+                wait = drained_at - request.submitted_at
+                self._stages.record("queue_wait", wait)
+                request.queue_wait_s = wait
+            request.batch_size = len(batch)
             groups.setdefault((request.model_name, id(request.model)), []).append(request)
         self._counters.increment("batches_flushed")
         self._counters.increment("batched_requests", len(batch))
@@ -432,7 +445,7 @@ class PredictionService:
             self._largest_batch = max(self._largest_batch, len(batch))
         for (model_name, _), requests in groups.items():
             try:
-                probabilities = self._predict_group(
+                probabilities, featurize_s, predict_s = self._predict_group(
                     requests[0].model, [request.sequence for request in requests]
                 )
             except BaseException as exc:  # surfaced to every waiting caller
@@ -441,6 +454,8 @@ class PredictionService:
                     request.done.set()
                 continue
             for request, row in zip(requests, probabilities):
+                request.featurize_s = featurize_s
+                request.predict_s = predict_s
                 self._cache_put(model_name, request.sequence, row, epoch=request.epoch)
                 request.result = row
                 request.done.set()
@@ -485,6 +500,16 @@ class PredictionService:
             if cached is not None:
                 self._counters.increment("cache_hits")
                 self._record_latency(start)
+                trace = current_trace()
+                if trace is not None:
+                    elapsed_ms = (time.perf_counter() - start) * 1000.0
+                    trace.add_span(
+                        "service.cache_hit",
+                        start_ms=trace.now_ms() - elapsed_ms,
+                        duration_ms=elapsed_ms,
+                        parent=current_span_id(),
+                        attrs={"model": model_name},
+                    )
                 return cached
             if not self.coalesce:
                 self._counters.increment("cache_misses")
@@ -528,6 +553,16 @@ class PredictionService:
                 raise flight.error
             self._counters.increment("coalesced_hits")
             self._record_latency(start)
+            trace = current_trace()
+            if trace is not None:
+                elapsed_ms = (time.perf_counter() - start) * 1000.0
+                trace.add_span(
+                    "service.coalesced_follower",
+                    start_ms=trace.now_ms() - elapsed_ms,
+                    duration_ms=elapsed_ms,
+                    parent=current_span_id(),
+                    attrs={"model": model_name},
+                )
             assert flight.value is not None
             return flight.value.copy()
 
@@ -559,8 +594,46 @@ class PredictionService:
         if request.error is not None:
             raise request.error
         self._record_latency(start)
+        trace = current_trace()
+        if trace is not None:
+            self._emit_batch_spans(trace, request)
         assert request.result is not None
         return request.result
+
+    @staticmethod
+    def _emit_batch_spans(trace: Trace, request: _Request) -> None:
+        """Turn the batch thread's stage breadcrumbs into trace spans.
+
+        The batch thread knows nothing about traces (it serves many callers'
+        requests in one pass); the waiting caller reconstructs its own
+        request's timeline — queue wait, then the shared featurize and
+        predict stages — on the trace clock, laid out backwards from now.
+        """
+        wait_ms = request.queue_wait_s * 1000.0
+        featurize_ms = request.featurize_s * 1000.0
+        predict_ms = request.predict_s * 1000.0
+        total_ms = wait_ms + featurize_ms + predict_ms
+        cursor = trace.now_ms() - total_ms
+        parent = current_span_id()
+        batch_span = trace.add_span(
+            "service.batch",
+            start_ms=cursor,
+            duration_ms=total_ms,
+            parent=parent,
+            attrs={"model": request.model_name, "batch_size": request.batch_size},
+        )
+        for name, duration in (
+            ("service.queue_wait", wait_ms),
+            ("service.featurize", featurize_ms),
+            ("service.predict", predict_ms),
+        ):
+            trace.add_span(
+                name,
+                start_ms=cursor,
+                duration_ms=duration,
+                parent=batch_span.span_id,
+            )
+            cursor += duration
 
     def predict(self, model_name: str, sequence: Iterable[str]) -> str:
         """Predicted cuisine name for one raw recipe item sequence."""
@@ -595,12 +668,41 @@ class PredictionService:
         self._counters.increment("cache_hits", len(validated) - len(pending))
         self._counters.increment("cache_misses", len(pending))
         if pending:
-            probabilities = self._predict_group(
+            probabilities, featurize_s, predict_s = self._predict_group(
                 model, [sequence for _, sequence in pending]
             )
             for (index, sequence), row in zip(pending, probabilities):
                 self._cache_put(model_name, sequence, row, epoch=epoch)
                 rows[index] = row
+            trace = current_trace()
+            if trace is not None:
+                parent = current_span_id()
+                end = trace.now_ms()
+                f_ms, p_ms = featurize_s * 1000.0, predict_s * 1000.0
+                trace.add_span(
+                    "service.featurize",
+                    start_ms=end - f_ms - p_ms,
+                    duration_ms=f_ms,
+                    parent=parent,
+                    attrs={"sequences": len(pending)},
+                )
+                trace.add_span(
+                    "service.predict",
+                    start_ms=end - p_ms,
+                    duration_ms=p_ms,
+                    parent=parent,
+                    attrs={"sequences": len(pending)},
+                )
+        elif validated:
+            trace = current_trace()
+            if trace is not None:
+                trace.add_span(
+                    "service.cache_hit",
+                    start_ms=trace.now_ms(),
+                    duration_ms=0.0,
+                    parent=current_span_id(),
+                    attrs={"sequences": len(validated)},
+                )
         self._record_latency(start, count=len(validated))
         return np.vstack([rows[index] for index in range(len(validated))])
 

@@ -1,0 +1,85 @@
+"""JSONL trace export and incident replay.
+
+``save_traces_jsonl`` writes one trace dict per line — the stable archival
+form for an incident.  ``workload_from_traces`` turns saved traces back into
+a seeded loadgen :class:`~repro.loadgen.workload.Workload`: root spans carry
+the original request sequence and routing key, so the exact traffic that
+produced an incident can be replayed against a fixed build.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+
+def save_traces_jsonl(traces: Iterable[dict[str, Any]], path: str | Path) -> int:
+    """Write trace dicts as JSON Lines; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for trace in traces:
+            handle.write(json.dumps(trace, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_traces_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Read traces written by :func:`save_traces_jsonl` (blank lines skipped)."""
+    traces: list[dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                traces.append(json.loads(line))
+    return traces
+
+
+def _root_span(trace: dict[str, Any]) -> dict[str, Any] | None:
+    spans: Sequence[dict[str, Any]] = trace.get("spans", ())
+    for span in spans:
+        if span.get("parent_id") is None:
+            return span
+    return spans[0] if spans else None
+
+
+def workload_from_traces(
+    traces: Sequence[dict[str, Any]],
+    *,
+    seed: int = 0,
+    rate: float | None = None,
+    spacing_s: float = 0.01,
+):
+    """Rebuild a loadgen ``Workload`` from exported traces.
+
+    Each trace whose root span recorded a ``sequence`` attribute becomes one
+    request, in export order.  Traces carry no wall-clock, so open-loop
+    arrival times are synthesized: evenly spaced at ``spacing_s`` (or at
+    ``1/rate`` when an explicit replay rate is given).
+    """
+    # Imported lazily: repro.loadgen imports repro.trace for header capture,
+    # so a module-level import here would be circular.
+    from repro.loadgen.workload import Workload, WorkloadRequest
+
+    step = (1.0 / rate) if rate else spacing_s
+    requests = []
+    for trace in traces:
+        root = _root_span(trace)
+        if root is None:
+            continue
+        sequence = root.get("attrs", {}).get("sequence")
+        if not sequence:
+            continue
+        key = str(trace.get("key") or "")
+        requests.append(
+            WorkloadRequest(
+                sequence=tuple(str(token) for token in sequence),
+                key=key,
+                arrival=len(requests) * step,
+            )
+        )
+    return Workload(
+        requests=tuple(requests), seed=seed, rate=rate, arrival="replay"
+    )

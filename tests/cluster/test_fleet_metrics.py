@@ -109,3 +109,36 @@ class TestLatencyMerging:
         merged = merge_health_snapshots([{"latency": first}, {"latency": second}])
         assert merged["latency"]["count"] == 5
         assert merged["latency"]["total_seconds"] == pytest.approx(0.015)
+
+
+class TestProcessGaugeMerging:
+    def test_pids_publish_as_sorted_list(self):
+        merged = merge_health_snapshots(
+            [{"process": {"pid": 310}}, {"process": {"pid": 42}}]
+        )
+        assert merged["process"]["pid"] == [42, 310]
+
+    def test_single_worker_keeps_scalar_pid(self):
+        merged = merge_health_snapshots([{"process": {"pid": 42}}])
+        assert merged["process"]["pid"] == 42
+
+    def test_uptime_is_fleet_max(self):
+        # A worker replaced mid-rolling-restart must not drag fleet uptime
+        # down: the fleet has been up as long as its oldest member.
+        merged = merge_health_snapshots(
+            [
+                {"process": {"uptime_seconds": 3600.0}},
+                {"process": {"uptime_seconds": 4.5}},
+            ]
+        )
+        assert merged["process"]["uptime_seconds"] == 3600.0
+
+    def test_peak_rss_sums_and_versions_fold(self):
+        merged = merge_health_snapshots(
+            [
+                {"process": {"peak_rss_bytes": 100, "python_version": "3.11.7"}},
+                {"process": {"peak_rss_bytes": 250, "python_version": "3.11.7"}},
+            ]
+        )
+        assert merged["process"]["peak_rss_bytes"] == 350
+        assert merged["process"]["python_version"] == "3.11.7"

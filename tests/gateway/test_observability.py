@@ -1,6 +1,7 @@
 """Tests for the shared observability primitives."""
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -12,6 +13,13 @@ from repro.gateway.observability import (
     RouteMetrics,
     StageTimer,
     render_metrics_text,
+)
+from repro.observability import (
+    merge_counter_dicts,
+    merge_distribution_snapshots,
+    merge_latency_snapshots,
+    process_stats,
+    sanitize_metric_name,
 )
 
 
@@ -221,10 +229,145 @@ class TestRenderMetricsText:
         assert lines == sorted(lines)
         parsed = dict(line.rsplit(" ", 1) for line in lines)
         assert parsed["repro_healthy"] == "1"
-        assert parsed["repro_routes_cuisine_by_variant_v1_x"] == "3"
+        # ``v1@x`` needs sanitizing, so its name carries a hash suffix that
+        # keeps it distinct from a literal ``v1_x`` variant.
+        assert parsed["repro_routes_cuisine_by_variant_v1_x_b4fe7c"] == "3"
         assert parsed["repro_latency_p50_ms"] == "1.500000"
         assert not any("status" in line for line in lines)
         assert text.endswith("\n")
 
     def test_empty_snapshot_renders_empty(self):
         assert render_metrics_text({}) == ""
+
+    def test_exemplars_attached_to_matching_lines_only(self):
+        text = render_metrics_text(
+            {"latency": {"p50_ms": 1.5, "p99_ms": 9.0}, "requests": 4},
+            exemplars={"repro_latency_p50_ms": "ab" * 16},
+        )
+        lines = dict(
+            (line.split(" # ", 1)[0].rsplit(" ", 1)[0], line)
+            for line in text.splitlines()
+        )
+        assert lines["repro_latency_p50_ms"].endswith(
+            f"# exemplar trace_id={'ab' * 16}"
+        )
+        assert "exemplar" not in lines["repro_latency_p99_ms"]
+        assert "exemplar" not in lines["repro_requests"]
+
+
+class TestSanitizeMetricName:
+    def test_clean_keys_pass_through_unchanged(self):
+        for key in ("requests", "p50_ms", "by_variant", "v1", "A9_z"):
+            assert sanitize_metric_name(key) == key
+
+    def test_illegal_characters_replaced_and_suffixed(self):
+        name = sanitize_metric_name("v1@x")
+        assert name.startswith("v1_x_")
+        assert len(name) == len("v1_x_") + 6
+        assert all(c.isalnum() or c == "_" for c in name)
+
+    def test_colliding_keys_stay_distinct(self):
+        # All three flatten to ``v1_x`` under plain substitution; the hash
+        # suffix keeps each key's metric line distinct.
+        names = {sanitize_metric_name(k) for k in ("v1@x", "v1-x", "v1.x", "v1 x")}
+        assert len(names) == 4
+        assert "v1_x" not in names  # none shadows a literal clean key
+
+    def test_deterministic(self):
+        assert sanitize_metric_name("v1@x") == sanitize_metric_name("v1@x")
+
+    def test_flatten_uses_sanitized_names(self):
+        text = render_metrics_text({"by_variant": {"v1@x": 1, "v1-x": 2}})
+        parsed = dict(line.rsplit(" ", 1) for line in text.splitlines())
+        assert len(parsed) == 2
+        assert all(name.startswith("repro_by_variant_v1_x_") for name in parsed)
+
+
+class TestProcessStats:
+    def test_shape_and_types(self):
+        stats = process_stats()
+        assert set(stats) == {
+            "pid", "uptime_seconds", "peak_rss_bytes", "python_version",
+        }
+        assert stats["pid"] == os.getpid()
+        assert stats["uptime_seconds"] > 0.0
+        assert stats["peak_rss_bytes"] > 1024 * 1024  # a real interpreter RSS
+        assert stats["python_version"].count(".") == 2
+        json.dumps(stats)
+
+    def test_uptime_is_monotonic(self):
+        first = process_stats()["uptime_seconds"]
+        second = process_stats()["uptime_seconds"]
+        assert second >= first
+
+
+class TestMergeEdgeCases:
+    def test_empty_inputs(self):
+        assert merge_counter_dicts([]) == {}
+        merged = merge_latency_snapshots([])
+        assert merged["count"] == 0 and merged["mean_ms"] == 0.0
+        merged = merge_distribution_snapshots([])
+        assert merged["count"] == 0 and merged["mean"] == 0.0
+
+    def test_single_snapshot_passes_through(self):
+        latency = RollingLatency()
+        latency.record(0.010)
+        latency.record(0.030)
+        snapshot = latency.snapshot()
+        assert merge_latency_snapshots([snapshot]) == pytest.approx(snapshot)
+        counters = {"requests": 3, "errors": 1}
+        assert merge_counter_dicts([counters]) == counters
+
+    def test_disjoint_counter_keys_union(self):
+        merged = merge_counter_dicts([{"a": 1}, {"b": 2}, {"a": 4}])
+        assert merged == {"a": 5, "b": 2}
+
+    def test_zero_sums_omitted_and_keys_sorted(self):
+        merged = merge_counter_dicts([{"z": 1, "gone": 0}, {"a": 2}])
+        assert list(merged) == ["a", "z"]
+        assert "gone" not in merged
+
+    def test_malformed_counter_values_contribute_nothing(self):
+        merged = merge_counter_dicts([{"a": 2, "bad": "oops"}, {"bad": None}])
+        assert merged == {"a": 2}
+
+    def test_malformed_latency_fields_degrade_to_defaults(self):
+        good = {
+            "count": 2, "total_seconds": 0.02, "mean_ms": 10.0, "max_ms": 15.0,
+            "p50_ms": 10.0, "p95_ms": 15.0, "p99_ms": 15.0, "window": 256,
+        }
+        bad = {
+            "count": "not-a-number", "total_seconds": float("nan"),
+            "mean_ms": None, "max_ms": "x", "p50_ms": object(),
+            "p95_ms": None, "p99_ms": None, "window": None,
+        }
+        merged = merge_latency_snapshots([good, bad])
+        assert merged["count"] == 2
+        assert merged["total_seconds"] == pytest.approx(0.02)
+        assert merged["max_ms"] == 15.0
+        assert merged["p50_ms"] == pytest.approx(10.0)
+
+    def test_malformed_distribution_fields_degrade_to_defaults(self):
+        good = {
+            "count": 4, "total": 8.0, "mean": 2.0, "max": 3.0,
+            "p50": 2.0, "p95": 3.0, "p99": 3.0, "window": 128,
+        }
+        merged = merge_distribution_snapshots([good, {"count": [], "total": "x"}])
+        assert merged["count"] == 4
+        assert merged["total"] == pytest.approx(8.0)
+        assert merged["mean"] == pytest.approx(2.0)
+
+    def test_count_weighted_quantiles(self):
+        heavy = {
+            "count": 30, "total_seconds": 0.3, "mean_ms": 10.0, "max_ms": 12.0,
+            "p50_ms": 10.0, "p95_ms": 12.0, "p99_ms": 12.0, "window": 256,
+        }
+        light = {
+            "count": 10, "total_seconds": 0.4, "mean_ms": 40.0, "max_ms": 50.0,
+            "p50_ms": 40.0, "p95_ms": 50.0, "p99_ms": 50.0, "window": 256,
+        }
+        merged = merge_latency_snapshots([heavy, light])
+        assert merged["count"] == 40
+        assert merged["p50_ms"] == pytest.approx((30 * 10.0 + 10 * 40.0) / 40)
+        assert merged["max_ms"] == 50.0
+        assert merged["mean_ms"] == pytest.approx(1000.0 * 0.7 / 40)

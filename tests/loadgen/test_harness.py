@@ -138,3 +138,43 @@ def test_invalid_concurrency():
     workload = build_workload(POOL, n_requests=5, seed=1)
     with pytest.raises(ValueError, match="concurrency"):
         run_closed_loop(StubTarget(), workload, concurrency=0)
+
+
+class TracingTarget:
+    """Returns ``(kind, trace_id)`` tuples with per-key delays, like the
+    built-in HTTP targets do when the server echoes ``X-Repro-Trace``."""
+
+    def __init__(self, delays: dict[str, float]) -> None:
+        self.delays = delays
+
+    async def predict(self, sequence, key):
+        await asyncio.sleep(self.delays.get(key, 0.001))
+        return OK, f"trace-{key}"
+
+    async def aclose(self):
+        pass
+
+
+def test_slow_traces_records_the_slowest_request_ids():
+    workload = build_workload(POOL, n_requests=20, seed=5, n_keys=20)
+    keys = sorted({request.key for request in workload.requests})
+    delays = {keys[0]: 0.05, keys[1]: 0.03}
+    report = run_closed_loop(TracingTarget(delays), workload, concurrency=4)
+    assert report.slow_traces  # tracing targets populate the field
+    assert len(report.slow_traces) <= 5
+    # slowest-first, and the two artificially slow keys lead the list
+    latencies = [entry["latency_ms"] for entry in report.slow_traces]
+    assert latencies == sorted(latencies, reverse=True)
+    assert {report.slow_traces[0]["trace_id"], report.slow_traces[1]["trace_id"]} == {
+        f"trace-{keys[0]}", f"trace-{keys[1]}"
+    }
+    assert all(entry["outcome"] == OK for entry in report.slow_traces)
+    # the artifact carries them too
+    assert report.as_dict()["slow_traces"][0]["trace_id"] == report.slow_traces[0]["trace_id"]
+
+
+def test_untraced_targets_leave_slow_traces_empty():
+    workload = build_workload(POOL, n_requests=10, seed=2)
+    report = run_closed_loop(StubTarget(), workload, concurrency=2)
+    assert report.slow_traces == ()
+    assert report.as_dict()["slow_traces"] == []

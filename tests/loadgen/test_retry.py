@@ -39,7 +39,7 @@ class TestHTTPTargetRetry:
     def test_connection_reset_is_retried_once(self):
         pool = FlakyPool([ConnectionResetError()])
         target = _target_with_pool(pool)
-        assert asyncio.run(target.predict(("x",), "user-1")) == OK
+        assert asyncio.run(target.predict(("x",), "user-1")) == (OK, None)
         assert pool.calls == 2
         assert target.retries == 1
 
@@ -50,29 +50,29 @@ class TestHTTPTargetRetry:
     )
     def test_every_transport_failure_kind_is_retryable(self, failure):
         target = _target_with_pool(FlakyPool([failure]))
-        assert asyncio.run(target.predict(("x",), "user-1")) == OK
+        assert asyncio.run(target.predict(("x",), "user-1")) == (OK, None)
 
     def test_second_failure_is_an_error(self):
         pool = FlakyPool([ConnectionResetError(), ConnectionResetError()])
         target = _target_with_pool(pool)
-        assert asyncio.run(target.predict(("x",), "user-1")) == ERROR
+        assert asyncio.run(target.predict(("x",), "user-1")) == (ERROR, None)
         assert pool.calls == 2  # exactly one re-send, never a loop
         assert target.retries == 1
 
     def test_non_transport_failure_is_not_retried(self):
         pool = FlakyPool([ValueError("bad payload")])
         target = _target_with_pool(pool)
-        assert asyncio.run(target.predict(("x",), "user-1")) == ERROR
+        assert asyncio.run(target.predict(("x",), "user-1")) == (ERROR, None)
         assert pool.calls == 1
         assert target.retries == 0
 
     def test_statuses_still_classified(self):
         assert asyncio.run(
             _target_with_pool(FlakyPool([], status=429)).predict(("x",), "k")
-        ) == SHED
+        ) == (SHED, None)
         assert asyncio.run(
             _target_with_pool(FlakyPool([], status=500)).predict(("x",), "k")
-        ) == ERROR
+        ) == (ERROR, None)
 
     def test_retry_after_shed_status_never_happens(self):
         """A 429 is a *response*, not a transport failure — no re-send."""
@@ -117,6 +117,6 @@ class TestMultiHTTPTarget:
         # Other members would explode if touched (no server is listening and
         # their pools are unset real pools pointing at closed ports) — but
         # only the owning member's scripted pool is exercised.
-        assert asyncio.run(target.predict(("x",), "user-17")) == OK
+        assert asyncio.run(target.predict(("x",), "user-17")) == (OK, None)
         assert pool.calls == 2
         assert target.retries == 1  # aggregated over members

@@ -69,13 +69,20 @@ class ServerClient:
         self.connection = http.client.HTTPConnection(host, port, timeout=timeout)
 
     def request(self, method: str, path: str, payload=None, headers=None, raw_body=None):
-        """Returns ``(status, decoded_body)`` — JSON-decoded when possible."""
+        """Returns ``(status, decoded_body)`` — JSON-decoded when possible.
+
+        Response headers of the most recent exchange are kept (lowercased)
+        in ``self.last_headers`` for tests asserting on header echo.
+        """
         body = raw_body
         if payload is not None:
             body = json.dumps(payload)
         self.connection.request(method, path, body=body, headers=headers or {})
         response = self.connection.getresponse()
         data = response.read()
+        self.last_headers = {
+            name.lower(): value for name, value in response.getheaders()
+        }
         try:
             return response.status, json.loads(data)
         except (ValueError, UnicodeDecodeError):
@@ -100,6 +107,7 @@ def parse_metrics_text(text: str) -> dict[str, float]:
     """Parse the flat ``/metrics`` exposition back into a name → value dict."""
     parsed: dict[str, float] = {}
     for line in text.splitlines():
+        line = line.split(" # ", 1)[0]  # drop exemplar / comment suffixes
         if not line.strip():
             continue
         name, value = line.rsplit(" ", 1)

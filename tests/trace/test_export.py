@@ -1,0 +1,88 @@
+"""JSONL trace export and incident replay (traces → loadgen workload)."""
+
+from __future__ import annotations
+
+from repro.trace import load_traces_jsonl, save_traces_jsonl, workload_from_traces
+
+
+def trace_payload(trace_id: str, key: str, sequence: list[str]) -> dict:
+    return {
+        "trace_id": trace_id,
+        "key": key,
+        "sampled": True,
+        "error": False,
+        "duration_ms": 4.2,
+        "spans": [
+            {
+                "span_id": "s1",
+                "name": "server.request",
+                "parent_id": None,
+                "start_ms": 0.0,
+                "duration_ms": 4.0,
+                "attrs": {"route": "cuisine", "sequence": sequence},
+            },
+            {
+                "span_id": "s2",
+                "name": "gateway.route",
+                "parent_id": "s1",
+                "start_ms": 0.5,
+                "duration_ms": 3.0,
+                "attrs": {},
+            },
+        ],
+    }
+
+
+class TestJsonlRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        traces = [
+            trace_payload("a" * 32, "user-1", ["pasta", "boil"]),
+            trace_payload("b" * 32, "user-2", ["rice", "steam"]),
+        ]
+        path = tmp_path / "incident" / "traces.jsonl"
+        assert save_traces_jsonl(traces, path) == 2
+        assert load_traces_jsonl(path) == traces
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "traces.jsonl"
+        path.write_text('{"trace_id": "x"}\n\n\n{"trace_id": "y"}\n')
+        assert [t["trace_id"] for t in load_traces_jsonl(path)] == ["x", "y"]
+
+
+class TestWorkloadFromTraces:
+    def test_requests_rebuilt_in_export_order(self):
+        traces = [
+            trace_payload("a" * 32, "user-1", ["pasta", "boil"]),
+            trace_payload("b" * 32, "user-2", ["rice", "steam"]),
+        ]
+        workload = workload_from_traces(traces, seed=9)
+        assert len(workload) == 2
+        assert workload.arrival == "replay"
+        assert workload.seed == 9
+        assert workload.requests[0].sequence == ("pasta", "boil")
+        assert workload.requests[0].key == "user-1"
+        assert workload.requests[1].key == "user-2"
+
+    def test_arrivals_spaced_by_rate(self):
+        traces = [
+            trace_payload(f"{i:032x}", f"user-{i}", ["a", "b"]) for i in range(3)
+        ]
+        workload = workload_from_traces(traces, rate=100.0)
+        assert [r.arrival for r in workload.requests] == [0.0, 0.01, 0.02]
+        assert workload.rate == 100.0
+
+    def test_traces_without_request_payloads_skipped(self):
+        no_sequence = trace_payload("a" * 32, "user-1", ["a"])
+        del no_sequence["spans"][0]["attrs"]["sequence"]
+        no_spans = {"trace_id": "b" * 32, "key": "user-2", "spans": []}
+        keeper = trace_payload("c" * 32, "user-3", ["rice"])
+        workload = workload_from_traces([no_sequence, no_spans, keeper])
+        assert len(workload) == 1
+        assert workload.requests[0].key == "user-3"
+
+    def test_round_trip_through_disk(self, tmp_path):
+        traces = [trace_payload("a" * 32, "user-1", ["pasta", "boil"])]
+        path = tmp_path / "t.jsonl"
+        save_traces_jsonl(traces, path)
+        workload = workload_from_traces(load_traces_jsonl(path))
+        assert workload.requests[0].sequence == ("pasta", "boil")
